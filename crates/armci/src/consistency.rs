@@ -1,0 +1,242 @@
+//! Location-consistency tracking of conflicting memory accesses (§III-E).
+//!
+//! ARMCI provides location consistency: before a **read** (get) from a
+//! process is serviced, outstanding **writes** (put/accumulate) to that
+//! process must be fenced. The naive algorithm keeps one communication
+//! status per target (`cs_tgt`, space `Θ(ζ)`) and therefore fences on *every*
+//! get that follows an unfenced write — even when the read and write touch
+//! different distributed data structures (the dgemm example: non-blocking
+//! gets of A/B must not wait for accumulates into C).
+//!
+//! The paper's improvement keeps a small status per **memory region**
+//! (`cs_mr`, an 8-bit integer per structure; space `Θ(σ·ζ)`): a get only
+//! fences writes to the *same* region of the same target. Accumulates are
+//! associative, so ordering among them is never enforced.
+
+use std::collections::HashMap;
+
+use desim::Completion;
+
+/// Which conflict-tracking granularity to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyMode {
+    /// Naive `cs_tgt`: one status per target; any outstanding write to the
+    /// target conflicts with any read from it. Space `Θ(ζ)`, false positives.
+    PerTarget,
+    /// `cs_mr`: status per (target, memory region). Space `Θ(σ·ζ)`, no
+    /// cross-structure false positives.
+    PerRegion,
+}
+
+/// Key identifying the distributed structure a write touched: the remote
+/// region's start offset, or `None` when the write went through the
+/// fall-back path (no region metadata — treated conservatively).
+pub type RegionKey = Option<usize>;
+
+/// Tracks outstanding (un-fenced) writes and decides which must complete
+/// before a read may be issued.
+pub struct ConsistencyTracker {
+    mode: ConsistencyMode,
+    /// Outstanding write completions per (target, region-key).
+    writes: HashMap<(usize, RegionKey), Vec<Completion<()>>>,
+    induced_fences: u64,
+    checks: u64,
+}
+
+impl ConsistencyTracker {
+    /// Create a tracker for the given mode.
+    pub fn new(mode: ConsistencyMode) -> ConsistencyTracker {
+        ConsistencyTracker {
+            mode,
+            writes: HashMap::new(),
+            induced_fences: 0,
+            checks: 0,
+        }
+    }
+
+    /// The tracking mode.
+    pub fn mode(&self) -> ConsistencyMode {
+        self.mode
+    }
+
+    /// Record an outstanding write (`done` = its remote completion).
+    pub fn record_write(&mut self, target: usize, region: RegionKey, done: Completion<()>) {
+        self.writes
+            .entry((target, region))
+            .or_default()
+            .push(done);
+    }
+
+    /// Drop completions that already fired (cheap lazy pruning).
+    fn prune(&mut self) {
+        self.writes.retain(|_, v| {
+            v.retain(|c| !c.is_complete());
+            !v.is_empty()
+        });
+    }
+
+    /// Completions that must be awaited before a read of `(target, region)`
+    /// may be issued. Removes them from the outstanding set; increments the
+    /// induced-fence counter when nonempty.
+    pub fn conflicts_for_read(
+        &mut self,
+        target: usize,
+        region: RegionKey,
+    ) -> Vec<Completion<()>> {
+        self.checks += 1;
+        self.prune();
+        let mut out = Vec::new();
+        match self.mode {
+            ConsistencyMode::PerTarget => {
+                // Any write to this target conflicts.
+                let keys: Vec<_> = self
+                    .writes
+                    .keys()
+                    .filter(|(t, _)| *t == target)
+                    .cloned()
+                    .collect();
+                for k in keys {
+                    out.extend(self.writes.remove(&k).unwrap_or_default());
+                }
+            }
+            ConsistencyMode::PerRegion => {
+                // Same region conflicts; region-less (fall-back) writes are
+                // conservative and conflict with every read from the target;
+                // a region-less read conflicts with every write to the target.
+                let keys: Vec<_> = self
+                    .writes
+                    .keys()
+                    .filter(|(t, k)| {
+                        *t == target && (region.is_none() || k.is_none() || *k == region)
+                    })
+                    .cloned()
+                    .collect();
+                for k in keys {
+                    out.extend(self.writes.remove(&k).unwrap_or_default());
+                }
+            }
+        }
+        if !out.is_empty() {
+            self.induced_fences += 1;
+        }
+        out
+    }
+
+    /// All outstanding writes to `target` (explicit `fence`).
+    pub fn drain_target(&mut self, target: usize) -> Vec<Completion<()>> {
+        self.prune();
+        let keys: Vec<_> = self
+            .writes
+            .keys()
+            .filter(|(t, _)| *t == target)
+            .cloned()
+            .collect();
+        let mut out = Vec::new();
+        for k in keys {
+            out.extend(self.writes.remove(&k).unwrap_or_default());
+        }
+        out
+    }
+
+    /// All outstanding writes (explicit `fence_all` / barrier).
+    pub fn drain_all(&mut self) -> Vec<Completion<()>> {
+        self.prune();
+        self.writes.drain().flat_map(|(_, v)| v).collect()
+    }
+
+    /// Number of reads that were forced to fence.
+    pub fn induced_fences(&self) -> u64 {
+        self.induced_fences
+    }
+
+    /// Number of read-conflict checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Outstanding (unpruned) write count, for tests.
+    pub fn outstanding(&mut self) -> usize {
+        self.prune();
+        self.writes.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending() -> Completion<()> {
+        Completion::new()
+    }
+
+    #[test]
+    fn per_target_fences_across_regions() {
+        let mut t = ConsistencyTracker::new(ConsistencyMode::PerTarget);
+        t.record_write(3, Some(100), pending());
+        let conflicts = t.conflicts_for_read(3, Some(999)); // different region
+        assert_eq!(conflicts.len(), 1, "naive mode: false positive expected");
+        assert_eq!(t.induced_fences(), 1);
+    }
+
+    #[test]
+    fn per_region_skips_unrelated_structures() {
+        let mut t = ConsistencyTracker::new(ConsistencyMode::PerRegion);
+        t.record_write(3, Some(100), pending());
+        let conflicts = t.conflicts_for_read(3, Some(999));
+        assert!(conflicts.is_empty(), "cs_mr: different region, no fence");
+        assert_eq!(t.induced_fences(), 0);
+        // Same region does conflict.
+        let conflicts = t.conflicts_for_read(3, Some(100));
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(t.induced_fences(), 1);
+    }
+
+    #[test]
+    fn per_region_conservative_for_unknown_regions() {
+        let mut t = ConsistencyTracker::new(ConsistencyMode::PerRegion);
+        t.record_write(3, None, pending()); // fall-back write
+        assert_eq!(t.conflicts_for_read(3, Some(100)).len(), 1);
+        t.record_write(3, Some(50), pending());
+        assert_eq!(t.conflicts_for_read(3, None).len(), 1); // fall-back read
+    }
+
+    #[test]
+    fn reads_from_other_targets_never_conflict() {
+        for mode in [ConsistencyMode::PerTarget, ConsistencyMode::PerRegion] {
+            let mut t = ConsistencyTracker::new(mode);
+            t.record_write(3, Some(100), pending());
+            assert!(t.conflicts_for_read(4, Some(100)).is_empty());
+        }
+    }
+
+    #[test]
+    fn completed_writes_are_pruned() {
+        let mut t = ConsistencyTracker::new(ConsistencyMode::PerTarget);
+        let done = pending();
+        done.complete(());
+        t.record_write(3, Some(0), done);
+        assert!(t.conflicts_for_read(3, Some(0)).is_empty());
+        assert_eq!(t.induced_fences(), 0);
+        assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    fn drain_target_and_all() {
+        let mut t = ConsistencyTracker::new(ConsistencyMode::PerRegion);
+        t.record_write(1, Some(0), pending());
+        t.record_write(1, Some(8), pending());
+        t.record_write(2, Some(0), pending());
+        assert_eq!(t.drain_target(1).len(), 2);
+        assert_eq!(t.outstanding(), 1);
+        assert_eq!(t.drain_all().len(), 1);
+        assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    fn conflicts_are_removed_once_returned() {
+        let mut t = ConsistencyTracker::new(ConsistencyMode::PerTarget);
+        t.record_write(1, Some(0), pending());
+        assert_eq!(t.conflicts_for_read(1, Some(0)).len(), 1);
+        assert!(t.conflicts_for_read(1, Some(0)).is_empty());
+    }
+}

@@ -1,0 +1,926 @@
+//! Per-rank ARMCI operations: contiguous and strided get/put/accumulate,
+//! atomic memory operations, fences, barriers, mutexes and notify/wait.
+//!
+//! Protocol selection follows §III-C: contiguous transfers use RDMA whenever
+//! both the local and the remote memory region are available (remote
+//! metadata comes from the LFU region cache, misses cost an active-message
+//! round trip to the owner), falling back to the active-message protocol
+//! otherwise (Eq. 8 — one extra `o`, plus a dependence on target progress).
+//! Strided transfers post a chunk list of non-blocking RDMA operations
+//! (Eq. 9) unless the contiguous chunk is below the pack threshold
+//! (tall-skinny), in which case the packed typed-datatype path is used.
+
+use desim::{Completion, SimDuration};
+use pami_sim::{PamiRank, RmwOp};
+
+use crate::handle::{NbHandle, OpKind};
+use crate::region_cache::RemoteRegion;
+use crate::runtime::{Armci, RankRt, DISPATCH_REGION_QUERY};
+use crate::strided::Strided;
+
+/// Handle for one rank's view of the ARMCI runtime.
+///
+/// All operations are issued *by* this rank; blocking variants drive the
+/// PAMI progress engine while they wait (so a blocked rank services remote
+/// requests — the "default" progress mode of the paper).
+#[derive(Clone)]
+pub struct ArmciRank {
+    pub(crate) a: Armci,
+    pub(crate) r: usize,
+    pub(crate) pami: PamiRank,
+}
+
+impl ArmciRank {
+    /// This rank's id.
+    pub fn id(&self) -> usize {
+        self.r
+    }
+
+    /// The runtime this rank belongs to.
+    pub fn armci(&self) -> &Armci {
+        &self.a
+    }
+
+    /// The underlying PAMI rank (for memory access in tests/apps).
+    pub fn pami(&self) -> &PamiRank {
+        &self.pami
+    }
+
+    fn rt(&self) -> &RankRt {
+        &self.a.inner.ranks[self.r]
+    }
+
+    fn stats(&self) -> desim::Stats {
+        self.a.inner.machine.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Memory management
+    // ------------------------------------------------------------------
+
+    /// Allocate `len` bytes of remotely accessible memory and register it as
+    /// an RDMA region (cost δ). If registration fails (region limit), the
+    /// memory is still usable — operations on it take the fall-back path.
+    pub async fn malloc(&self, len: usize) -> usize {
+        let off = self.pami.alloc(len);
+        if self.pami.register_region(off, len).await.is_err() {
+            self.stats().incr("armci.malloc_unregistered");
+        }
+        off
+    }
+
+    /// Allocate without registering (always exercises the fall-back path).
+    pub fn alloc_unregistered(&self, len: usize) -> usize {
+        self.pami.alloc(len)
+    }
+
+    /// Collective allocation (ARMCI_Malloc): every rank allocates and
+    /// registers `len` bytes, region keys are exchanged among all ranks
+    /// (seeding the remote-region caches — Eq. 5's σ·ζ·γ term), and the
+    /// offsets of all ranks' blocks are returned. All ranks must call this
+    /// in the same order; it synchronizes like a barrier.
+    pub async fn malloc_collective(&self, len: usize) -> Vec<usize> {
+        let p = self.a.nprocs();
+        let off = self.pami.alloc(len);
+        let registered = self.pami.register_region(off, len).await.is_ok();
+        if !registered {
+            self.stats().incr("armci.malloc_unregistered");
+        }
+        let seq = {
+            let mut seqs = self.a.inner.collective_seq.borrow_mut();
+            let s = seqs[self.r];
+            seqs[self.r] += 1;
+            s
+        };
+        let (done, ready) = {
+            let mut calls = self.a.inner.collective.borrow_mut();
+            let st = calls
+                .entry(seq)
+                .or_insert_with(|| crate::runtime::CollectiveAlloc {
+                    offs: vec![0; p],
+                    arrived: 0,
+                    done: Completion::new(),
+                });
+            st.offs[self.r] = off;
+            st.arrived += 1;
+            (st.done.clone(), st.arrived == p)
+        };
+        if ready {
+            let st = self
+                .a
+                .inner
+                .collective
+                .borrow_mut()
+                .remove(&seq)
+                .expect("collective state present");
+            // Exchange region keys: seed every rank's cache with every
+            // other rank's block (only blocks that actually registered).
+            for r in 0..p {
+                for (owner, &o) in st.offs.iter().enumerate() {
+                    if owner != r
+                        && self
+                            .a
+                            .inner
+                            .machine
+                            .rank(owner)
+                            .find_region(o, len)
+                            .is_some()
+                    {
+                        self.a.seed_region(r, owner, o, len);
+                    }
+                }
+            }
+            // The metadata exchange rides the collective network.
+            let cost = self.a.inner.machine.params().barrier_cost(p);
+            let offs = std::rc::Rc::new(st.offs);
+            let done2 = st.done.clone();
+            self.a
+                .sim()
+                .schedule_in(cost, move || done2.complete(offs));
+        }
+        let offs = self.pami.progress_wait(&done).await;
+        (*offs).clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Region / endpoint resolution
+    // ------------------------------------------------------------------
+
+    /// Resolve the remote memory region covering `[off, off+len)` at
+    /// `target`: local registry for self, else the LFU cache, else an
+    /// active-message query to the owner (which needs the owner's progress —
+    /// the expensive miss path).
+    pub async fn resolve_remote(
+        &self,
+        target: usize,
+        off: usize,
+        len: usize,
+    ) -> Option<RemoteRegion> {
+        if target == self.r {
+            return self.pami.find_region(off, len).map(|id| {
+                let (o, l) = self.pami.region_bounds(id);
+                RemoteRegion { off: o, len: l }
+            });
+        }
+        if let Some(r) = self.rt().region_cache.borrow_mut().lookup(target, off, len) {
+            return Some(r);
+        }
+        // Miss: query the owner.
+        self.stats().incr("armci.region_query");
+        let reply_id = self.rt().next_reply.get();
+        self.rt().next_reply.set(reply_id + 1);
+        let reply: Completion<Option<RemoteRegion>> = Completion::new();
+        self.rt()
+            .pending_replies
+            .borrow_mut()
+            .insert(reply_id, reply.clone());
+        let mut header = Vec::with_capacity(24);
+        header.extend_from_slice(&reply_id.to_le_bytes());
+        header.extend_from_slice(&(off as u64).to_le_bytes());
+        header.extend_from_slice(&(len as u64).to_le_bytes());
+        self.pami
+            .am_send(target, DISPATCH_REGION_QUERY, header, Vec::new())
+            .await;
+        let res = self.pami.progress_wait(&reply).await;
+        if let Some(region) = res {
+            self.rt()
+                .region_cache
+                .borrow_mut()
+                .insert(target, region);
+        }
+        res
+    }
+
+    /// Make sure the local side `[off, off+len)` is covered by a region,
+    /// registering one (cost δ) if needed. Returns false when registration
+    /// is impossible (region limit) — the fall-back protocol must be used.
+    async fn ensure_local_region(&self, off: usize, len: usize) -> bool {
+        if self.pami.find_region(off, len).is_some() {
+            return true;
+        }
+        self.pami.register_region(off, len).await.is_ok()
+    }
+
+    async fn ensure_endpoint(&self, target: usize) {
+        let ctx = self.a.inner.machine.target_ctx();
+        self.pami.ensure_endpoint(target, ctx).await;
+    }
+
+    /// Await the conflicting writes location consistency demands before a
+    /// read of `(target, key)` (§III-E).
+    async fn consistency_read_gate(&self, target: usize, key: Option<usize>) {
+        let conflicts = self
+            .rt()
+            .consistency
+            .borrow_mut()
+            .conflicts_for_read(target, key);
+        if !conflicts.is_empty() {
+            self.stats().incr("armci.induced_fence");
+            for c in conflicts {
+                self.pami.progress_wait(&c).await;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Contiguous get/put/acc
+    // ------------------------------------------------------------------
+
+    /// Non-blocking contiguous get.
+    pub async fn nbget(
+        &self,
+        target: usize,
+        local_off: usize,
+        remote_off: usize,
+        len: usize,
+    ) -> NbHandle {
+        self.stats().incr("armci.get");
+        self.stats().add("armci.get_bytes", len as u64);
+        self.ensure_endpoint(target).await;
+        let remote = self.resolve_remote(target, remote_off, len).await;
+        let key = remote.map(|r| r.off);
+        self.consistency_read_gate(target, key).await;
+        let local_ok = self.ensure_local_region(local_off, len).await;
+        let done = if local_ok && remote.is_some() {
+            self.stats().incr("armci.get_rdma");
+            self.pami.rdma_get(target, local_off, remote_off, len).await
+        } else {
+            self.stats().incr("armci.get_fallback");
+            self.pami.sw_get(target, local_off, remote_off, len).await
+        };
+        let h = NbHandle {
+            kind: OpKind::Get,
+            target,
+            done,
+            remote: None,
+        };
+        self.rt().implicit.borrow_mut().push(h.done.clone());
+        h
+    }
+
+    /// Blocking contiguous get.
+    pub async fn get(&self, target: usize, local_off: usize, remote_off: usize, len: usize) {
+        let h = self.nbget(target, local_off, remote_off, len).await;
+        self.wait(&h).await;
+    }
+
+    /// Non-blocking contiguous put.
+    pub async fn nbput(
+        &self,
+        target: usize,
+        local_off: usize,
+        remote_off: usize,
+        len: usize,
+    ) -> NbHandle {
+        self.stats().incr("armci.put");
+        self.stats().add("armci.put_bytes", len as u64);
+        self.ensure_endpoint(target).await;
+        let remote = self.resolve_remote(target, remote_off, len).await;
+        let key = remote.map(|r| r.off);
+        let local_ok = self.ensure_local_region(local_off, len).await;
+        let handles = if local_ok && remote.is_some() {
+            self.stats().incr("armci.put_rdma");
+            self.pami.rdma_put(target, local_off, remote_off, len).await
+        } else {
+            self.stats().incr("armci.put_fallback");
+            self.pami.sw_put(target, local_off, remote_off, len).await
+        };
+        self.rt()
+            .consistency
+            .borrow_mut()
+            .record_write(target, key, handles.remote.clone());
+        let h = NbHandle {
+            kind: OpKind::Put,
+            target,
+            done: handles.local.clone(),
+            remote: Some(handles.remote),
+        };
+        self.rt().implicit.borrow_mut().push(h.done.clone());
+        h
+    }
+
+    /// Blocking contiguous put (returns when the local buffer is reusable).
+    pub async fn put(&self, target: usize, local_off: usize, remote_off: usize, len: usize) {
+        let h = self.nbput(target, local_off, remote_off, len).await;
+        self.wait(&h).await;
+    }
+
+    /// Non-blocking accumulate of `elems` f64s: `dst += scale·src`. Always
+    /// travels the software path (no NIC support for accumulate on BG/Q).
+    pub async fn nbacc(
+        &self,
+        target: usize,
+        local_off: usize,
+        remote_off: usize,
+        elems: usize,
+        scale: f64,
+    ) -> NbHandle {
+        self.stats().incr("armci.acc");
+        self.stats().add("armci.acc_bytes", (elems * 8) as u64);
+        self.ensure_endpoint(target).await;
+        // Accumulates never need the region for the transfer itself, but the
+        // region key (if cheaply known) lets cs_mr scope conflict tracking.
+        let key = self
+            .rt()
+            .region_cache
+            .borrow_mut()
+            .lookup(target, remote_off, elems * 8)
+            .map(|r| r.off);
+        let handles = self
+            .pami
+            .acc_f64(target, local_off, remote_off, elems, scale)
+            .await;
+        self.rt()
+            .consistency
+            .borrow_mut()
+            .record_write(target, key, handles.remote.clone());
+        let h = NbHandle {
+            kind: OpKind::Acc,
+            target,
+            done: handles.local.clone(),
+            remote: Some(handles.remote),
+        };
+        self.rt().implicit.borrow_mut().push(h.done.clone());
+        h
+    }
+
+    /// Blocking accumulate (local completion only; the remote update is
+    /// fenced later, matching location consistency).
+    pub async fn acc(
+        &self,
+        target: usize,
+        local_off: usize,
+        remote_off: usize,
+        elems: usize,
+        scale: f64,
+    ) {
+        let h = self.nbacc(target, local_off, remote_off, elems, scale).await;
+        self.wait(&h).await;
+    }
+
+    // ------------------------------------------------------------------
+    // Strided (uniformly non-contiguous) get/put/acc
+    // ------------------------------------------------------------------
+
+    fn span(desc: &Strided) -> (usize, usize) {
+        let extra: usize = desc
+            .counts
+            .iter()
+            .zip(&desc.strides)
+            .map(|(&c, &s)| c.saturating_sub(1) * s)
+            .sum();
+        (desc.offset, extra + desc.chunk)
+    }
+
+    /// Non-blocking strided get; `local` and `remote` must be
+    /// shape-compatible.
+    pub async fn nbget_strided(
+        &self,
+        target: usize,
+        local: &Strided,
+        remote: &Strided,
+    ) -> NbHandle {
+        assert!(local.compatible(remote), "incompatible strided descriptors");
+        self.stats().incr("armci.get_strided");
+        self.stats()
+            .add("armci.get_bytes", remote.total_bytes() as u64);
+        self.ensure_endpoint(target).await;
+        let (roff, rlen) = Self::span(remote);
+        let region = self.resolve_remote(target, roff, rlen).await;
+        let key = region.map(|r| r.off);
+        self.consistency_read_gate(target, key).await;
+        let (loff, llen) = Self::span(local);
+        let local_ok = self.ensure_local_region(loff, llen).await;
+        let pairs = Strided::pair_chunks(local, remote);
+        let min_chunk = pairs.iter().map(|&(_, (_, l))| l).min().unwrap_or(0);
+        let zero_copy =
+            min_chunk >= self.a.inner.cfg.pack_threshold && local_ok && region.is_some();
+        let done = if zero_copy {
+            self.stats().incr("armci.strided_zero_copy");
+            let mut parts = Vec::with_capacity(pairs.len());
+            for ((lo, ll), (ro, _)) in pairs {
+                parts.push(self.pami.rdma_get(target, lo, ro, ll).await);
+            }
+            merge_completions(self.a.sim(), parts)
+        } else {
+            self.stats().incr("armci.strided_packed");
+            self.pami
+                .packed_get(target, remote.chunks(), local.chunks())
+                .await
+        };
+        let h = NbHandle {
+            kind: OpKind::Get,
+            target,
+            done,
+            remote: None,
+        };
+        self.rt().implicit.borrow_mut().push(h.done.clone());
+        h
+    }
+
+    /// Blocking strided get.
+    pub async fn get_strided(&self, target: usize, local: &Strided, remote: &Strided) {
+        let h = self.nbget_strided(target, local, remote).await;
+        self.wait(&h).await;
+    }
+
+    /// Non-blocking strided put.
+    pub async fn nbput_strided(
+        &self,
+        target: usize,
+        local: &Strided,
+        remote: &Strided,
+    ) -> NbHandle {
+        assert!(local.compatible(remote), "incompatible strided descriptors");
+        self.stats().incr("armci.put_strided");
+        self.stats()
+            .add("armci.put_bytes", remote.total_bytes() as u64);
+        self.ensure_endpoint(target).await;
+        let (roff, rlen) = Self::span(remote);
+        let region = self.resolve_remote(target, roff, rlen).await;
+        let key = region.map(|r| r.off);
+        let (loff, llen) = Self::span(local);
+        let local_ok = self.ensure_local_region(loff, llen).await;
+        let pairs = Strided::pair_chunks(local, remote);
+        let min_chunk = pairs.iter().map(|&(_, (_, l))| l).min().unwrap_or(0);
+        let zero_copy =
+            min_chunk >= self.a.inner.cfg.pack_threshold && local_ok && region.is_some();
+        let (local_done, remote_done) = if zero_copy {
+            self.stats().incr("armci.strided_zero_copy");
+            let mut locals = Vec::with_capacity(pairs.len());
+            let mut remotes = Vec::with_capacity(pairs.len());
+            for ((lo, ll), (ro, _)) in pairs {
+                let h = self.pami.rdma_put(target, lo, ro, ll).await;
+                locals.push(h.local);
+                remotes.push(h.remote);
+            }
+            (
+                merge_completions(self.a.sim(), locals),
+                merge_completions(self.a.sim(), remotes),
+            )
+        } else {
+            self.stats().incr("armci.strided_packed");
+            let h = self
+                .pami
+                .packed_put(target, local.chunks(), remote.chunks())
+                .await;
+            (h.local, h.remote)
+        };
+        self.rt()
+            .consistency
+            .borrow_mut()
+            .record_write(target, key, remote_done.clone());
+        let h = NbHandle {
+            kind: OpKind::Put,
+            target,
+            done: local_done,
+            remote: Some(remote_done),
+        };
+        self.rt().implicit.borrow_mut().push(h.done.clone());
+        h
+    }
+
+    /// Blocking strided put.
+    pub async fn put_strided(&self, target: usize, local: &Strided, remote: &Strided) {
+        let h = self.nbput_strided(target, local, remote).await;
+        self.wait(&h).await;
+    }
+
+    /// Non-blocking strided accumulate (`dst += scale·src` elementwise over
+    /// f64 chunks).
+    pub async fn nbacc_strided(
+        &self,
+        target: usize,
+        local: &Strided,
+        remote: &Strided,
+        scale: f64,
+    ) -> NbHandle {
+        assert!(local.compatible(remote), "incompatible strided descriptors");
+        self.stats().incr("armci.acc_strided");
+        self.stats()
+            .add("armci.acc_bytes", remote.total_bytes() as u64);
+        self.ensure_endpoint(target).await;
+        let (roff, rlen) = Self::span(remote);
+        let key = self
+            .rt()
+            .region_cache
+            .borrow_mut()
+            .lookup(target, roff, rlen)
+            .map(|r| r.off);
+        let h = self
+            .pami
+            .acc_strided_f64(target, local.chunks(), remote.chunks(), scale)
+            .await;
+        self.rt()
+            .consistency
+            .borrow_mut()
+            .record_write(target, key, h.remote.clone());
+        let handle = NbHandle {
+            kind: OpKind::Acc,
+            target,
+            done: h.local.clone(),
+            remote: Some(h.remote),
+        };
+        self.rt().implicit.borrow_mut().push(handle.done.clone());
+        handle
+    }
+
+    /// Blocking strided accumulate.
+    pub async fn acc_strided(
+        &self,
+        target: usize,
+        local: &Strided,
+        remote: &Strided,
+        scale: f64,
+    ) {
+        let h = self.nbacc_strided(target, local, remote, scale).await;
+        self.wait(&h).await;
+    }
+
+    /// Blocking single-value put (ARMCI_PutValueLong): stages the value in a
+    /// scratch cell and writes it to the target. Used for flags and small
+    /// control words.
+    pub async fn put_value_i64(&self, target: usize, remote_off: usize, v: i64) {
+        let scratch = self.pami.alloc(8);
+        self.pami.write_i64(scratch, v);
+        self.put(target, scratch, remote_off, 8).await;
+    }
+
+    /// Blocking single-value get (ARMCI_GetValueLong).
+    pub async fn get_value_i64(&self, target: usize, remote_off: usize) -> i64 {
+        let scratch = self.pami.alloc(8);
+        self.get(target, scratch, remote_off, 8).await;
+        self.pami.read_i64(scratch)
+    }
+
+    // ------------------------------------------------------------------
+    // Generalized I/O vector (ARMCI_GetV/PutV)
+    // ------------------------------------------------------------------
+
+    /// Non-blocking vector get: explicit `(local_off, remote_off, len)`
+    /// triples (the general I/O-vector interface; strided descriptors are
+    /// the compact special case, §III-C2).
+    pub async fn nbgetv(&self, target: usize, parts: &[(usize, usize, usize)]) -> NbHandle {
+        assert!(!parts.is_empty(), "empty vector request");
+        self.stats().incr("armci.getv");
+        self.ensure_endpoint(target).await;
+        let total: usize = parts.iter().map(|&(_, _, l)| l).sum();
+        self.stats().add("armci.get_bytes", total as u64);
+        let lo = parts.iter().map(|&(_, r, _)| r).min().expect("nonempty");
+        let hi = parts
+            .iter()
+            .map(|&(_, r, l)| r + l)
+            .max()
+            .expect("nonempty");
+        let region = self.resolve_remote(target, lo, hi - lo).await;
+        let key = region.map(|r| r.off);
+        self.consistency_read_gate(target, key).await;
+        let min_len = parts.iter().map(|&(_, _, l)| l).min().expect("nonempty");
+        let local_span = {
+            let lo = parts.iter().map(|&(l, _, _)| l).min().expect("nonempty");
+            let hi = parts.iter().map(|&(l, _, len)| l + len).max().expect("nonempty");
+            (lo, hi - lo)
+        };
+        let local_ok = self.ensure_local_region(local_span.0, local_span.1).await;
+        let done = if region.is_some() && local_ok && min_len >= self.a.inner.cfg.pack_threshold
+        {
+            self.stats().incr("armci.strided_zero_copy");
+            let mut dones = Vec::with_capacity(parts.len());
+            for &(l, r, len) in parts {
+                dones.push(self.pami.rdma_get(target, l, r, len).await);
+            }
+            merge_completions(self.a.sim(), dones)
+        } else {
+            self.stats().incr("armci.strided_packed");
+            let remote_chunks: Vec<(usize, usize)> =
+                parts.iter().map(|&(_, r, l)| (r, l)).collect();
+            let local_chunks: Vec<(usize, usize)> =
+                parts.iter().map(|&(l, _, len)| (l, len)).collect();
+            self.pami
+                .packed_get(target, remote_chunks, local_chunks)
+                .await
+        };
+        let h = NbHandle {
+            kind: OpKind::Get,
+            target,
+            done,
+            remote: None,
+        };
+        self.rt().implicit.borrow_mut().push(h.done.clone());
+        h
+    }
+
+    /// Blocking vector get.
+    pub async fn getv(&self, target: usize, parts: &[(usize, usize, usize)]) {
+        let h = self.nbgetv(target, parts).await;
+        self.wait(&h).await;
+    }
+
+    /// Non-blocking vector put.
+    pub async fn nbputv(&self, target: usize, parts: &[(usize, usize, usize)]) -> NbHandle {
+        assert!(!parts.is_empty(), "empty vector request");
+        self.stats().incr("armci.putv");
+        self.ensure_endpoint(target).await;
+        let total: usize = parts.iter().map(|&(_, _, l)| l).sum();
+        self.stats().add("armci.put_bytes", total as u64);
+        let lo = parts.iter().map(|&(_, r, _)| r).min().expect("nonempty");
+        let hi = parts
+            .iter()
+            .map(|&(_, r, l)| r + l)
+            .max()
+            .expect("nonempty");
+        let region = self.resolve_remote(target, lo, hi - lo).await;
+        let key = region.map(|r| r.off);
+        let local_span = {
+            let lo = parts.iter().map(|&(l, _, _)| l).min().expect("nonempty");
+            let hi = parts.iter().map(|&(l, _, len)| l + len).max().expect("nonempty");
+            (lo, hi - lo)
+        };
+        let local_ok = self.ensure_local_region(local_span.0, local_span.1).await;
+        let min_len = parts.iter().map(|&(_, _, l)| l).min().expect("nonempty");
+        let (local_done, remote_done) = if region.is_some()
+            && local_ok
+            && min_len >= self.a.inner.cfg.pack_threshold
+        {
+            self.stats().incr("armci.strided_zero_copy");
+            let mut locals = Vec::with_capacity(parts.len());
+            let mut remotes = Vec::with_capacity(parts.len());
+            for &(l, r, len) in parts {
+                let h = self.pami.rdma_put(target, l, r, len).await;
+                locals.push(h.local);
+                remotes.push(h.remote);
+            }
+            (
+                merge_completions(self.a.sim(), locals),
+                merge_completions(self.a.sim(), remotes),
+            )
+        } else {
+            self.stats().incr("armci.strided_packed");
+            let remote_chunks: Vec<(usize, usize)> =
+                parts.iter().map(|&(_, r, l)| (r, l)).collect();
+            let local_chunks: Vec<(usize, usize)> =
+                parts.iter().map(|&(l, _, len)| (l, len)).collect();
+            let h = self
+                .pami
+                .packed_put(target, local_chunks, remote_chunks)
+                .await;
+            (h.local, h.remote)
+        };
+        self.rt()
+            .consistency
+            .borrow_mut()
+            .record_write(target, key, remote_done.clone());
+        let h = NbHandle {
+            kind: OpKind::Put,
+            target,
+            done: local_done,
+            remote: Some(remote_done),
+        };
+        self.rt().implicit.borrow_mut().push(h.done.clone());
+        h
+    }
+
+    /// Blocking vector put.
+    pub async fn putv(&self, target: usize, parts: &[(usize, usize, usize)]) {
+        let h = self.nbputv(target, parts).await;
+        self.wait(&h).await;
+    }
+
+    // ------------------------------------------------------------------
+    // Completion / synchronization
+    // ------------------------------------------------------------------
+
+    /// Wait for one explicit non-blocking handle, driving progress meanwhile.
+    /// Records the wait time under `armci.wait.{get,put,acc}` in the stats
+    /// registry.
+    pub async fn wait(&self, h: &NbHandle) {
+        let t0 = self.a.sim().now();
+        self.pami.progress_wait(&h.done).await;
+        let p = self.a.inner.machine.params();
+        match h.kind {
+            OpKind::Get => self.a.sim().sleep(p.o_recv).await,
+            OpKind::Put => self.a.sim().sleep(p.o_put_local).await,
+            OpKind::Acc => {}
+        }
+        let key = match h.kind {
+            OpKind::Get => "armci.wait.get",
+            OpKind::Put => "armci.wait.put",
+            OpKind::Acc => "armci.wait.acc",
+        };
+        self.stats().record_time(key, self.a.sim().now() - t0);
+    }
+
+    /// Wait for all outstanding implicit requests of this rank.
+    pub async fn wait_all(&self) {
+        let pending: Vec<Completion<()>> = self.rt().implicit.borrow_mut().drain(..).collect();
+        for c in pending {
+            self.pami.progress_wait(&c).await;
+        }
+    }
+
+    /// Fence: block until all outstanding writes to `target` are remotely
+    /// complete.
+    pub async fn fence(&self, target: usize) {
+        self.stats().incr("armci.fence");
+        let writes = self.rt().consistency.borrow_mut().drain_target(target);
+        for c in writes {
+            self.pami.progress_wait(&c).await;
+        }
+    }
+
+    /// Fence all targets.
+    pub async fn fence_all(&self) {
+        self.stats().incr("armci.fence_all");
+        let writes = self.rt().consistency.borrow_mut().drain_all();
+        for c in writes {
+            self.pami.progress_wait(&c).await;
+        }
+    }
+
+    /// Collective barrier: fence-all followed by the hardware barrier
+    /// network. All ranks must call it.
+    pub async fn barrier(&self) {
+        self.fence_all().await;
+        self.wait_all().await;
+        let (done, leader) = {
+            let mut b = self.a.inner.barrier.borrow_mut();
+            if b.current.is_none() {
+                b.current = Some(Completion::new());
+            }
+            let done = b.current.clone().expect("just set");
+            b.arrived += 1;
+            let leader = b.arrived == self.a.nprocs();
+            if leader {
+                b.arrived = 0;
+                b.current = None;
+            }
+            (done, leader)
+        };
+        if leader {
+            let cost = self
+                .a
+                .inner
+                .machine
+                .params()
+                .barrier_cost(self.a.nprocs());
+            let d2 = done.clone();
+            self.a.sim().schedule_in(cost, move || d2.complete(()));
+        }
+        self.pami.progress_wait(&done).await;
+    }
+
+    // ------------------------------------------------------------------
+    // Atomic memory operations (load-balance counters)
+    // ------------------------------------------------------------------
+
+    /// Blocking fetch-and-add on an i64 at the target; returns the previous
+    /// value. This is the load-balance-counter primitive (§III-D).
+    pub async fn rmw_fetch_add(&self, target: usize, remote_off: usize, val: i64) -> i64 {
+        let t0 = self.a.sim().now();
+        self.ensure_endpoint(target).await;
+        self.stats().incr("armci.rmw");
+        let done = self.pami.rmw(target, remote_off, RmwOp::FetchAdd(val)).await;
+        let old = self.pami.progress_wait(&done).await;
+        self.a
+            .sim()
+            .sleep(self.a.inner.machine.params().o_recv)
+            .await;
+        self.stats()
+            .record_time("armci.wait.rmw", self.a.sim().now() - t0);
+        old
+    }
+
+    /// Blocking atomic swap; returns the previous value.
+    pub async fn rmw_swap(&self, target: usize, remote_off: usize, val: i64) -> i64 {
+        self.ensure_endpoint(target).await;
+        self.stats().incr("armci.rmw");
+        let done = self.pami.rmw(target, remote_off, RmwOp::Swap(val)).await;
+        let old = self.pami.progress_wait(&done).await;
+        self.a
+            .sim()
+            .sleep(self.a.inner.machine.params().o_recv)
+            .await;
+        old
+    }
+
+    /// Blocking compare-and-swap; returns the previous value.
+    pub async fn rmw_cas(
+        &self,
+        target: usize,
+        remote_off: usize,
+        compare: i64,
+        swap: i64,
+    ) -> i64 {
+        self.ensure_endpoint(target).await;
+        self.stats().incr("armci.rmw");
+        let done = self
+            .pami
+            .rmw(target, remote_off, RmwOp::CompareSwap { compare, swap })
+            .await;
+        let old = self.pami.progress_wait(&done).await;
+        self.a
+            .sim()
+            .sleep(self.a.inner.machine.params().o_recv)
+            .await;
+        old
+    }
+
+    // ------------------------------------------------------------------
+    // Mutexes
+    // ------------------------------------------------------------------
+
+    /// Collectively create `n` mutexes hosted on every rank. All ranks must
+    /// call it (includes a barrier).
+    pub async fn create_mutexes(&self, n: usize) {
+        let off = self.pami.alloc(n * 8);
+        self.rt().mutex_off.set(off);
+        self.a.inner.nmutexes.set(n);
+        self.barrier().await;
+    }
+
+    /// Acquire mutex `idx` hosted at `owner` (CAS spin with linear backoff).
+    pub async fn lock(&self, idx: usize, owner: usize) {
+        assert!(idx < self.a.inner.nmutexes.get(), "mutex {idx} not created");
+        let off = self.a.inner.ranks[owner].mutex_off.get() + idx * 8;
+        assert_ne!(off, usize::MAX, "mutexes not created on owner");
+        let me = self.r as i64 + 1;
+        let mut attempts: u64 = 0;
+        loop {
+            let old = self.rmw_cas(owner, off, 0, me).await;
+            if old == 0 {
+                self.stats().incr("armci.lock_acquired");
+                return;
+            }
+            attempts += 1;
+            self.stats().incr("armci.lock_retry");
+            let backoff = SimDuration::from_us(attempts.min(8));
+            self.a.sim().sleep(backoff).await;
+        }
+    }
+
+    /// Release mutex `idx` hosted at `owner`.
+    pub async fn unlock(&self, idx: usize, owner: usize) {
+        let off = self.a.inner.ranks[owner].mutex_off.get() + idx * 8;
+        let old = self.rmw_swap(owner, off, 0).await;
+        debug_assert_eq!(old, self.r as i64 + 1, "unlocking a mutex we don't hold");
+    }
+
+    // ------------------------------------------------------------------
+    // Pairwise notify/wait
+    // ------------------------------------------------------------------
+
+    /// Post a notification to `target`; returns this notification's sequence
+    /// number (1-based, monotonically increasing per target).
+    pub async fn notify(&self, target: usize) -> i64 {
+        let seq = {
+            let mut m = self.rt().notify_seq.borrow_mut();
+            let e = m.entry(target).or_insert(0);
+            *e += 1;
+            *e
+        };
+        // Stage the sequence number in a scratch cell and software-put it
+        // into the target's notify slot for this rank.
+        let scratch = self.pami.alloc(8);
+        self.pami.write_i64(scratch, seq);
+        let dst = self.a.inner.ranks[target].notify_off.get() + 8 * self.r;
+        let h = self.pami.sw_put(target, scratch, dst, 8).await;
+        self.rt()
+            .consistency
+            .borrow_mut()
+            .record_write(target, None, h.remote.clone());
+        seq
+    }
+
+    /// Wait until at least `seq` notifications from `src` have arrived,
+    /// driving progress meanwhile.
+    pub async fn wait_notify(&self, src: usize, seq: i64) {
+        let cell = self.rt().notify_off.get() + 8 * src;
+        loop {
+            if self.pami.read_i64(cell) >= seq {
+                return;
+            }
+            self.pami.advance(0, usize::MAX).await;
+            if self.pami.read_i64(cell) >= seq {
+                return;
+            }
+            self.a.sim().sleep(SimDuration::from_ns(500)).await;
+        }
+    }
+}
+
+/// Combine many completions into one that fires when all have fired
+/// (spawns a tiny watcher task — the chunk list of a strided transfer).
+fn merge_completions(sim: &desim::Sim, parts: Vec<Completion<()>>) -> Completion<()> {
+    if parts.len() == 1 {
+        return parts.into_iter().next().expect("len checked");
+    }
+    let merged = Completion::new();
+    let m2 = merged.clone();
+    sim.spawn(async move {
+        for p in parts {
+            p.wait().await;
+        }
+        m2.complete(());
+    });
+    merged
+}

@@ -1,0 +1,308 @@
+//! The ARMCI runtime: configuration, initialization, and shared state.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::{Rc, Weak};
+
+use desim::{Completion, Sim};
+use pami_sim::{AsyncThread, Machine, PamiRank};
+
+use crate::collectives::CollectiveEngine;
+use crate::consistency::{ConsistencyMode, ConsistencyTracker};
+use crate::region_cache::{RegionCache, RemoteRegion};
+
+/// Progress-engine configuration (the paper's central design axis, §III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressMode {
+    /// "D": remote software requests (AMOs, fall-back gets, accumulates) are
+    /// serviced only while the main thread sits inside a blocking ARMCI call.
+    Default,
+    /// "AT": a dedicated SMT progress thread services them continuously.
+    AsyncThread,
+}
+
+/// ARMCI runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ArmciConfig {
+    /// Progress mode (D vs AT).
+    pub progress: ProgressMode,
+    /// Conflict-tracking granularity for location consistency.
+    pub consistency: ConsistencyMode,
+    /// Per-rank remote memory-region cache capacity (entries).
+    pub region_cache_capacity: usize,
+    /// Strided transfers with contiguous chunks smaller than this use the
+    /// packed typed-datatype path instead of per-chunk RDMA (§III-C2,
+    /// "tall-skinny" transfers).
+    pub pack_threshold: usize,
+}
+
+impl Default for ArmciConfig {
+    fn default() -> Self {
+        ArmciConfig {
+            progress: ProgressMode::AsyncThread,
+            consistency: ConsistencyMode::PerRegion,
+            region_cache_capacity: 1 << 16,
+            pack_threshold: 32,
+        }
+    }
+}
+
+impl ArmciConfig {
+    /// Set the progress mode.
+    pub fn progress(mut self, p: ProgressMode) -> Self {
+        self.progress = p;
+        self
+    }
+
+    /// Set the consistency mode.
+    pub fn consistency(mut self, c: ConsistencyMode) -> Self {
+        self.consistency = c;
+        self
+    }
+
+    /// Set the region-cache capacity.
+    pub fn region_cache_capacity(mut self, n: usize) -> Self {
+        self.region_cache_capacity = n;
+        self
+    }
+
+    /// Set the packed-path threshold.
+    pub fn pack_threshold(mut self, bytes: usize) -> Self {
+        self.pack_threshold = bytes;
+        self
+    }
+}
+
+/// AM dispatch ids used internally by the runtime.
+pub(crate) const DISPATCH_REGION_QUERY: u16 = 1;
+pub(crate) const DISPATCH_REGION_REPLY: u16 = 2;
+
+pub(crate) struct RankRt {
+    pub region_cache: RefCell<RegionCache>,
+    pub consistency: RefCell<ConsistencyTracker>,
+    /// Implicit-handle set: local completions of outstanding non-blocking ops.
+    pub implicit: RefCell<Vec<Completion<()>>>,
+    pub pending_replies: RefCell<HashMap<u64, Completion<Option<RemoteRegion>>>>,
+    pub next_reply: Cell<u64>,
+    pub at: RefCell<Option<AsyncThread>>,
+    /// Offset of this rank's mutex array (usize::MAX = not created).
+    pub mutex_off: Cell<usize>,
+    /// Offset of this rank's notify cells (one i64 per peer).
+    pub notify_off: Cell<usize>,
+    /// Notification sequence numbers sent, per target.
+    pub notify_seq: RefCell<HashMap<usize, i64>>,
+}
+
+impl RankRt {
+    fn new(cfg: &ArmciConfig) -> RankRt {
+        RankRt {
+            region_cache: RefCell::new(RegionCache::new(cfg.region_cache_capacity)),
+            consistency: RefCell::new(ConsistencyTracker::new(cfg.consistency)),
+            implicit: RefCell::new(Vec::new()),
+            pending_replies: RefCell::new(HashMap::new()),
+            next_reply: Cell::new(0),
+            at: RefCell::new(None),
+            mutex_off: Cell::new(usize::MAX),
+            notify_off: Cell::new(usize::MAX),
+            notify_seq: RefCell::new(HashMap::new()),
+        }
+    }
+}
+
+pub(crate) struct BarrierSt {
+    pub arrived: usize,
+    pub current: Option<Completion<()>>,
+}
+
+/// State of one in-flight collective allocation (keyed by call sequence:
+/// every rank must call `malloc_collective` in the same order).
+pub(crate) struct CollectiveAlloc {
+    pub offs: Vec<usize>,
+    pub arrived: usize,
+    pub done: Completion<std::rc::Rc<Vec<usize>>>,
+}
+
+pub(crate) struct ArmciInner {
+    pub machine: Machine,
+    pub cfg: ArmciConfig,
+    pub ranks: Vec<Rc<RankRt>>,
+    pub barrier: RefCell<BarrierSt>,
+    pub nmutexes: Cell<usize>,
+    /// In-flight collective allocations, keyed by call sequence number.
+    pub collective: RefCell<HashMap<u64, CollectiveAlloc>>,
+    /// Per-rank count of `malloc_collective` calls (the ordering key).
+    pub collective_seq: RefCell<Vec<u64>>,
+    /// Collective-network engine (allreduce/broadcast).
+    pub coll: CollectiveEngine,
+}
+
+/// The ARMCI runtime over a simulated machine. Clone freely.
+#[derive(Clone)]
+pub struct Armci {
+    pub(crate) inner: Rc<ArmciInner>,
+}
+
+impl Armci {
+    /// Initialize ARMCI over `machine`: installs the region-query active
+    /// messages, allocates notification cells, and (in
+    /// [`ProgressMode::AsyncThread`]) starts one asynchronous progress thread
+    /// per rank on the designated context.
+    pub fn new(machine: Machine, cfg: ArmciConfig) -> Armci {
+        let p = machine.nprocs();
+        let ranks: Vec<Rc<RankRt>> = (0..p).map(|_| Rc::new(RankRt::new(&cfg))).collect();
+        let inner = Rc::new(ArmciInner {
+            machine: machine.clone(),
+            cfg: cfg.clone(),
+            ranks,
+            barrier: RefCell::new(BarrierSt {
+                arrived: 0,
+                current: None,
+            }),
+            nmutexes: Cell::new(0),
+            collective: RefCell::new(HashMap::new()),
+            collective_seq: RefCell::new(vec![0; p]),
+            coll: CollectiveEngine::new(p),
+        });
+        let weak = Rc::downgrade(&inner);
+        let target_ctx = machine.target_ctx();
+        for r in 0..p {
+            let pr = machine.rank(r);
+            // Notification cells: one i64 per peer.
+            inner.ranks[r].notify_off.set(pr.alloc(p * 8));
+            install_dispatch(&pr, target_ctx, &weak);
+            if cfg.progress == ProgressMode::AsyncThread {
+                *inner.ranks[r].at.borrow_mut() = Some(pr.start_progress_thread(target_ctx));
+            }
+        }
+        Armci { inner }
+    }
+
+    /// The simulation driving this runtime.
+    pub fn sim(&self) -> &Sim {
+        self.inner.machine.sim()
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.inner.machine
+    }
+
+    /// Number of processes.
+    pub fn nprocs(&self) -> usize {
+        self.inner.machine.nprocs()
+    }
+
+    /// Runtime configuration.
+    pub fn config(&self) -> &ArmciConfig {
+        &self.inner.cfg
+    }
+
+    /// Handle for one rank's ARMCI operations.
+    pub fn rank(&self, r: usize) -> crate::ArmciRank {
+        crate::ArmciRank {
+            a: self.clone(),
+            r,
+            pami: self.inner.machine.rank(r),
+        }
+    }
+
+    /// Stop all asynchronous progress threads (finalize).
+    pub fn finalize(&self) {
+        for rt in &self.inner.ranks {
+            if let Some(at) = rt.at.borrow_mut().take() {
+                at.stop();
+            }
+        }
+    }
+
+    /// Region-cache statistics summed over all ranks: `(hits, misses,
+    /// evictions)`.
+    pub fn region_cache_totals(&self) -> (u64, u64, u64) {
+        let mut t = (0, 0, 0);
+        for rt in &self.inner.ranks {
+            let c = rt.region_cache.borrow();
+            t.0 += c.hits();
+            t.1 += c.misses();
+            t.2 += c.evictions();
+        }
+        t
+    }
+
+    /// Seed `rank`'s remote-region cache with `target`'s region metadata.
+    ///
+    /// Collective allocation (ARMCI_Malloc / GA create) exchanges region
+    /// keys among all ranks at allocation time, so subsequent RDMA needs no
+    /// query round trip; this is the σ·ζ·γ term of Eq. 5. The query-on-miss
+    /// path remains for non-collective allocations and evicted entries.
+    pub fn seed_region(&self, rank: usize, target: usize, off: usize, len: usize) {
+        self.inner.ranks[rank]
+            .region_cache
+            .borrow_mut()
+            .insert(target, RemoteRegion { off, len });
+    }
+
+    /// Induced fences (reads forced to wait on writes) summed over ranks.
+    pub fn induced_fences(&self) -> u64 {
+        self.inner
+            .ranks
+            .iter()
+            .map(|rt| rt.consistency.borrow().induced_fences())
+            .sum()
+    }
+}
+
+/// Install the runtime's active-message handlers on one rank.
+fn install_dispatch(pr: &PamiRank, ctx: usize, weak: &Weak<ArmciInner>) {
+    // REGION_QUERY: header = [reply_id u64][off u64][len u64]; the owner looks
+    // up its registered regions and replies with REGION_REPLY.
+    {
+        let pr_capture = pr.clone();
+        pr.register_dispatch(
+            ctx,
+            DISPATCH_REGION_QUERY,
+            Rc::new(move |env, msg| {
+                let reply_id = u64::from_le_bytes(msg.header[0..8].try_into().expect("8"));
+                let off = u64::from_le_bytes(msg.header[8..16].try_into().expect("8")) as usize;
+                let len = u64::from_le_bytes(msg.header[16..24].try_into().expect("8")) as usize;
+                let found = pr_capture
+                    .find_region(off, len)
+                    .map(|id| pr_capture.region_bounds(id));
+                let mut reply = Vec::with_capacity(25);
+                reply.extend_from_slice(&reply_id.to_le_bytes());
+                reply.push(u8::from(found.is_some()));
+                let (roff, rlen) = found.unwrap_or((0, 0));
+                reply.extend_from_slice(&(roff as u64).to_le_bytes());
+                reply.extend_from_slice(&(rlen as u64).to_le_bytes());
+                let responder = env.machine.rank(env.rank);
+                let src = msg.src;
+                env.machine.sim().spawn(async move {
+                    responder
+                        .am_send(src, DISPATCH_REGION_REPLY, reply, Vec::new())
+                        .await;
+                });
+            }),
+        );
+    }
+    // REGION_REPLY: complete the pending query at the requester.
+    {
+        let weak = weak.clone();
+        pr.register_dispatch(
+            ctx,
+            DISPATCH_REGION_REPLY,
+            Rc::new(move |env, msg| {
+                let Some(inner) = weak.upgrade() else { return };
+                let reply_id = u64::from_le_bytes(msg.header[0..8].try_into().expect("8"));
+                let found = msg.header[8] != 0;
+                let off = u64::from_le_bytes(msg.header[9..17].try_into().expect("8")) as usize;
+                let len = u64::from_le_bytes(msg.header[17..25].try_into().expect("8")) as usize;
+                let pending = inner.ranks[env.rank]
+                    .pending_replies
+                    .borrow_mut()
+                    .remove(&reply_id);
+                if let Some(c) = pending {
+                    c.complete(found.then_some(RemoteRegion { off, len }));
+                }
+            }),
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Uniformly non-contiguous (strided) datatype descriptors (§III-C2).
+//!
+//! ARMCI represents multi-dimensional patch transfers compactly: a base
+//! offset, the contiguous chunk size `l0` (`count[0]` bytes), and per-level
+//! repetition counts and byte strides. [`Strided::chunks`] enumerates the
+//! contiguous pieces, which the runtime either ships as a list of
+//! non-blocking RDMA operations (zero-copy, Eq. 9) or through the packed
+//! typed-datatype path for tall-skinny shapes.
+
+/// A uniformly strided transfer descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Strided {
+    /// Byte offset of the first chunk.
+    pub offset: usize,
+    /// Bytes per contiguous chunk (`l0 = count[0]`).
+    pub chunk: usize,
+    /// Repetition count per stride level (`count[1..]`), innermost first.
+    pub counts: Vec<usize>,
+    /// Byte stride per level, innermost first. `strides.len() == counts.len()`.
+    pub strides: Vec<usize>,
+}
+
+impl Strided {
+    /// A fully contiguous descriptor.
+    pub fn contiguous(offset: usize, len: usize) -> Strided {
+        Strided {
+            offset,
+            chunk: len,
+            counts: Vec::new(),
+            strides: Vec::new(),
+        }
+    }
+
+    /// A 2D patch: `rows` rows of `row_bytes`, consecutive rows `ld_bytes`
+    /// apart (the leading dimension), starting at `offset`. This is the
+    /// common case for patches of block-distributed dense matrices.
+    pub fn patch2d(offset: usize, row_bytes: usize, rows: usize, ld_bytes: usize) -> Strided {
+        assert!(ld_bytes >= row_bytes, "leading dimension smaller than row");
+        Strided {
+            offset,
+            chunk: row_bytes,
+            counts: vec![rows],
+            strides: vec![ld_bytes],
+        }
+    }
+
+    /// Number of stride levels (`s-1` in the paper's notation).
+    pub fn levels(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of contiguous chunks (`m / l0`).
+    pub fn nchunks(&self) -> usize {
+        self.counts.iter().product::<usize>().max(1)
+    }
+
+    /// Total payload bytes (`m`).
+    pub fn total_bytes(&self) -> usize {
+        self.chunk * self.nchunks()
+    }
+
+    /// Collapse levels whose stride equals the extent below them (dense
+    /// packing): e.g. a 2D patch whose leading dimension equals the row
+    /// length is really one contiguous chunk. ARMCI performs the same
+    /// coalescing before building its chunk list.
+    pub fn normalized(&self) -> Strided {
+        let mut out = self.clone();
+        while let (Some(&count0), Some(&stride0)) = (out.counts.first(), out.strides.first()) {
+            if stride0 == out.chunk {
+                out.chunk *= count0;
+                out.counts.remove(0);
+                out.strides.remove(0);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Enumerate the `(offset, len)` of every contiguous chunk, in canonical
+    /// (innermost-level-fastest) order. Dense levels are coalesced first.
+    pub fn chunks(&self) -> Vec<(usize, usize)> {
+        assert_eq!(
+            self.counts.len(),
+            self.strides.len(),
+            "counts/strides length mismatch"
+        );
+        let norm = self.normalized();
+        let n = norm.nchunks();
+        let mut out = Vec::with_capacity(n);
+        let mut idx = vec![0usize; norm.counts.len()];
+        loop {
+            let off = norm.offset
+                + idx
+                    .iter()
+                    .zip(&norm.strides)
+                    .map(|(&i, &s)| i * s)
+                    .sum::<usize>();
+            out.push((off, norm.chunk));
+            // Odometer increment, innermost level first.
+            let mut level = 0;
+            loop {
+                if level == norm.counts.len() {
+                    return out;
+                }
+                idx[level] += 1;
+                if idx[level] < norm.counts[level] {
+                    break;
+                }
+                idx[level] = 0;
+                level += 1;
+            }
+        }
+    }
+
+    /// True when two descriptors describe transfers of the same total size
+    /// (the local and remote sides of one strided call; chunk boundaries may
+    /// differ — [`Strided::pair_chunks`] re-splits them).
+    pub fn compatible(&self, other: &Strided) -> bool {
+        self.total_bytes() == other.total_bytes()
+    }
+
+    /// Pair up the contiguous pieces of two shape-compatible descriptors,
+    /// splitting at common boundaries so each pair has equal length (needed
+    /// when dense coalescing merges chunks on one side only). Returns
+    /// `((local_off, len), (remote_off, len))` pairs in canonical order.
+    pub fn pair_chunks(a: &Strided, b: &Strided) -> Vec<((usize, usize), (usize, usize))> {
+        let ac = a.chunks();
+        let bc = b.chunks();
+        let mut out = Vec::with_capacity(ac.len().max(bc.len()));
+        let (mut i, mut j) = (0usize, 0usize);
+        let (mut aoff, mut alen) = ac.first().copied().unwrap_or((0, 0));
+        let (mut boff, mut blen) = bc.first().copied().unwrap_or((0, 0));
+        while i < ac.len() && j < bc.len() {
+            let take = alen.min(blen);
+            out.push(((aoff, take), (boff, take)));
+            aoff += take;
+            alen -= take;
+            boff += take;
+            blen -= take;
+            if alen == 0 {
+                i += 1;
+                if i < ac.len() {
+                    (aoff, alen) = ac[i];
+                }
+            }
+            if blen == 0 {
+                j += 1;
+                if j < bc.len() {
+                    (boff, blen) = bc[j];
+                }
+            }
+        }
+        assert!(
+            i >= ac.len() && j >= bc.len(),
+            "descriptors have different total sizes"
+        );
+        out
+    }
+
+    /// Whether any two chunks overlap (always false for well-formed
+    /// descriptors with strides ≥ chunk; used by property tests).
+    pub fn self_overlapping(&self) -> bool {
+        let mut ranges: Vec<(usize, usize)> = self.chunks();
+        ranges.sort_unstable();
+        ranges
+            .windows(2)
+            .any(|w| w[0].0 + w[0].1 > w[1].0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_is_one_chunk() {
+        let s = Strided::contiguous(64, 4096);
+        assert_eq!(s.nchunks(), 1);
+        assert_eq!(s.total_bytes(), 4096);
+        assert_eq!(s.chunks(), vec![(64, 4096)]);
+        assert_eq!(s.levels(), 0);
+    }
+
+    #[test]
+    fn patch2d_chunks() {
+        // 3 rows of 16 bytes, leading dimension 100.
+        let s = Strided::patch2d(1000, 16, 3, 100);
+        assert_eq!(s.nchunks(), 3);
+        assert_eq!(s.total_bytes(), 48);
+        assert_eq!(s.chunks(), vec![(1000, 16), (1100, 16), (1200, 16)]);
+    }
+
+    #[test]
+    fn three_level_odometer_order() {
+        let s = Strided {
+            offset: 0,
+            chunk: 4,
+            counts: vec![2, 3],
+            strides: vec![10, 100],
+        };
+        assert_eq!(s.nchunks(), 6);
+        assert_eq!(
+            s.chunks(),
+            vec![(0, 4), (10, 4), (100, 4), (110, 4), (200, 4), (210, 4)]
+        );
+    }
+
+    #[test]
+    fn compatibility() {
+        let a = Strided::patch2d(0, 8, 4, 32);
+        let b = Strided::patch2d(512, 8, 4, 64);
+        let c = Strided::patch2d(0, 16, 4, 64);
+        assert!(a.compatible(&b));
+        assert!(!a.compatible(&c));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let ok = Strided::patch2d(0, 16, 3, 16); // dense: touching, no overlap
+        assert!(!ok.self_overlapping());
+        let bad = Strided {
+            offset: 0,
+            chunk: 20,
+            counts: vec![2],
+            strides: vec![10], // stride < chunk: overlaps
+        };
+        assert!(bad.self_overlapping());
+    }
+
+    #[test]
+    #[should_panic(expected = "leading dimension")]
+    fn patch2d_validates_ld() {
+        Strided::patch2d(0, 100, 2, 50);
+    }
+}

@@ -1,0 +1,491 @@
+//! End-to-end tests of the ARMCI runtime: data correctness across protocol
+//! paths, consistency semantics, synchronization, and progress modes.
+
+use armci::{Armci, ArmciConfig, ConsistencyMode, ProgressMode, Strided};
+use desim::{Sim, SimDuration, SimTime};
+use pami_sim::{Machine, MachineConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn setup(nprocs: usize, mcfg: impl FnOnce(MachineConfig) -> MachineConfig, acfg: ArmciConfig) -> (Sim, Armci) {
+    let sim = Sim::new();
+    let machine = Machine::new(sim.clone(), mcfg(MachineConfig::new(nprocs).procs_per_node(1)));
+    let armci = Armci::new(machine, acfg);
+    (sim, armci)
+}
+
+fn finish(sim: &Sim) {
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+    sim.shutdown();
+}
+
+#[test]
+fn put_get_round_trip_rdma() {
+    let (sim, a) = setup(2, |m| m, ArmciConfig::default());
+    let r0 = a.rank(0);
+    let r1 = a.rank(1);
+    let ok = Rc::new(RefCell::new(false));
+    let ok2 = Rc::clone(&ok);
+    sim.spawn(async move {
+        let src = r0.malloc(4096).await;
+        let dst = r1.malloc(4096).await;
+        let back = r0.malloc(4096).await;
+        r0.pami().write_bytes(src, &[0xAB; 4096]);
+        r0.put(1, src, dst, 4096).await;
+        r0.fence(1).await;
+        r0.get(1, back, dst, 4096).await;
+        assert_eq!(r0.pami().read_bytes(back, 4096), vec![0xAB; 4096]);
+        *ok2.borrow_mut() = true;
+    });
+    finish(&sim);
+    assert!(*ok.borrow());
+    // Both transfers should have used RDMA.
+    assert_eq!(a.machine().stats().counter("armci.put_rdma"), 1);
+    assert_eq!(a.machine().stats().counter("armci.get_rdma"), 1);
+    assert_eq!(a.machine().stats().counter("armci.get_fallback"), 0);
+}
+
+#[test]
+fn fallback_used_when_regions_unavailable() {
+    // Region limit 0: nothing can register; every transfer takes the
+    // fall-back path yet data stays correct.
+    let (sim, a) = setup(
+        2,
+        |m| m.memregion_limit(Some(0)),
+        ArmciConfig::default(),
+    );
+    let r0 = a.rank(0);
+    let r1 = a.rank(1);
+    let done = Rc::new(RefCell::new(false));
+    let done2 = Rc::clone(&done);
+    sim.spawn(async move {
+        let src = r0.malloc(512).await;
+        let dst = r1.malloc(512).await;
+        let back = r0.malloc(512).await;
+        r0.pami().write_bytes(src, &[7; 512]);
+        r0.put(1, src, dst, 512).await;
+        r0.fence(1).await;
+        r0.get(1, back, dst, 512).await;
+        assert_eq!(r0.pami().read_bytes(back, 512), vec![7; 512]);
+        *done2.borrow_mut() = true;
+    });
+    finish(&sim);
+    assert!(*done.borrow());
+    let stats = a.machine().stats();
+    assert_eq!(stats.counter("armci.put_fallback"), 1);
+    assert_eq!(stats.counter("armci.get_fallback"), 1);
+    assert_eq!(stats.counter("armci.put_rdma"), 0);
+    assert_eq!(stats.counter("armci.get_rdma"), 0);
+    assert_eq!(stats.counter("armci.malloc_unregistered"), 3);
+}
+
+#[test]
+fn region_cache_avoids_repeat_queries() {
+    let (sim, a) = setup(2, |m| m, ArmciConfig::default());
+    let r0 = a.rank(0);
+    let r1 = a.rank(1);
+    sim.spawn(async move {
+        let dst = r1.malloc(8192).await;
+        let buf = r0.malloc(8192).await;
+        for _ in 0..5 {
+            r0.get(1, buf, dst, 1024).await;
+        }
+    });
+    finish(&sim);
+    // One miss -> one AM query; the rest hit the cache.
+    assert_eq!(a.machine().stats().counter("armci.region_query"), 1);
+    let (hits, misses, _) = a.region_cache_totals();
+    assert_eq!(misses, 1);
+    assert!(hits >= 4);
+}
+
+#[test]
+fn acc_then_get_sees_consistent_value() {
+    // Location consistency: a get following an accumulate to the same
+    // structure must observe the accumulated data.
+    for mode in [ConsistencyMode::PerTarget, ConsistencyMode::PerRegion] {
+        let (sim, a) = setup(2, |m| m, ArmciConfig::default().consistency(mode));
+        let r0 = a.rank(0);
+        let r1 = a.rank(1);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let got2 = Rc::clone(&got);
+        sim.spawn(async move {
+            let dst = r1.malloc(8 * 8).await;
+            r1.pami().write_f64s(dst, &[1.0; 8]);
+            let src = r0.malloc(8 * 8).await;
+            r0.pami().write_f64s(src, &[2.0; 8]);
+            let back = r0.malloc(8 * 8).await;
+            // Warm the region cache so the acc can know its region key.
+            r0.get(1, back, dst, 64).await;
+            r0.nbacc(1, src, dst, 8, 3.0).await;
+            // Unfenced get: the runtime must fence the conflicting acc first.
+            r0.get(1, back, dst, 64).await;
+            *got2.borrow_mut() = r0.pami().read_f64s(back, 8);
+        });
+        finish(&sim);
+        assert_eq!(*got.borrow(), vec![7.0; 8], "mode {mode:?}");
+        assert!(a.induced_fences() >= 1, "mode {mode:?}");
+    }
+}
+
+#[test]
+fn per_region_mode_skips_fence_for_disjoint_structures() {
+    // The dgemm pattern: accumulate into C while getting from A must not
+    // fence under cs_mr, but must under the naive per-target scheme.
+    let mut induced = Vec::new();
+    for mode in [ConsistencyMode::PerTarget, ConsistencyMode::PerRegion] {
+        let (sim, a) = setup(2, |m| m, ArmciConfig::default().consistency(mode));
+        let r0 = a.rank(0);
+        let r1 = a.rank(1);
+        sim.spawn(async move {
+            let a_mat = r1.malloc(4096).await; // structure A at target
+            let c_mat = r1.malloc(4096).await; // structure C at target
+            let src = r0.malloc(4096).await;
+            let buf = r0.malloc(4096).await;
+            // Warm caches for both structures.
+            r0.get(1, buf, a_mat, 512).await;
+            r0.get(1, buf, c_mat, 512).await;
+            for _ in 0..4 {
+                r0.nbacc(1, src, c_mat, 64, 1.0).await;
+                r0.get(1, buf, a_mat, 512).await; // disjoint read
+            }
+            r0.fence_all().await;
+        });
+        finish(&sim);
+        induced.push(a.induced_fences());
+    }
+    assert!(induced[0] >= 4, "naive mode must fence: {induced:?}");
+    assert_eq!(induced[1], 0, "cs_mr must not fence disjoint reads: {induced:?}");
+}
+
+#[test]
+fn strided_round_trip_zero_copy() {
+    let (sim, a) = setup(2, |m| m, ArmciConfig::default().pack_threshold(512));
+    let r0 = a.rank(0);
+    let r1 = a.rank(1);
+    let ok = Rc::new(RefCell::new(false));
+    let ok2 = Rc::clone(&ok);
+    sim.spawn(async move {
+        // Remote 4 rows x 1KB with ld 2KB; local dense.
+        let remote_base = r1.malloc(8 * 2048).await;
+        let local_base = r0.malloc(4 * 1024).await;
+        let back = r0.malloc(4 * 1024).await;
+        for row in 0..4usize {
+            r0.pami().write_bytes(local_base + row * 1024, &[row as u8 + 1; 1024]);
+        }
+        let local = Strided::patch2d(local_base, 1024, 4, 1024);
+        let remote = Strided::patch2d(remote_base, 1024, 4, 2048);
+        r0.put_strided(1, &local, &remote).await;
+        r0.fence(1).await;
+        let local_back = Strided::patch2d(back, 1024, 4, 1024);
+        r0.get_strided(1, &local_back, &remote).await;
+        for row in 0..4usize {
+            assert_eq!(
+                r0.pami().read_bytes(back + row * 1024, 1024),
+                vec![row as u8 + 1; 1024],
+                "row {row}"
+            );
+        }
+        // Check data actually landed strided at the target.
+        assert_eq!(r1.pami().read_bytes(remote_base + 2048, 4), vec![2, 2, 2, 2]);
+        assert_eq!(r1.pami().read_bytes(remote_base + 1024, 4), vec![0, 0, 0, 0]); // gap untouched
+        *ok2.borrow_mut() = true;
+    });
+    finish(&sim);
+    assert!(*ok.borrow());
+    assert_eq!(a.machine().stats().counter("armci.strided_zero_copy"), 2);
+    assert_eq!(a.machine().stats().counter("armci.strided_packed"), 0);
+}
+
+#[test]
+fn strided_small_chunks_use_packed_path() {
+    let (sim, a) = setup(2, |m| m, ArmciConfig::default().pack_threshold(512));
+    let r0 = a.rank(0);
+    let r1 = a.rank(1);
+    sim.spawn(async move {
+        let remote_base = r1.malloc(64 * 256).await;
+        let local_base = r0.malloc(64 * 16).await;
+        for i in 0..64usize {
+            r1.pami().write_bytes(remote_base + i * 256, &[i as u8; 16]);
+        }
+        // Tall-skinny: 64 chunks of 16 bytes.
+        let remote = Strided::patch2d(remote_base, 16, 64, 256);
+        let local = Strided::patch2d(local_base, 16, 64, 16);
+        r0.get_strided(1, &local, &remote).await;
+        for i in 0..64usize {
+            assert_eq!(
+                r0.pami().read_bytes(local_base + i * 16, 16),
+                vec![i as u8; 16]
+            );
+        }
+    });
+    finish(&sim);
+    assert_eq!(a.machine().stats().counter("armci.strided_packed"), 1);
+    assert_eq!(a.machine().stats().counter("armci.strided_zero_copy"), 0);
+}
+
+#[test]
+fn strided_acc_accumulates_patch() {
+    let (sim, a) = setup(2, |m| m, ArmciConfig::default());
+    let r0 = a.rank(0);
+    let r1 = a.rank(1);
+    sim.spawn(async move {
+        let remote_base = r1.malloc(4 * 64).await; // 4 rows x 8 f64, ld 8 f64
+        for row in 0..4usize {
+            r1.pami().write_f64s(remote_base + row * 64, &[1.0; 8]);
+        }
+        let local_base = r0.malloc(4 * 64).await;
+        for row in 0..4usize {
+            r0.pami().write_f64s(local_base + row * 64, &[row as f64; 8]);
+        }
+        let local = Strided::patch2d(local_base, 64, 4, 64);
+        let remote = Strided::patch2d(remote_base, 64, 4, 64);
+        r0.acc_strided(1, &local, &remote, 2.0).await;
+        r0.fence(1).await;
+        for row in 0..4usize {
+            assert_eq!(
+                r1.pami().read_f64s(remote_base + row * 64, 8),
+                vec![1.0 + 2.0 * row as f64; 8],
+                "row {row}"
+            );
+        }
+    });
+    finish(&sim);
+}
+
+#[test]
+fn barrier_synchronizes_all_ranks() {
+    let (sim, a) = setup(4, |m| m, ArmciConfig::default());
+    let times = Rc::new(RefCell::new(Vec::new()));
+    for r in 0..4 {
+        let rk = a.rank(r);
+        let s = sim.clone();
+        let times = Rc::clone(&times);
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_us(r as u64 * 50)).await;
+            rk.barrier().await;
+            times.borrow_mut().push(s.now());
+        });
+    }
+    finish(&sim);
+    let times = times.borrow();
+    assert_eq!(times.len(), 4);
+    let first = times[0];
+    assert!(times.iter().all(|&t| t == first), "all released together");
+    // Released no earlier than the last arrival (150us) plus barrier cost.
+    assert!(first >= SimTime::ZERO + SimDuration::from_us(150));
+}
+
+#[test]
+fn barrier_fences_outstanding_writes() {
+    let (sim, a) = setup(2, |m| m, ArmciConfig::default());
+    let r0 = a.rank(0);
+    let r1 = a.rank(1);
+    let seen = Rc::new(RefCell::new(-1.0));
+    let seen2 = Rc::clone(&seen);
+    let dst = a.rank(1).alloc_unregistered(64);
+    {
+        let r0 = r0.clone();
+        sim.spawn(async move {
+            let src = r0.malloc(64).await;
+            r0.pami().write_f64s(src, &[5.0; 8]);
+            r0.nbacc(1, src, dst, 8, 1.0).await;
+            r0.barrier().await; // must flush the acc
+        });
+    }
+    sim.spawn(async move {
+        r1.barrier().await;
+        *seen2.borrow_mut() = r1.pami().read_f64s(dst, 1)[0];
+    });
+    finish(&sim);
+    assert_eq!(*seen.borrow(), 5.0);
+}
+
+#[test]
+fn counter_semantics_across_many_ranks() {
+    let p = 16;
+    let (sim, a) = setup(p, |m| m, ArmciConfig::default());
+    let owner = a.rank(0);
+    let counter = owner.alloc_unregistered(8);
+    let results = Rc::new(RefCell::new(Vec::new()));
+    for r in 0..p {
+        let rk = a.rank(r);
+        let results = Rc::clone(&results);
+        sim.spawn(async move {
+            for _ in 0..10 {
+                let v = rk.rmw_fetch_add(0, counter, 1).await;
+                results.borrow_mut().push(v);
+            }
+            rk.barrier().await;
+        });
+    }
+    finish(&sim);
+    let mut vals = results.borrow().clone();
+    vals.sort_unstable();
+    assert_eq!(vals, (0..(p as i64 * 10)).collect::<Vec<_>>());
+}
+
+#[test]
+fn counter_works_in_default_progress_mode() {
+    // D mode: the owner services AMOs only inside blocking calls; the final
+    // barrier keeps it in progress_wait, so everyone completes.
+    let p = 4;
+    let (sim, a) = setup(p, |m| m, ArmciConfig::default().progress(ProgressMode::Default));
+    let owner = a.rank(0);
+    let counter = owner.alloc_unregistered(8);
+    let results = Rc::new(RefCell::new(Vec::new()));
+    for r in 0..p {
+        let rk = a.rank(r);
+        let results = Rc::clone(&results);
+        sim.spawn(async move {
+            for _ in 0..5 {
+                let v = rk.rmw_fetch_add(0, counter, 1).await;
+                results.borrow_mut().push(v);
+            }
+            rk.barrier().await;
+        });
+    }
+    finish(&sim);
+    let mut vals = results.borrow().clone();
+    vals.sort_unstable();
+    assert_eq!(vals, (0..(p as i64 * 5)).collect::<Vec<_>>());
+}
+
+#[test]
+fn mutex_mutual_exclusion() {
+    let p = 4;
+    let (sim, a) = setup(p, |m| m, ArmciConfig::default());
+    let witness = Rc::new(RefCell::new((0usize, 0usize))); // (inside, max)
+    let mut handles = Vec::new();
+    for r in 0..p {
+        let rk = a.rank(r);
+        let s = sim.clone();
+        let w = Rc::clone(&witness);
+        handles.push(sim.spawn(async move {
+            rk.create_mutexes(1).await;
+            for _ in 0..3 {
+                rk.lock(0, 0).await;
+                {
+                    let mut w = w.borrow_mut();
+                    w.0 += 1;
+                    w.1 = w.1.max(w.0);
+                }
+                s.sleep(SimDuration::from_us(5)).await;
+                witness_dec(&w);
+                rk.unlock(0, 0).await;
+            }
+            rk.barrier().await;
+        }));
+    }
+    finish(&sim);
+    for h in &handles {
+        assert!(h.is_done(), "a rank did not finish (deadlock?)");
+    }
+    assert_eq!(witness.borrow().1, 1, "critical section overlapped");
+}
+
+fn witness_dec(w: &Rc<RefCell<(usize, usize)>>) {
+    w.borrow_mut().0 -= 1;
+}
+
+#[test]
+fn notify_wait_pairwise_sync() {
+    let (sim, a) = setup(2, |m| m, ArmciConfig::default());
+    let r0 = a.rank(0);
+    let r1 = a.rank(1);
+    let order = Rc::new(RefCell::new(Vec::<&'static str>::new()));
+    {
+        let order = Rc::clone(&order);
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_us(100)).await;
+            order.borrow_mut().push("producer-done");
+            r0.notify(1).await;
+            r0.barrier().await;
+        });
+    }
+    {
+        let order = Rc::clone(&order);
+        sim.spawn(async move {
+            r1.wait_notify(0, 1).await;
+            order.borrow_mut().push("consumer-resumed");
+            r1.barrier().await;
+        });
+    }
+    finish(&sim);
+    assert_eq!(
+        &*order.borrow(),
+        &["producer-done", "consumer-resumed"]
+    );
+}
+
+#[test]
+fn wait_all_flushes_implicit_handles() {
+    let (sim, a) = setup(2, |m| m, ArmciConfig::default());
+    let r0 = a.rank(0);
+    let r1 = a.rank(1);
+    let ok = Rc::new(RefCell::new(false));
+    let ok2 = Rc::clone(&ok);
+    sim.spawn(async move {
+        let src = r0.malloc(8192).await;
+        let dst = r1.malloc(8192).await;
+        for i in 0..8 {
+            r0.nbput(1, src + i * 1024, dst + i * 1024, 1024).await;
+        }
+        r0.wait_all().await;
+        r0.fence(1).await;
+        *ok2.borrow_mut() = true;
+    });
+    finish(&sim);
+    assert!(*ok.borrow());
+    assert_eq!(a.machine().stats().counter("armci.put"), 8);
+}
+
+#[test]
+fn nb_handle_test_transitions() {
+    let (sim, a) = setup(2, |m| m, ArmciConfig::default());
+    let r0 = a.rank(0);
+    let r1 = a.rank(1);
+    let observed = Rc::new(RefCell::new((true, false)));
+    let obs = Rc::clone(&observed);
+    sim.spawn(async move {
+        let src = r0.malloc(1 << 20).await;
+        let dst = r1.malloc(1 << 20).await;
+        let h = r0.nbget(1, src, dst, 1 << 20).await;
+        let before = h.test(); // 1MB get cannot be instant
+        r0.wait(&h).await;
+        let after = h.test();
+        *obs.borrow_mut() = (before, after);
+    });
+    finish(&sim);
+    let (before, after) = *observed.borrow();
+    assert!(!before);
+    assert!(after);
+}
+
+#[test]
+fn get_latency_through_armci_matches_paper() {
+    // The full ARMCI stack (endpoint creation amortized, region cached)
+    // still delivers the 2.89us adjacent-node 16B get of Fig 3.
+    let (sim, a) = setup(2, |m| m, ArmciConfig::default());
+    let r0 = a.rank(0);
+    let r1 = a.rank(1);
+    let lat = Rc::new(RefCell::new(0.0f64));
+    let lat2 = Rc::clone(&lat);
+    let s = sim.clone();
+    sim.spawn(async move {
+        let dst = r1.malloc(4096).await;
+        let buf = r0.malloc(4096).await;
+        // Warm endpoint + region cache.
+        r0.get(1, buf, dst, 16).await;
+        let t0 = s.now();
+        let n = 100;
+        for _ in 0..n {
+            r0.get(1, buf, dst, 16).await;
+        }
+        *lat2.borrow_mut() = (s.now() - t0).as_us() / n as f64;
+    });
+    finish(&sim);
+    let l = *lat.borrow();
+    assert!((l - 2.89).abs() < 0.05, "ARMCI 16B get latency {l}");
+}

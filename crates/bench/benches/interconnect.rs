@@ -1,0 +1,63 @@
+//! Criterion benches of the interconnect model: routing, mapping and
+//! delivery-time computation (the per-message cost of the network layer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use desim::SimTime;
+use torus5d::{routing, BgqParams, Mapping, MsgClass, NetState, Topology, TorusShape};
+
+fn bench_routing(c: &mut Criterion) {
+    let shape = TorusShape::for_nodes(512);
+    let a = shape.node_coord(0);
+    let b = shape.node_coord(377);
+    c.bench_function("interconnect/route_512n", |bch| {
+        bch.iter(|| routing::route(&shape, a, b).len());
+    });
+    c.bench_function("interconnect/distance_512n", |bch| {
+        bch.iter(|| shape.torus_distance(a, b));
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let shape = TorusShape::for_nodes(256);
+    let m = Mapping::abcdet();
+    c.bench_function("interconnect/rank_to_coord_4096", |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for r in 0..4096 {
+                acc += m.rank_to_coord(r, &shape, 16).1;
+            }
+            acc
+        });
+    });
+}
+
+fn bench_delivery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interconnect/deliver");
+    for contention in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if contention { "contended" } else { "analytic" }),
+            &contention,
+            |bch, &contention| {
+                let topo = Topology::for_procs(4096, 16);
+                let mut net = NetState::new(topo, BgqParams::default(), contention);
+                let mut t = SimTime::ZERO;
+                let mut src = 0usize;
+                bch.iter(|| {
+                    src = (src + 997) % 4096;
+                    let dst = (src + 2048) % 4096;
+                    t = net.deliver(t, src, dst, 4096, MsgClass::Ordered);
+                    t
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench_routing, bench_mapping, bench_delivery
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches of end-to-end simulated RMA operations: host cost of
+//! one simulated blocking get/put/rmw and strided transfers through the
+//! full ARMCI → PAMI → network stack.
+
+use armci::{ArmciConfig, ProgressMode, Strided};
+use bgq_bench::Fixture;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use pami_sim::MachineConfig;
+
+fn sim_get(bytes: usize, reps: usize) {
+    let f = Fixture::new(2, 1, ArmciConfig::default());
+    let r0 = f.rank(0);
+    let r1 = f.rank(1);
+    f.sim.spawn(async move {
+        let remote = r1.malloc(bytes.max(64)).await;
+        let local = r0.malloc(bytes.max(64)).await;
+        for _ in 0..reps {
+            r0.get(1, local, remote, bytes).await;
+        }
+    });
+    f.finish();
+}
+
+fn bench_blocking_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rma/blocking_get_x100");
+    for bytes in [16usize, 4096, 1 << 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &bytes| {
+            b.iter(|| sim_get(bytes, 100));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rmw_contended(c: &mut Criterion) {
+    c.bench_function("rma/rmw_16ranks_x10", |b| {
+        b.iter(|| {
+            let f = Fixture::with_machine(
+                MachineConfig::new(16).procs_per_node(16).contexts(2),
+                ArmciConfig::default().progress(ProgressMode::AsyncThread),
+            );
+            let counter = f.armci.machine().rank(0).alloc(8);
+            for r in 1..16 {
+                let rk = f.rank(r);
+                f.sim.spawn(async move {
+                    for _ in 0..10 {
+                        rk.rmw_fetch_add(0, counter, 1).await;
+                    }
+                });
+            }
+            f.finish();
+        });
+    });
+}
+
+fn bench_strided(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rma/strided_get_64x4k");
+    for (label, pack) in [("zero_copy", 0usize), ("packed", usize::MAX)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &pack, |b, &pack| {
+            b.iter(|| {
+                let f = Fixture::new(2, 1, ArmciConfig::default().pack_threshold(pack));
+                let r0 = f.rank(0);
+                let r1 = f.rank(1);
+                f.sim.spawn(async move {
+                    let remote_base = r1.malloc(64 * 8192).await;
+                    let local_base = r0.malloc(64 * 4096).await;
+                    let remote = Strided::patch2d(remote_base, 4096, 64, 8192);
+                    let local = Strided::patch2d(local_base, 4096, 64, 4096);
+                    r0.get_strided(1, &local, &remote).await;
+                });
+                f.finish();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench_blocking_get, bench_rmw_contended, bench_strided
+}
+criterion_main!(benches);

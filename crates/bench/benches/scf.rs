@@ -1,0 +1,29 @@
+//! Criterion bench of the SCF mini-app: host cost of simulating one small
+//! Fock-build sweep in each progress mode.
+
+use armci::ProgressMode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use nwchem_scf::{run_scf, ScfConfig};
+
+fn bench_scf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scf/tiny_8ranks");
+    g.sample_size(10);
+    for (label, mode) in [
+        ("default", ProgressMode::Default),
+        ("async_thread", ProgressMode::AsyncThread),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            let cfg = ScfConfig::tiny(mode);
+            b.iter(|| run_scf(8, &cfg));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench_scf
+}
+criterion_main!(benches);

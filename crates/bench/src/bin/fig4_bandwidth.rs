@@ -1,0 +1,19 @@
+//! Fig 4 — contiguous get/put bandwidth vs message size (≤ 1 MB).
+//!
+//! Paper: peak ≈ 1775 MB/s of the 1.8 GB/s available; the get curve trails
+//! the put curve until ≈ 8 KB because of the request round trip.
+
+use bgq_bench::{arg_usize, bandwidth, fmt_size, size_sweep};
+
+fn main() {
+    let window = arg_usize("--window", 2);
+    let reps = arg_usize("--reps", 32);
+    println!("== Fig 4: get/put bandwidth, 2 procs, window = {window} ==");
+    println!("{:>8} {:>14} {:>14}", "size", "get (MB/s)", "put (MB/s)");
+    for m in size_sweep(16, 1 << 20) {
+        let g = bandwidth(2, m, window, reps, true);
+        let p = bandwidth(2, m, window, reps, false);
+        println!("{:>8} {:>14.1} {:>14.1}", fmt_size(m), g, p);
+    }
+    println!("paper: peak 1775 MB/s; get round-trip overhead visible till 8K");
+}

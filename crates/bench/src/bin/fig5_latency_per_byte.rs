@@ -1,0 +1,22 @@
+//! Fig 5 — effective latency per byte vs message size.
+//!
+//! Used to find the message-aggregation inflection point: beyond 4 KB the
+//! latency/byte settles to ≈ 1 ns.
+
+use bgq_bench::{arg_usize, fmt_size, get_latency, size_sweep};
+
+fn main() {
+    let reps = arg_usize("--reps", 50);
+    println!("== Fig 5: effective get latency per byte (2 procs) ==");
+    println!("{:>8} {:>12} {:>16}", "size", "get (us)", "latency/byte (ns)");
+    for m in size_sweep(16, 1 << 20) {
+        let g = get_latency(2, 1, 1, m, reps);
+        println!(
+            "{:>8} {:>12.3} {:>16.3}",
+            fmt_size(m),
+            g,
+            g * 1000.0 / m as f64
+        );
+    }
+    println!("paper: latency/byte ~ 1 ns beyond 4 KB");
+}

@@ -1,0 +1,32 @@
+//! Fig 6 — bandwidth efficiency (ratio to the 1.8 GB/s available) and N½.
+//!
+//! Paper: N½ ≈ 2 KB, efficiency ≥ 90 % beyond 16 KB.
+
+use bgq_bench::{arg_usize, bandwidth, fmt_size, size_sweep};
+
+fn main() {
+    let window = arg_usize("--window", 2);
+    let reps = arg_usize("--reps", 32);
+    let peak = 1800.0;
+    println!("== Fig 6: bandwidth efficiency (put, window = {window}) ==");
+    println!("{:>8} {:>14} {:>12}", "size", "bw (MB/s)", "efficiency");
+    let mut n_half: Option<usize> = None;
+    let mut eff90: Option<usize> = None;
+    for m in size_sweep(16, 1 << 20) {
+        let bw = bandwidth(2, m, window, reps, false);
+        let eff = bw / peak;
+        if n_half.is_none() && eff >= 0.5 {
+            n_half = Some(m);
+        }
+        if eff90.is_none() && eff >= 0.9 {
+            eff90 = Some(m);
+        }
+        println!("{:>8} {:>14.1} {:>11.1}%", fmt_size(m), bw, eff * 100.0);
+    }
+    println!(
+        "measured: N1/2 = {} ; >=90% efficiency from {}",
+        n_half.map(fmt_size).unwrap_or_else(|| "-".into()),
+        eff90.map(fmt_size).unwrap_or_else(|| "-".into()),
+    );
+    println!("paper: N1/2 = 2K ; >=90% efficiency beyond 16K");
+}

@@ -1,0 +1,66 @@
+//! Fig 8 — strided get/put bandwidth vs contiguous chunk size (l₀),
+//! 1 MB total transfer.
+//!
+//! Paper: the curve tracks Fig 4 as l₀ grows — per-chunk overhead `o·m/l₀`
+//! (Eq. 9) dominates for small chunks, the wire for large ones.
+
+use armci::{ArmciConfig, Strided};
+use bgq_bench::{arg_usize, fmt_size, Fixture};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn run(total: usize, l0: usize, is_get: bool, reps: usize) -> f64 {
+    let f = Fixture::new(2, 1, ArmciConfig::default());
+    let r0 = f.rank(0);
+    let r1 = f.rank(1);
+    let s = f.sim.clone();
+    let out = Rc::new(Cell::new(0.0));
+    let out2 = Rc::clone(&out);
+    let rows = total / l0;
+    f.sim.spawn(async move {
+        // Remote side: rows of l0 bytes with a 2*l0 leading dimension
+        // (genuinely strided); local side dense.
+        let remote_base = r1.malloc(rows * l0 * 2).await;
+        let local_base = r0.malloc(total).await;
+        let remote = Strided::patch2d(remote_base, l0, rows, l0 * 2);
+        let local = Strided::patch2d(local_base, l0, rows, l0);
+        // Warm caches.
+        r0.get(1, local_base, remote_base, 64.min(l0)).await;
+        let t0 = s.now();
+        for _ in 0..reps {
+            if is_get {
+                r0.get_strided(1, &local, &remote).await;
+            } else {
+                r0.put_strided(1, &local, &remote).await;
+            }
+        }
+        let elapsed = s.now() - t0;
+        out2.set((total * reps) as f64 / elapsed.as_secs() / 1.0e6);
+    });
+    f.finish();
+    out.get()
+}
+
+fn main() {
+    let total = arg_usize("--total", 1 << 20);
+    let reps = arg_usize("--reps", 4);
+    println!("== Fig 8: strided bandwidth vs l0 (total {} transfer) ==", fmt_size(total));
+    println!(
+        "{:>8} {:>8} {:>14} {:>14}",
+        "l0", "chunks", "get (MB/s)", "put (MB/s)"
+    );
+    let mut l0 = 128usize;
+    while l0 <= total {
+        let g = run(total, l0, true, reps);
+        let p = run(total, l0, false, reps);
+        println!(
+            "{:>8} {:>8} {:>14.1} {:>14.1}",
+            fmt_size(l0),
+            total / l0,
+            g,
+            p
+        );
+        l0 *= 4;
+    }
+    println!("paper: approaches the Fig 4 contiguous curve as l0 grows");
+}

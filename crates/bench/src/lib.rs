@@ -1,0 +1,253 @@
+//! # bgq-bench — benchmark harness regenerating the paper's tables & figures
+//!
+//! One binary per table/figure (see `src/bin/`), each printing the same
+//! rows/series the paper reports, plus ablation binaries for the design
+//! choices of §III. Shared measurement helpers live here.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table2_attributes` | Table II — empirical time/space attribute values |
+//! | `fig3_latency` | Fig 3 — contiguous get/put latency vs message size |
+//! | `fig4_bandwidth` | Fig 4 — get/put bandwidth vs message size |
+//! | `fig5_latency_per_byte` | Fig 5 — effective latency/byte |
+//! | `fig6_efficiency` | Fig 6 — bandwidth efficiency, N½ |
+//! | `fig7_rank_latency` | Fig 7 — get latency vs process rank (ABCDET) |
+//! | `fig8_strided` | Fig 8 — strided bandwidth vs contiguous chunk size |
+//! | `fig9_rmw` | Fig 9 — fetch-and-add latency vs process count |
+//! | `fig11_nwchem_scf` | Fig 11 — NWChem SCF, D vs AT |
+//! | `abl_*` | §III design-choice ablations |
+
+use armci::{Armci, ArmciConfig, ArmciRank};
+use desim::{Sim, SimDuration, SimTime};
+use pami_sim::{Machine, MachineConfig};
+
+/// A microbenchmark fixture: a simulated machine with an ARMCI runtime.
+pub struct Fixture {
+    /// The simulation.
+    pub sim: Sim,
+    /// The ARMCI runtime.
+    pub armci: Armci,
+}
+
+impl Fixture {
+    /// Build a fixture with `nprocs` ranks, `c` per node.
+    pub fn new(nprocs: usize, c: usize, acfg: ArmciConfig) -> Fixture {
+        Self::with_machine(MachineConfig::new(nprocs).procs_per_node(c), acfg)
+    }
+
+    /// Build a fixture from an explicit machine configuration.
+    pub fn with_machine(mcfg: MachineConfig, acfg: ArmciConfig) -> Fixture {
+        let sim = Sim::new();
+        let machine = Machine::new(sim.clone(), mcfg);
+        let armci = Armci::new(machine, acfg);
+        Fixture { sim, armci }
+    }
+
+    /// Rank handle.
+    pub fn rank(&self, r: usize) -> ArmciRank {
+        self.armci.rank(r)
+    }
+
+    /// Run the simulation to completion (bounded) and tear down daemons.
+    pub fn finish(&self) {
+        self.sim
+            .run_until(SimTime::ZERO + SimDuration::from_secs(600));
+        self.armci.finalize();
+        self.sim.shutdown();
+    }
+}
+
+/// Measure mean blocking **get** latency from rank 0 to rank `target` for
+/// `bytes`, over `reps` repetitions (caches warmed first).
+pub fn get_latency(nprocs: usize, c: usize, target: usize, bytes: usize, reps: usize) -> f64 {
+    let f = Fixture::new(nprocs, c, ArmciConfig::default());
+    let r0 = f.rank(0);
+    let rt = f.rank(target);
+    let s = f.sim.clone();
+    let out = std::rc::Rc::new(std::cell::Cell::new(0.0f64));
+    let out2 = out.clone();
+    f.sim.spawn(async move {
+        let remote = rt.malloc(bytes.max(64)).await;
+        let local = r0.malloc(bytes.max(64)).await;
+        r0.get(target, local, remote, bytes).await; // warm caches
+        let t0 = s.now();
+        for _ in 0..reps {
+            r0.get(target, local, remote, bytes).await;
+        }
+        out2.set((s.now() - t0).as_us() / reps as f64);
+    });
+    f.finish();
+    out.get()
+}
+
+/// Measure mean blocking **put** latency (local completion) rank 0→`target`.
+pub fn put_latency(nprocs: usize, c: usize, target: usize, bytes: usize, reps: usize) -> f64 {
+    let f = Fixture::new(nprocs, c, ArmciConfig::default());
+    let r0 = f.rank(0);
+    let rt = f.rank(target);
+    let s = f.sim.clone();
+    let out = std::rc::Rc::new(std::cell::Cell::new(0.0f64));
+    let out2 = out.clone();
+    f.sim.spawn(async move {
+        let remote = rt.malloc(bytes.max(64)).await;
+        let local = r0.malloc(bytes.max(64)).await;
+        r0.put(target, local, remote, bytes).await;
+        let t0 = s.now();
+        for _ in 0..reps {
+            r0.put(target, local, remote, bytes).await;
+        }
+        out2.set((s.now() - t0).as_us() / reps as f64);
+    });
+    f.finish();
+    out.get()
+}
+
+/// Windowed bandwidth (MB/s) with `window` outstanding operations of
+/// `bytes` each, `reps` messages total. `is_get` selects get vs put.
+pub fn bandwidth(nprocs: usize, bytes: usize, window: usize, reps: usize, is_get: bool) -> f64 {
+    let f = Fixture::new(nprocs, 1, ArmciConfig::default());
+    let r0 = f.rank(0);
+    let r1 = f.rank(1);
+    let s = f.sim.clone();
+    let out = std::rc::Rc::new(std::cell::Cell::new(0.0f64));
+    let out2 = out.clone();
+    f.sim.spawn(async move {
+        let remote = r1.malloc(bytes * window).await;
+        let local = r0.malloc(bytes * window).await;
+        // Warm endpoint + region caches.
+        r0.get(1, local, remote, bytes.min(64)).await;
+        let t0 = s.now();
+        let mut inflight = std::collections::VecDeque::new();
+        for i in 0..reps {
+            if inflight.len() == window {
+                let h: armci::NbHandle = inflight.pop_front().unwrap();
+                r0.wait(&h).await;
+            }
+            let slot = (i % window) * bytes;
+            let h = if is_get {
+                r0.nbget(1, local + slot, remote + slot, bytes).await
+            } else {
+                r0.nbput(1, local + slot, remote + slot, bytes).await
+            };
+            inflight.push_back(h);
+        }
+        while let Some(h) = inflight.pop_front() {
+            r0.wait(&h).await;
+        }
+        let elapsed = s.now() - t0;
+        out2.set((bytes * reps) as f64 / elapsed.as_secs() / 1.0e6);
+    });
+    f.finish();
+    out.get()
+}
+
+/// Standard message-size sweep used by Figs 3–6 (powers of two).
+pub fn size_sweep(lo: usize, hi: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut m = lo;
+    while m <= hi {
+        sizes.push(m);
+        m *= 2;
+    }
+    sizes
+}
+
+/// Parse `--key value` from an argument slice (testable core).
+pub fn parse_usize(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parse `--key a,b,c` from an argument slice (testable core).
+pub fn parse_list(args: &[String], name: &str, default: &[usize]) -> Vec<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.split(',')
+                .filter_map(|x| x.trim().parse().ok())
+                .collect()
+        })
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// Parse `--key value` style CLI options with a default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    parse_usize(&args, name, default)
+}
+
+/// Parse a `--key a,b,c` list option with a default.
+pub fn arg_list(name: &str, default: &[usize]) -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    parse_list(&args, name, default)
+}
+
+/// True when `--flag` is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Human-friendly byte-size label.
+pub fn fmt_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_latency_16b_adjacent_matches_fig3() {
+        // 2 procs, 1/node -> adjacent nodes; 16 bytes -> 2.89 us.
+        let lat = get_latency(2, 1, 1, 16, 10);
+        assert!((lat - 2.89).abs() < 0.05, "{lat}");
+    }
+
+    #[test]
+    fn put_latency_16b_adjacent_matches_fig3() {
+        let lat = put_latency(2, 1, 1, 16, 10);
+        assert!((lat - 2.70).abs() < 0.05, "{lat}");
+    }
+
+    #[test]
+    fn bandwidth_reaches_peak_at_1mb() {
+        let bw = bandwidth(2, 1 << 20, 2, 8, false);
+        assert!(bw > 1700.0, "peak put bandwidth {bw}");
+        let bw = bandwidth(2, 1 << 20, 2, 8, true);
+        assert!(bw > 1700.0, "peak get bandwidth {bw}");
+    }
+
+    #[test]
+    fn cli_parsing() {
+        let args: Vec<String> = ["prog", "--procs", "64", "--list", "1,2,3", "--bad", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_usize(&args, "--procs", 8), 64);
+        assert_eq!(parse_usize(&args, "--missing", 8), 8);
+        assert_eq!(parse_usize(&args, "--bad", 8), 8); // unparsable -> default
+        assert_eq!(parse_list(&args, "--list", &[9]), vec![1, 2, 3]);
+        assert_eq!(parse_list(&args, "--missing", &[9]), vec![9]);
+        // value missing after the flag -> default
+        let tail: Vec<String> = ["prog", "--procs"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_usize(&tail, "--procs", 7), 7);
+    }
+
+    #[test]
+    fn sweep_and_fmt() {
+        assert_eq!(size_sweep(16, 128), vec![16, 32, 64, 128]);
+        assert_eq!(fmt_size(16), "16");
+        assert_eq!(fmt_size(2048), "2K");
+        assert_eq!(fmt_size(1 << 20), "1M");
+    }
+}

@@ -1,0 +1,665 @@
+//! The discrete-event kernel: event queue, virtual clock and async executor.
+//!
+//! [`Sim`] is a cheaply cloneable handle to the kernel. Simulated entities are
+//! spawned as futures with [`Sim::spawn`]; [`Sim::run`] then executes events
+//! in deterministic `(time, sequence)` order until no work remains.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+
+use crate::event::Completion;
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a spawned task within a [`Sim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(pub(crate) usize);
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+enum TimerKind {
+    Waker(Waker),
+    Callback(Box<dyn FnOnce()>),
+}
+
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    kind: TimerKind,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct TaskSlot {
+    future: Option<BoxFuture>,
+    waker: Waker,
+}
+
+/// Shared ready-queue fed by wakers. `Waker` must be `Send + Sync`, hence the
+/// `Arc<Mutex<..>>` even though the executor itself is single-threaded; the
+/// mutex is never contended.
+struct ReadyQueue {
+    queue: Mutex<VecDeque<usize>>,
+}
+
+struct TaskWaker {
+    id: usize,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.queue.lock().push_back(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.queue.lock().push_back(self.id);
+    }
+}
+
+pub(crate) struct Kernel {
+    now: Cell<SimTime>,
+    next_seq: Cell<u64>,
+    timers: RefCell<BinaryHeap<TimerEntry>>,
+    ready: Arc<ReadyQueue>,
+    tasks: RefCell<Vec<Option<TaskSlot>>>,
+    free: RefCell<Vec<usize>>,
+    live_tasks: Cell<usize>,
+    events_processed: Cell<u64>,
+    stats: Stats,
+}
+
+impl Kernel {
+    fn new() -> Rc<Kernel> {
+        Rc::new(Kernel {
+            now: Cell::new(SimTime::ZERO),
+            next_seq: Cell::new(0),
+            timers: RefCell::new(BinaryHeap::new()),
+            ready: Arc::new(ReadyQueue {
+                queue: Mutex::new(VecDeque::new()),
+            }),
+            tasks: RefCell::new(Vec::new()),
+            free: RefCell::new(Vec::new()),
+            live_tasks: Cell::new(0),
+            events_processed: Cell::new(0),
+            stats: Stats::new(),
+        })
+    }
+
+    fn bump_seq(&self) -> u64 {
+        let s = self.next_seq.get();
+        self.next_seq.set(s + 1);
+        s
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    pub(crate) fn add_timer_waker(&self, at: SimTime, waker: Waker) {
+        debug_assert!(at >= self.now.get(), "timer scheduled in the past");
+        self.timers.borrow_mut().push(TimerEntry {
+            at,
+            seq: self.bump_seq(),
+            kind: TimerKind::Waker(waker),
+        });
+    }
+
+    pub(crate) fn add_timer_callback(&self, at: SimTime, cb: Box<dyn FnOnce()>) {
+        debug_assert!(at >= self.now.get(), "callback scheduled in the past");
+        self.timers.borrow_mut().push(TimerEntry {
+            at,
+            seq: self.bump_seq(),
+            kind: TimerKind::Callback(cb),
+        });
+    }
+
+    fn alloc_task(&self, future: BoxFuture) -> usize {
+        let id = match self.free.borrow_mut().pop() {
+            Some(id) => id,
+            None => {
+                let mut tasks = self.tasks.borrow_mut();
+                tasks.push(None);
+                tasks.len() - 1
+            }
+        };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.ready),
+        }));
+        self.tasks.borrow_mut()[id] = Some(TaskSlot {
+            future: Some(future),
+            waker,
+        });
+        self.live_tasks.set(self.live_tasks.get() + 1);
+        id
+    }
+
+    /// Poll one task. The future is removed from its slot for the duration of
+    /// the poll so the task table is not borrowed while user code runs (user
+    /// code may spawn tasks, create timers, wake other tasks, …).
+    fn poll_task(&self, id: usize) {
+        let (mut future, waker) = {
+            let mut tasks = self.tasks.borrow_mut();
+            let Some(slot) = tasks.get_mut(id).and_then(|s| s.as_mut()) else {
+                return; // task already finished; spurious wake
+            };
+            let Some(future) = slot.future.take() else {
+                return; // re-entrant wake during poll; the poll result governs
+            };
+            (future, slot.waker.clone())
+        };
+        let mut cx = Context::from_waker(&waker);
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.tasks.borrow_mut()[id] = None;
+                self.free.borrow_mut().push(id);
+                self.live_tasks.set(self.live_tasks.get() - 1);
+            }
+            Poll::Pending => {
+                let mut tasks = self.tasks.borrow_mut();
+                if let Some(slot) = tasks.get_mut(id).and_then(|s| s.as_mut()) {
+                    slot.future = Some(future);
+                }
+            }
+        }
+    }
+
+    /// Drain the ready queue, polling tasks in FIFO order at the current time.
+    fn drain_ready(&self) {
+        let trace = std::env::var_os("DESIM_TRACE").is_some();
+        loop {
+            let id = self.ready.queue.lock().pop_front();
+            match id {
+                Some(id) => {
+                    let n = self.events_processed.get() + 1;
+                    self.events_processed.set(n);
+                    if trace && n & ((1 << 22) - 1) == 0 {
+                        eprintln!(
+                            "[desim] {} events, t={}, live_tasks={}, timers={}, ready={}",
+                            n,
+                            self.now.get(),
+                            self.live_tasks.get(),
+                            self.timers.borrow().len(),
+                            self.ready.queue.lock().len()
+                        );
+                    }
+                    self.poll_task(id);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Fire the earliest timer, advancing the clock. Returns false if no
+    /// timers remain.
+    fn fire_next_timer(&self) -> bool {
+        let entry = self.timers.borrow_mut().pop();
+        match entry {
+            Some(entry) => {
+                debug_assert!(entry.at >= self.now.get());
+                self.now.set(entry.at);
+                self.events_processed.set(self.events_processed.get() + 1);
+                match entry.kind {
+                    TimerKind::Waker(w) => w.wake(),
+                    TimerKind::Callback(cb) => cb(),
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Handle to a running simulation. Clone freely; all clones share the kernel.
+#[derive(Clone)]
+pub struct Sim {
+    k: Rc<Kernel>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create a fresh simulation at time zero.
+    pub fn new() -> Sim {
+        Sim { k: Kernel::new() }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.k.now()
+    }
+
+    /// Shared statistics registry for this simulation.
+    pub fn stats(&self) -> Stats {
+        self.k.stats.clone()
+    }
+
+    /// Number of events (task polls + timer firings) processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.k.events_processed.get()
+    }
+
+    /// Number of tasks that have been spawned but not yet completed.
+    pub fn pending_tasks(&self) -> usize {
+        self.k.live_tasks.get()
+    }
+
+    /// Spawn a task. It is scheduled to run at the current virtual time.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let done = Completion::new();
+        let done2 = done.clone();
+        let id = self.k.alloc_task(Box::pin(async move {
+            let out = future.await;
+            done2.complete(out);
+        }));
+        self.k.ready.queue.lock().push_back(id);
+        JoinHandle {
+            task: TaskId(id),
+            done,
+        }
+    }
+
+    /// Schedule `cb` to run at absolute time `at` (must not be in the past).
+    pub fn schedule<F: FnOnce() + 'static>(&self, at: SimTime, cb: F) {
+        self.k.add_timer_callback(at, Box::new(cb));
+    }
+
+    /// Schedule `cb` to run `after` from now.
+    pub fn schedule_in<F: FnOnce() + 'static>(&self, after: SimDuration, cb: F) {
+        self.schedule(self.now() + after, cb);
+    }
+
+    /// Future that completes once `d` of virtual time has elapsed.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        self.sleep_until(self.now() + d)
+    }
+
+    /// Future that completes at absolute time `deadline`.
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            k: Rc::clone(&self.k),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Yield to other tasks runnable at the current virtual time.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Run until no events remain. Returns the final virtual time.
+    ///
+    /// Tasks that are still pending (e.g. daemon-style progress loops blocked
+    /// on a channel) are left in place; inspect [`Sim::pending_tasks`] and use
+    /// [`Sim::shutdown`] to reclaim them.
+    pub fn run(&self) -> SimTime {
+        loop {
+            self.k.drain_ready();
+            if !self.k.fire_next_timer() {
+                break;
+            }
+        }
+        self.now()
+    }
+
+    /// Run until the virtual clock would pass `deadline`; events at exactly
+    /// `deadline` are processed. Returns the current time afterwards.
+    pub fn run_until(&self, deadline: SimTime) -> SimTime {
+        loop {
+            self.k.drain_ready();
+            let next = self.k.timers.borrow().peek().map(|e| e.at);
+            match next {
+                Some(at) if at <= deadline => {
+                    self.k.fire_next_timer();
+                }
+                _ => break,
+            }
+        }
+        self.now()
+    }
+
+    /// Drop all remaining tasks and timers, breaking `Rc` cycles between the
+    /// kernel and futures that captured `Sim` handles. Call when a simulation
+    /// with daemon tasks is finished.
+    pub fn shutdown(&self) {
+        self.k.timers.borrow_mut().clear();
+        self.k.ready.queue.lock().clear();
+        // Futures may own JoinHandles/Completions; dropping them can run Drop
+        // impls that call back into the kernel, so take them out first.
+        let taken: Vec<Option<TaskSlot>> = {
+            let mut tasks = self.k.tasks.borrow_mut();
+            let len = tasks.len();
+            std::mem::replace(&mut *tasks, Vec::with_capacity(len))
+        };
+        drop(taken);
+        self.k.free.borrow_mut().clear();
+        self.k.live_tasks.set(0);
+    }
+}
+
+/// Handle returned by [`Sim::spawn`]; await the task's result with
+/// [`JoinHandle::join`].
+pub struct JoinHandle<T> {
+    task: TaskId,
+    done: Completion<T>,
+}
+
+impl<T: Clone + 'static> JoinHandle<T> {
+    /// Wait for the task to finish and return (a clone of) its output.
+    pub async fn join(&self) -> T {
+        self.done.wait().await
+    }
+
+    /// The task's output if it has already finished.
+    pub fn try_result(&self) -> Option<T> {
+        self.done.peek()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// True once the task has run to completion.
+    pub fn is_done(&self) -> bool {
+        self.done.is_complete()
+    }
+
+    /// Identifier of the underlying task.
+    pub fn task_id(&self) -> TaskId {
+        self.task
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Sleep {
+    k: Rc<Kernel>,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.k.now() >= this.deadline {
+            Poll::Ready(())
+        } else {
+            // Register exactly once: the task waker is stable, and duplicate
+            // timer entries from spurious re-polls would snowball.
+            if !this.registered {
+                this.k.add_timer_waker(this.deadline, cx.waker().clone());
+                this.registered = true;
+            }
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell as StdRefCell;
+
+    #[test]
+    fn empty_sim_runs_to_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.run(), SimTime::ZERO);
+        assert_eq!(sim.pending_tasks(), 0);
+    }
+
+    #[test]
+    fn sleep_advances_time() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(SimDuration::from_us(7)).await;
+            s.now()
+        });
+        sim.run();
+        assert_eq!(h.try_result().unwrap().as_us(), 7.0);
+    }
+
+    #[test]
+    fn zero_sleep_completes_immediately() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(SimDuration::ZERO).await;
+            s.now()
+        });
+        sim.run();
+        assert_eq!(h.try_result().unwrap(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        let order: Rc<StdRefCell<Vec<(u32, u64)>>> = Rc::new(StdRefCell::new(Vec::new()));
+        let sim = Sim::new();
+        for id in 0..3u32 {
+            let s = sim.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                for step in 0..3u64 {
+                    s.sleep(SimDuration::from_us(step + 1)).await;
+                    order.borrow_mut().push((id, s.now().as_ps()));
+                }
+            });
+        }
+        sim.run();
+        let got = order.borrow().clone();
+        // All tasks share the same deadlines; ties must break by spawn order.
+        let mut expect = Vec::new();
+        for (step, t) in [(0u64, 1u64), (1, 3), (2, 6)] {
+            let _ = step;
+            for id in 0..3u32 {
+                expect.push((id, t * 1_000_000));
+            }
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn schedule_callbacks_fire_in_order() {
+        let sim = Sim::new();
+        let hits: Rc<StdRefCell<Vec<u64>>> = Rc::new(StdRefCell::new(Vec::new()));
+        for us in [5u64, 1, 3] {
+            let hits = Rc::clone(&hits);
+            sim.schedule_in(SimDuration::from_us(us), move || {
+                hits.borrow_mut().push(us);
+            });
+        }
+        sim.run();
+        assert_eq!(&*hits.borrow(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(SimDuration::from_us(10)).await;
+        });
+        sim.run_until(SimTime::ZERO + SimDuration::from_us(5));
+        assert!(!h.is_done());
+        assert_eq!(sim.pending_tasks(), 1);
+        sim.run();
+        assert!(h.is_done());
+    }
+
+    #[test]
+    fn run_until_includes_exact_deadline() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(SimDuration::from_us(5)).await;
+        });
+        sim.run_until(SimTime::ZERO + SimDuration::from_us(5));
+        assert!(h.is_done());
+    }
+
+    #[test]
+    fn spawn_from_within_task() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let s2 = s.clone();
+            let inner = s.spawn(async move {
+                s2.sleep(SimDuration::from_us(2)).await;
+                42u32
+            });
+            inner.join().await
+        });
+        sim.run();
+        assert_eq!(h.try_result(), Some(42));
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run() {
+        let sim = Sim::new();
+        let log: Rc<StdRefCell<Vec<&'static str>>> = Rc::new(StdRefCell::new(Vec::new()));
+        let s = sim.clone();
+        let l1 = Rc::clone(&log);
+        sim.spawn(async move {
+            l1.borrow_mut().push("a1");
+            s.yield_now().await;
+            l1.borrow_mut().push("a2");
+        });
+        let l2 = Rc::clone(&log);
+        sim.spawn(async move {
+            l2.borrow_mut().push("b1");
+        });
+        sim.run();
+        assert_eq!(&*log.borrow(), &["a1", "b1", "a2"]);
+    }
+
+    #[test]
+    fn shutdown_reclaims_daemon_tasks() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            loop {
+                s.sleep(SimDuration::from_us(1)).await;
+                if s.now() > SimTime::ZERO + SimDuration::from_ms(1) {
+                    // Never true within run_until below; this is a daemon.
+                }
+            }
+        });
+        sim.run_until(SimTime::ZERO + SimDuration::from_us(10));
+        assert_eq!(sim.pending_tasks(), 1);
+        sim.shutdown();
+        assert_eq!(sim.pending_tasks(), 0);
+        // A fresh run after shutdown is a no-op, not a panic.
+        let t = sim.run();
+        assert_eq!(t, SimTime::ZERO + SimDuration::from_us(10));
+    }
+
+    #[test]
+    fn callbacks_and_tasks_interleave_by_schedule_order() {
+        // A callback and a task wake at the same instant: the one scheduled
+        // first (lower sequence) fires first.
+        let sim = Sim::new();
+        let log: Rc<StdRefCell<Vec<&'static str>>> = Rc::new(StdRefCell::new(Vec::new()));
+        {
+            let log = Rc::clone(&log);
+            sim.schedule_in(SimDuration::from_us(5), move || {
+                log.borrow_mut().push("callback");
+            });
+        }
+        {
+            let log = Rc::clone(&log);
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_us(5)).await;
+                log.borrow_mut().push("task");
+            });
+        }
+        sim.run();
+        assert_eq!(&*log.borrow(), &["callback", "task"]);
+    }
+
+    #[test]
+    fn join_handle_try_result_before_completion() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(SimDuration::from_us(1)).await;
+            7u8
+        });
+        assert_eq!(h.try_result(), None);
+        assert!(!h.is_done());
+        sim.run();
+        assert_eq!(h.try_result(), Some(7));
+        assert!(h.is_done());
+    }
+
+    #[test]
+    fn run_is_idempotent_after_completion() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move { s.sleep(SimDuration::from_us(3)).await });
+        let t1 = sim.run();
+        let t2 = sim.run();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn events_processed_counts_work() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_us(1)).await;
+        });
+        sim.run();
+        assert!(sim.events_processed() >= 2);
+    }
+}

@@ -1,0 +1,331 @@
+//! Statistics registry shared across a simulation.
+//!
+//! Counters, duration accumulators and log₂ histograms keyed by name. The
+//! registry is deterministic: reports are emitted in sorted key order.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::time::SimDuration;
+
+/// Accumulated duration statistics for one key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurationStat {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub total: SimDuration,
+    /// Smallest sample (zero if no samples).
+    pub min: SimDuration,
+    /// Largest sample.
+    pub max: SimDuration,
+}
+
+impl DurationStat {
+    /// Arithmetic mean of the samples (zero if none).
+    pub fn mean(&self) -> SimDuration {
+        SimDuration(self.total.as_ps().checked_div(self.count).unwrap_or(0))
+    }
+
+    fn record(&mut self, d: SimDuration) {
+        if self.count == 0 {
+            self.min = d;
+            self.max = d;
+        } else {
+            self.min = self.min.min(d);
+            self.max = self.max.max(d);
+        }
+        self.count += 1;
+        self.total += d;
+    }
+}
+
+#[derive(Default)]
+struct StatsInner {
+    counters: BTreeMap<String, u64>,
+    durations: BTreeMap<String, DurationStat>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A shared, clonable statistics registry.
+#[derive(Clone, Default)]
+pub struct Stats {
+    inner: Rc<RefCell<StatsInner>>,
+}
+
+impl Stats {
+    /// Create an empty registry.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Increment counter `key` by one.
+    pub fn incr(&self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Increment counter `key` by `n`.
+    pub fn add(&self, key: &str, n: u64) {
+        *self
+            .inner
+            .borrow_mut()
+            .counters
+            .entry(key.to_string())
+            .or_insert(0) += n;
+    }
+
+    /// Current value of counter `key` (zero if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.inner
+            .borrow()
+            .counters
+            .get(key)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Record one duration sample under `key`.
+    pub fn record_time(&self, key: &str, d: SimDuration) {
+        self.inner
+            .borrow_mut()
+            .durations
+            .entry(key.to_string())
+            .or_default()
+            .record(d);
+    }
+
+    /// Duration statistics for `key`.
+    pub fn time(&self, key: &str) -> DurationStat {
+        self.inner
+            .borrow()
+            .durations
+            .get(key)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Record a sample into the log₂ histogram under `key`.
+    pub fn record_hist(&self, key: &str, value: u64) {
+        self.inner
+            .borrow_mut()
+            .histograms
+            .entry(key.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// A copy of the histogram under `key` (empty if never touched).
+    pub fn hist(&self, key: &str) -> Histogram {
+        self.inner
+            .borrow()
+            .histograms
+            .get(key)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// All counter keys currently present, sorted.
+    pub fn counter_keys(&self) -> Vec<String> {
+        self.inner.borrow().counters.keys().cloned().collect()
+    }
+
+    /// Reset everything.
+    pub fn clear(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.clear();
+        inner.durations.clear();
+        inner.histograms.clear();
+    }
+
+    /// Human-readable dump in sorted key order.
+    pub fn report(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        for (k, v) in &inner.counters {
+            let _ = writeln!(out, "counter {k} = {v}");
+        }
+        for (k, d) in &inner.durations {
+            let _ = writeln!(
+                out,
+                "time    {k}: n={} total={} mean={} min={} max={}",
+                d.count,
+                d.total,
+                d.mean(),
+                d.min,
+                d.max
+            );
+        }
+        for (k, h) in &inner.histograms {
+            let _ = writeln!(out, "hist    {k}: n={} p50~{} p99~{}", h.count(), h.quantile(0.5), h.quantile(0.99));
+        }
+        out
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record a sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples (exact, not bucketed).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: upper bound of the bucket containing rank
+    /// `q * count`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0)) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank.max(1) {
+                return if i == 0 { 0 } else { (1u128 << i) as u64 - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Stats::new();
+        s.incr("x");
+        s.add("x", 4);
+        assert_eq!(s.counter("x"), 5);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn durations_track_min_max_mean() {
+        let s = Stats::new();
+        s.record_time("lat", SimDuration::from_us(2));
+        s.record_time("lat", SimDuration::from_us(4));
+        s.record_time("lat", SimDuration::from_us(9));
+        let d = s.time("lat");
+        assert_eq!(d.count, 3);
+        assert_eq!(d.total.as_us(), 15.0);
+        assert_eq!(d.mean().as_us(), 5.0);
+        assert_eq!(d.min.as_us(), 2.0);
+        assert_eq!(d.max.as_us(), 9.0);
+    }
+
+    #[test]
+    fn empty_duration_stat_is_zero() {
+        let s = Stats::new();
+        let d = s.time("never");
+        assert_eq!(d.count, 0);
+        assert_eq!(d.mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.mean() - 185.0).abs() < 1.0);
+        assert!(h.quantile(0.5) <= 7);
+        assert!(h.quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn histogram_zero_sample() {
+        let mut h = Histogram::default();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn report_is_sorted_and_stable() {
+        let s = Stats::new();
+        s.incr("b");
+        s.incr("a");
+        s.record_time("t", SimDuration::from_ns(5));
+        let r1 = s.report();
+        let r2 = s.report();
+        assert_eq!(r1, r2);
+        let a_pos = r1.find("counter a").unwrap();
+        let b_pos = r1.find("counter b").unwrap();
+        assert!(a_pos < b_pos);
+    }
+
+    #[test]
+    fn stats_histogram_api() {
+        let s = Stats::new();
+        for v in [1u64, 10, 100, 1000] {
+            s.record_hist("lat", v);
+        }
+        let h = s.hist("lat");
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 277.75).abs() < 0.01);
+        assert_eq!(s.hist("missing").count(), 0);
+        let report = s.report();
+        assert!(report.contains("hist    lat"));
+    }
+
+    #[test]
+    fn counter_keys_sorted() {
+        let s = Stats::new();
+        s.incr("zz");
+        s.incr("aa");
+        s.incr("mm");
+        assert_eq!(s.counter_keys(), vec!["aa", "mm", "zz"]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let s = Stats::new();
+        s.incr("x");
+        s.record_time("t", SimDuration::from_ns(1));
+        s.clear();
+        assert_eq!(s.counter("x"), 0);
+        assert_eq!(s.time("t").count, 0);
+    }
+}

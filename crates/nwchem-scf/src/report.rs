@@ -1,0 +1,121 @@
+//! SCF run reports: per-phase timing breakdown as the paper's Fig 11.
+
+use desim::SimDuration;
+use serde::Serialize;
+
+/// Timing breakdown of one SCF run (all values are virtual time).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScfReport {
+    /// Number of processes.
+    pub nprocs: usize,
+    /// Progress mode label ("D" or "AT").
+    pub mode: String,
+    /// SCF iterations executed.
+    pub iterations: usize,
+    /// Fock-build tasks per iteration.
+    pub tasks_per_iter: usize,
+    /// End-to-end execution time (µs).
+    pub total_us: f64,
+    /// Mean per-rank time blocked on the load-balance counter (µs).
+    pub counter_wait_mean_us: f64,
+    /// Maximum per-rank counter time (µs).
+    pub counter_wait_max_us: f64,
+    /// Mean per-rank time in density gets (µs).
+    pub get_mean_us: f64,
+    /// Mean per-rank time in Fock accumulates (µs).
+    pub acc_mean_us: f64,
+    /// Mean per-rank compute time (µs).
+    pub compute_mean_us: f64,
+    /// Mean per-rank barrier/synchronization time (µs).
+    pub sync_mean_us: f64,
+    /// Minimum tasks executed by any rank.
+    pub tasks_min: usize,
+    /// Maximum tasks executed by any rank.
+    pub tasks_max: usize,
+    /// Total fetch-and-adds issued.
+    pub rmw_count: u64,
+}
+
+impl ScfReport {
+    /// Fraction of total time a mean rank spent blocked on the counter.
+    pub fn counter_fraction(&self) -> f64 {
+        if self.total_us == 0.0 {
+            0.0
+        } else {
+            self.counter_wait_mean_us / self.total_us
+        }
+    }
+
+    /// One table row, paper-Fig-11 style.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>6} {:>3}  total={:>12.1}us  counter={:>12.1}us ({:>4.1}%)  get={:>10.1}us  acc={:>9.1}us  compute={:>12.1}us  sync={:>10.1}us  tasks/rank={}..{}",
+            self.nprocs,
+            self.mode,
+            self.total_us,
+            self.counter_wait_mean_us,
+            100.0 * self.counter_fraction(),
+            self.get_mean_us,
+            self.acc_mean_us,
+            self.compute_mean_us,
+            self.sync_mean_us,
+            self.tasks_min,
+            self.tasks_max,
+        )
+    }
+}
+
+/// Mean of a slice of durations, in µs.
+pub(crate) fn mean_us(xs: &[SimDuration]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|d| d.as_us()).sum::<f64>() / xs.len() as f64
+}
+
+/// Max of a slice of durations, in µs.
+pub(crate) fn max_us(xs: &[SimDuration]) -> f64 {
+    xs.iter().map(|d| d.as_us()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers() {
+        let xs = [
+            SimDuration::from_us(2),
+            SimDuration::from_us(4),
+            SimDuration::from_us(9),
+        ];
+        assert_eq!(mean_us(&xs), 5.0);
+        assert_eq!(max_us(&xs), 9.0);
+        assert_eq!(mean_us(&[]), 0.0);
+    }
+
+    #[test]
+    fn counter_fraction_and_row() {
+        let r = ScfReport {
+            nprocs: 1024,
+            mode: "AT".into(),
+            iterations: 3,
+            tasks_per_iter: 100,
+            total_us: 1000.0,
+            counter_wait_mean_us: 250.0,
+            counter_wait_max_us: 400.0,
+            get_mean_us: 1.0,
+            acc_mean_us: 1.0,
+            compute_mean_us: 700.0,
+            sync_mean_us: 10.0,
+            tasks_min: 0,
+            tasks_max: 3,
+            rmw_count: 300,
+        };
+        assert_eq!(r.counter_fraction(), 0.25);
+        let row = r.row();
+        assert!(row.contains("1024"));
+        assert!(row.contains("AT"));
+        assert!(row.contains("25.0%"));
+    }
+}

@@ -1,0 +1,239 @@
+//! PAMI communication contexts and the work items they service.
+//!
+//! A context is a *threading point*: remote requests that need target-CPU
+//! involvement (software puts/gets, atomic memory operations, active
+//! messages) are enqueued on a target context and executed only when some
+//! task at the target drives the progress engine ([`crate::PamiRank::advance`]).
+//! The context lock models the mutual exclusion between the main thread and
+//! the asynchronous progress thread when they share one context (ρ = 1).
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use desim::sync::{Notify, SimMutex};
+use desim::Completion;
+
+/// Atomic read-modify-write operations (paper §III-D).
+///
+/// PAMI on BG/Q lacks NIC support for generic AMOs, so every variant is
+/// serviced by target-side software — the very limitation the asynchronous
+/// thread design addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwOp {
+    /// Atomically add and return the previous value (load-balance counters).
+    FetchAdd(i64),
+    /// Atomically replace and return the previous value.
+    Swap(i64),
+    /// Compare-and-swap: store `swap` if the current value equals `compare`;
+    /// returns the previous value either way.
+    CompareSwap {
+        /// Expected current value.
+        compare: i64,
+        /// Replacement value on match.
+        swap: i64,
+    },
+}
+
+/// A user-registered active-message handler, executed at the target during
+/// progress. Handlers receive the machine handle and may issue further
+/// communication (e.g. the fall-back get replies with a put).
+pub type AmHandler = Rc<dyn Fn(AmEnv, AmMsg)>;
+
+/// Target-side environment passed to an active-message handler.
+pub struct AmEnv {
+    /// The machine the handler runs on.
+    pub machine: crate::Machine,
+    /// Rank executing the handler (the message target).
+    pub rank: usize,
+}
+
+/// An active message as seen by its handler.
+pub struct AmMsg {
+    /// Originating rank.
+    pub src: usize,
+    /// Small immediate header.
+    pub header: Vec<u8>,
+    /// Bulk payload.
+    pub payload: Vec<u8>,
+}
+
+/// A unit of target-side work queued on a context.
+pub enum WorkItem {
+    /// Software (non-RDMA) put: payload written to memory at service time.
+    SwPut {
+        /// Originating rank.
+        src: usize,
+        /// Destination offset in the target's memory.
+        offset: usize,
+        /// Bytes to store.
+        data: Vec<u8>,
+        /// Completed once the data is globally visible at the target.
+        remote_done: Completion<()>,
+    },
+    /// Software (non-RDMA) get request: target reads and replies.
+    SwGet {
+        /// Originating rank (reply destination).
+        src: usize,
+        /// Source offset in the target's memory.
+        offset: usize,
+        /// Bytes requested.
+        len: usize,
+        /// Destination offset in the *requester's* memory.
+        local_off: usize,
+        /// Completed at the requester once the reply lands.
+        done: Completion<()>,
+    },
+    /// Atomic read-modify-write on an 8-byte integer.
+    Rmw {
+        /// Originating rank (reply destination).
+        src: usize,
+        /// Offset of the i64 in the target's memory.
+        offset: usize,
+        /// The operation.
+        op: RmwOp,
+        /// Completed at the requester with the previous value.
+        done: Completion<i64>,
+    },
+    /// Accumulate: `dst[i] += scale * src[i]` over f64 elements.
+    AccF64 {
+        /// Originating rank.
+        src: usize,
+        /// Destination offset in the target's memory (f64-aligned).
+        offset: usize,
+        /// Scale factor applied to the incoming data.
+        scale: f64,
+        /// Incoming f64s as raw little-endian bytes.
+        data: Vec<u8>,
+        /// Completed once the update is applied.
+        remote_done: Completion<()>,
+    },
+    /// Packed (typed-datatype) strided get: the target CPU gathers the
+    /// described chunks into one bulk reply (used for tall-skinny strided
+    /// transfers where per-chunk RDMA would drown in per-chunk overhead).
+    PackedGet {
+        /// Originating rank (reply destination).
+        src: usize,
+        /// `(offset, len)` chunks to gather from the target's memory.
+        chunks: Vec<(usize, usize)>,
+        /// `(offset, len)` chunks to scatter into at the requester.
+        local_chunks: Vec<(usize, usize)>,
+        /// Completed at the requester once the reply is unpacked.
+        done: Completion<()>,
+    },
+    /// Packed (typed-datatype) strided put: one bulk message the target CPU
+    /// scatters into the described chunks.
+    PackedPut {
+        /// Originating rank.
+        src: usize,
+        /// Packed payload (concatenation of the chunks).
+        data: Vec<u8>,
+        /// `(offset, len)` chunks to scatter into at the target.
+        chunks: Vec<(usize, usize)>,
+        /// Completed once the scatter is applied.
+        remote_done: Completion<()>,
+    },
+    /// Packed strided accumulate: the target CPU scatters
+    /// `dst[i] += scale·src[i]` into the described chunks.
+    AccStrided {
+        /// Originating rank.
+        src: usize,
+        /// Packed f64 payload (concatenation of the chunks).
+        data: Vec<u8>,
+        /// `(offset, len)` chunks to accumulate into at the target.
+        chunks: Vec<(usize, usize)>,
+        /// Scale factor applied to incoming data.
+        scale: f64,
+        /// Completed once the update is applied.
+        remote_done: Completion<()>,
+    },
+    /// A user active message dispatched to a registered handler.
+    Am {
+        /// Originating rank.
+        src: usize,
+        /// Handler registry key.
+        dispatch: u16,
+        /// Small immediate header.
+        header: Vec<u8>,
+        /// Bulk payload.
+        payload: Vec<u8>,
+    },
+}
+
+/// State of one communication context.
+pub struct CtxState {
+    /// Arrived-but-unserviced work.
+    pub queue: RefCell<VecDeque<WorkItem>>,
+    /// Signalled whenever work arrives (wakes the async progress thread).
+    pub arrived: Notify,
+    /// The progress-engine lock guarding `advance`.
+    pub lock: SimMutex,
+    /// Registered active-message handlers.
+    pub dispatch: RefCell<HashMap<u16, AmHandler>>,
+    /// Items serviced over the context's lifetime.
+    pub serviced: Cell<u64>,
+    /// High-water mark of the queue depth.
+    pub max_depth: Cell<usize>,
+}
+
+impl CtxState {
+    /// Create an idle context.
+    pub fn new() -> CtxState {
+        CtxState {
+            queue: RefCell::new(VecDeque::new()),
+            arrived: Notify::new(),
+            lock: SimMutex::new(),
+            dispatch: RefCell::new(HashMap::new()),
+            serviced: Cell::new(0),
+            max_depth: Cell::new(0),
+        }
+    }
+
+    /// Enqueue arrived work and signal the progress thread.
+    pub fn push(&self, item: WorkItem) {
+        let depth = {
+            let mut q = self.queue.borrow_mut();
+            q.push_back(item);
+            q.len()
+        };
+        if depth > self.max_depth.get() {
+            self.max_depth.set(depth);
+        }
+        self.arrived.notify_all();
+    }
+
+    /// Number of queued items.
+    pub fn depth(&self) -> usize {
+        self.queue.borrow().len()
+    }
+}
+
+impl Default for CtxState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_tracks_depth_and_highwater() {
+        let c = CtxState::new();
+        assert_eq!(c.depth(), 0);
+        for i in 0..3 {
+            c.push(WorkItem::Rmw {
+                src: 0,
+                offset: 0,
+                op: RmwOp::FetchAdd(1),
+                done: Completion::new(),
+            });
+            assert_eq!(c.depth(), i + 1);
+        }
+        assert_eq!(c.max_depth.get(), 3);
+        c.queue.borrow_mut().pop_front();
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.max_depth.get(), 3);
+    }
+}

@@ -1,0 +1,334 @@
+//! The simulated machine: ranks, memories, contexts and the interconnect.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use desim::{Sim, Stats};
+use torus5d::{BgqParams, Mapping, NetState, Topology};
+
+use crate::context::CtxState;
+use crate::space::{SpaceAccount, SpaceSnapshot};
+
+/// Configuration of a simulated partition.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of processes (`p`).
+    pub nprocs: usize,
+    /// Processes per node (`c`, 1–16).
+    pub procs_per_node: usize,
+    /// Cost-model constants.
+    pub params: BgqParams,
+    /// Communication contexts per rank (`ρ`, 1 or 2 in the paper).
+    pub contexts_per_rank: usize,
+    /// Enable per-link contention modelling.
+    pub contention: bool,
+    /// Maximum simultaneously registered memory regions per rank
+    /// (`None` = unlimited). Exceeding it makes registration fail, forcing
+    /// the ARMCI fall-back protocol — the paper's "creation of memory region
+    /// may fail due to memory constraints" case.
+    pub memregion_limit: Option<usize>,
+    /// Process→torus mapping.
+    pub mapping: Mapping,
+    /// Explicit torus shape (default: the standard BG/Q partition shape for
+    /// the node count). Useful for stressing specific dimensions.
+    pub shape: Option<torus5d::TorusShape>,
+}
+
+impl MachineConfig {
+    /// A conventional configuration: `nprocs` ranks, 16/node, analytic
+    /// network, one context, unlimited regions, `ABCDET` mapping.
+    pub fn new(nprocs: usize) -> MachineConfig {
+        MachineConfig {
+            nprocs,
+            procs_per_node: 16,
+            params: BgqParams::default(),
+            contexts_per_rank: 1,
+            contention: false,
+            memregion_limit: None,
+            mapping: Mapping::abcdet(),
+            shape: None,
+        }
+    }
+
+    /// Set processes per node.
+    pub fn procs_per_node(mut self, c: usize) -> Self {
+        self.procs_per_node = c;
+        self
+    }
+
+    /// Set the context count (ρ).
+    pub fn contexts(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one context");
+        self.contexts_per_rank = n;
+        self
+    }
+
+    /// Enable/disable link contention.
+    pub fn contention(mut self, on: bool) -> Self {
+        self.contention = on;
+        self
+    }
+
+    /// Set a per-rank memory-region limit.
+    pub fn memregion_limit(mut self, limit: Option<usize>) -> Self {
+        self.memregion_limit = limit;
+        self
+    }
+
+    /// Override the cost parameters.
+    pub fn params(mut self, p: BgqParams) -> Self {
+        self.params = p;
+        self
+    }
+
+    /// Force an explicit torus shape (must hold ≥ nprocs/procs_per_node
+    /// nodes).
+    pub fn shape(mut self, dims: [u16; 5]) -> Self {
+        self.shape = Some(torus5d::TorusShape::new(dims));
+        self
+    }
+}
+
+/// Identifier of a registered memory region within one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId(pub usize);
+
+/// Why memory-region registration failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionError {
+    /// The per-rank region limit was reached (paper: registration "may fail
+    /// due to memory constraints" at scale).
+    LimitReached,
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::LimitReached => write!(f, "memory region limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Region {
+    pub off: usize,
+    pub len: usize,
+    pub active: bool,
+}
+
+/// Per-rank simulation state.
+pub(crate) struct RankState {
+    pub memory: RefCell<Vec<u8>>,
+    pub next_alloc: Cell<usize>,
+    pub regions: RefCell<Vec<Region>>,
+    pub active_regions: Cell<usize>,
+    pub contexts: Vec<Rc<CtxState>>,
+    pub endpoints: RefCell<HashSet<(u32, u8)>>,
+    pub space: SpaceAccount,
+}
+
+impl RankState {
+    fn new(contexts: usize) -> RankState {
+        RankState {
+            memory: RefCell::new(Vec::new()),
+            next_alloc: Cell::new(0),
+            regions: RefCell::new(Vec::new()),
+            active_regions: Cell::new(0),
+            contexts: (0..contexts).map(|_| Rc::new(CtxState::new())).collect(),
+            endpoints: RefCell::new(HashSet::new()),
+            space: SpaceAccount::default(),
+        }
+    }
+
+    pub fn write(&self, off: usize, data: &[u8]) {
+        let mut mem = self.memory.borrow_mut();
+        let end = off + data.len();
+        if mem.len() < end {
+            mem.resize(end, 0);
+        }
+        mem[off..end].copy_from_slice(data);
+    }
+
+    pub fn read(&self, off: usize, len: usize) -> Vec<u8> {
+        let mut mem = self.memory.borrow_mut();
+        let end = off + len;
+        if mem.len() < end {
+            mem.resize(end, 0);
+        }
+        mem[off..end].to_vec()
+    }
+
+    pub fn read_i64(&self, off: usize) -> i64 {
+        let b = self.read(off, 8);
+        i64::from_le_bytes(b.try_into().expect("8 bytes"))
+    }
+
+    pub fn write_i64(&self, off: usize, v: i64) {
+        self.write(off, &v.to_le_bytes());
+    }
+}
+
+pub(crate) struct MachineInner {
+    pub sim: Sim,
+    pub cfg: MachineConfig,
+    pub topo: Topology,
+    pub net: RefCell<NetState>,
+    pub ranks: Vec<Rc<RankState>>,
+    pub stats: Stats,
+}
+
+/// A simulated Blue Gene/Q partition running `nprocs` PGAS processes.
+///
+/// Clone freely; all clones share the underlying state. Obtain per-rank
+/// handles with [`Machine::rank`] and spawn rank programs on the associated
+/// [`Sim`].
+#[derive(Clone)]
+pub struct Machine {
+    pub(crate) inner: Rc<MachineInner>,
+}
+
+impl Machine {
+    /// Build a machine on `sim` with the given configuration.
+    pub fn new(sim: Sim, cfg: MachineConfig) -> Machine {
+        assert!(cfg.nprocs >= 1);
+        let nodes = cfg.nprocs.div_ceil(cfg.procs_per_node);
+        let shape = match cfg.shape {
+            Some(shape) => {
+                assert!(
+                    shape.num_nodes() >= nodes,
+                    "explicit shape {shape} too small for {nodes} nodes"
+                );
+                shape
+            }
+            None => torus5d::TorusShape::for_nodes(nodes),
+        };
+        let topo = Topology {
+            shape,
+            procs_per_node: cfg.procs_per_node,
+            mapping: cfg.mapping.clone(),
+        };
+        let net = NetState::new(topo.clone(), cfg.params.clone(), cfg.contention);
+        let ranks = (0..cfg.nprocs)
+            .map(|_| Rc::new(RankState::new(cfg.contexts_per_rank)))
+            .collect();
+        let stats = sim.stats();
+        Machine {
+            inner: Rc::new(MachineInner {
+                sim,
+                cfg,
+                topo,
+                net: RefCell::new(net),
+                ranks,
+                stats,
+            }),
+        }
+    }
+
+    /// The simulation this machine runs on.
+    pub fn sim(&self) -> &Sim {
+        &self.inner.sim
+    }
+
+    /// Number of processes.
+    pub fn nprocs(&self) -> usize {
+        self.inner.cfg.nprocs
+    }
+
+    /// Machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.inner.cfg
+    }
+
+    /// Cost-model constants.
+    pub fn params(&self) -> &BgqParams {
+        &self.inner.cfg.params
+    }
+
+    /// Partition topology.
+    pub fn topology(&self) -> &Topology {
+        &self.inner.topo
+    }
+
+    /// Shared statistics registry (same as the simulation's).
+    pub fn stats(&self) -> Stats {
+        self.inner.stats.clone()
+    }
+
+    /// Handle for one rank.
+    pub fn rank(&self, r: usize) -> crate::PamiRank {
+        assert!(r < self.nprocs(), "rank {r} out of range");
+        crate::PamiRank {
+            m: self.clone(),
+            r,
+        }
+    }
+
+    /// Space-accounting snapshot for a rank.
+    pub fn space(&self, rank: usize) -> SpaceSnapshot {
+        self.inner.ranks[rank].space.snapshot()
+    }
+
+    /// The context index on which *incoming* remote requests are enqueued:
+    /// with ρ ≥ 2 the dedicated progress context (1), otherwise the only
+    /// context (0). Mirrors the paper's two-context design (§III-D).
+    pub fn target_ctx(&self) -> usize {
+        if self.inner.cfg.contexts_per_rank >= 2 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Total messages the interconnect has delivered.
+    pub fn net_messages(&self) -> u64 {
+        self.inner.net.borrow().messages()
+    }
+
+    /// Total payload bytes the interconnect has delivered.
+    pub fn net_bytes(&self) -> u64 {
+        self.inner.net.borrow().bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Sim;
+
+    #[test]
+    fn machine_construction() {
+        let sim = Sim::new();
+        let m = Machine::new(sim, MachineConfig::new(64).procs_per_node(16));
+        assert_eq!(m.nprocs(), 64);
+        assert_eq!(m.topology().shape.num_nodes(), 4);
+        assert_eq!(m.target_ctx(), 0);
+    }
+
+    #[test]
+    fn two_context_machine_routes_to_ctx1() {
+        let sim = Sim::new();
+        let m = Machine::new(sim, MachineConfig::new(4).contexts(2));
+        assert_eq!(m.target_ctx(), 1);
+    }
+
+    #[test]
+    fn rank_state_memory_grows_on_demand() {
+        let rs = RankState::new(1);
+        rs.write(100, &[1, 2, 3]);
+        assert_eq!(rs.read(100, 3), vec![1, 2, 3]);
+        assert_eq!(rs.read(4000, 2), vec![0, 0]); // untouched memory is zero
+        rs.write_i64(200, -77);
+        assert_eq!(rs.read_i64(200), -77);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_rank_panics() {
+        let sim = Sim::new();
+        let m = Machine::new(sim, MachineConfig::new(2));
+        let _ = m.rank(2);
+    }
+}

@@ -1,0 +1,965 @@
+//! Per-rank PAMI operations: memory, regions, endpoints, RMA, AMOs, AM and
+//! the progress engine.
+
+use std::rc::Rc;
+
+use desim::futures::{race, Either};
+use desim::{Completion, SimDuration};
+use torus5d::MsgClass;
+
+use crate::context::{AmEnv, AmHandler, AmMsg, CtxState, RmwOp, WorkItem};
+use crate::machine::{Machine, Region, RegionError, RegionId};
+
+/// Completions returned by a put-style operation.
+#[derive(Clone)]
+pub struct PutHandles {
+    /// Source buffer is reusable (MPI-style buffer-reuse semantics).
+    pub local: Completion<()>,
+    /// Data is globally visible at the target (what `fence` waits on).
+    pub remote: Completion<()>,
+}
+
+/// Handle to a running asynchronous progress thread.
+pub struct AsyncThread {
+    stop: Completion<()>,
+}
+
+impl AsyncThread {
+    /// Ask the thread to exit at its next wake-up.
+    pub fn stop(&self) {
+        if !self.stop.is_complete() {
+            self.stop.complete(());
+        }
+    }
+}
+
+/// Handle to one simulated process ("task" in PAMI terms).
+///
+/// All communication primitives are modelled after PAMI's RMA/AM interface:
+/// `rdma_*` operations complete without target-CPU involvement; `sw_*`,
+/// [`PamiRank::rmw`], [`PamiRank::acc_f64`] and [`PamiRank::am_send`] enqueue
+/// work that the target only executes when its progress engine runs
+/// ([`PamiRank::advance`], driven by [`PamiRank::progress_wait`] or an
+/// asynchronous progress thread).
+#[derive(Clone)]
+pub struct PamiRank {
+    pub(crate) m: Machine,
+    pub(crate) r: usize,
+}
+
+impl PamiRank {
+    /// This rank's id.
+    pub fn id(&self) -> usize {
+        self.r
+    }
+
+    /// The machine this rank belongs to.
+    pub fn machine(&self) -> &Machine {
+        &self.m
+    }
+
+    fn state(&self) -> &Rc<crate::machine::RankState> {
+        &self.m.inner.ranks[self.r]
+    }
+
+    fn ctx(&self, idx: usize) -> Rc<CtxState> {
+        Rc::clone(&self.state().contexts[idx])
+    }
+
+    // ------------------------------------------------------------------
+    // Memory
+    // ------------------------------------------------------------------
+
+    /// Allocate `len` bytes in this rank's memory arena (8-byte aligned).
+    pub fn alloc(&self, len: usize) -> usize {
+        let st = self.state();
+        let off = (st.next_alloc.get() + 7) & !7;
+        st.next_alloc.set(off + len);
+        off
+    }
+
+    /// Write raw bytes into this rank's memory.
+    pub fn write_bytes(&self, off: usize, data: &[u8]) {
+        self.state().write(off, data);
+    }
+
+    /// Read raw bytes from this rank's memory.
+    pub fn read_bytes(&self, off: usize, len: usize) -> Vec<u8> {
+        self.state().read(off, len)
+    }
+
+    /// Read an `i64` (little-endian) from this rank's memory.
+    pub fn read_i64(&self, off: usize) -> i64 {
+        self.state().read_i64(off)
+    }
+
+    /// Write an `i64` (little-endian) into this rank's memory.
+    pub fn write_i64(&self, off: usize, v: i64) {
+        self.state().write_i64(off, v);
+    }
+
+    /// Read `n` f64s from this rank's memory.
+    pub fn read_f64s(&self, off: usize, n: usize) -> Vec<f64> {
+        let raw = self.read_bytes(off, n * 8);
+        raw.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect()
+    }
+
+    /// Write f64s into this rank's memory.
+    pub fn write_f64s(&self, off: usize, xs: &[f64]) {
+        let mut raw = Vec::with_capacity(xs.len() * 8);
+        for x in xs {
+            raw.extend_from_slice(&x.to_le_bytes());
+        }
+        self.write_bytes(off, &raw);
+    }
+
+    // ------------------------------------------------------------------
+    // PAMI objects: contexts, endpoints, memory regions
+    // ------------------------------------------------------------------
+
+    /// Pay the context-creation cost for this rank's ρ contexts and account
+    /// their space (ε each). Called once at runtime initialization.
+    pub async fn create_contexts(&self) {
+        let p = self.m.params().clone();
+        let n = self.m.config().contexts_per_rank as u64;
+        self.m.sim().sleep(p.context_create * n).await;
+        for _ in 0..n {
+            self.state().space.add_context(p.context_bytes);
+        }
+        self.m.stats().add("pami.contexts_created", n);
+    }
+
+    /// Ensure an endpoint addressing `(target, ctx)` exists; creating one
+    /// costs β and α bytes. Returns `true` when it was created by this call.
+    pub async fn ensure_endpoint(&self, target: usize, ctx: usize) -> bool {
+        let key = (target as u32, ctx as u8);
+        if self.state().endpoints.borrow().contains(&key) {
+            return false;
+        }
+        let p = self.m.params();
+        let (beta, alpha) = (p.endpoint_create, p.endpoint_bytes);
+        self.m.sim().sleep(beta).await;
+        self.state().endpoints.borrow_mut().insert(key);
+        self.state().space.add_endpoint(alpha);
+        self.m.stats().incr("pami.endpoints_created");
+        true
+    }
+
+    /// Number of endpoints this rank has created.
+    pub fn endpoint_count(&self) -> usize {
+        self.state().endpoints.borrow().len()
+    }
+
+    /// Register `[off, off+len)` as an RDMA memory region. Costs δ and γ
+    /// bytes of metadata; fails once the per-rank limit is reached.
+    pub async fn register_region(&self, off: usize, len: usize) -> Result<RegionId, RegionError> {
+        let limit = self.m.config().memregion_limit;
+        let st = self.state();
+        if let Some(limit) = limit {
+            if st.active_regions.get() >= limit {
+                self.m.stats().incr("pami.region_register_failed");
+                return Err(RegionError::LimitReached);
+            }
+        }
+        let p = self.m.params();
+        let (delta, gamma) = (p.memregion_create, p.memregion_bytes);
+        self.m.sim().sleep(delta).await;
+        let id = {
+            let mut regions = st.regions.borrow_mut();
+            regions.push(Region {
+                off,
+                len,
+                active: true,
+            });
+            RegionId(regions.len() - 1)
+        };
+        st.active_regions.set(st.active_regions.get() + 1);
+        st.space.add_region(gamma);
+        self.m.stats().incr("pami.regions_created");
+        Ok(id)
+    }
+
+    /// Register a region without charging δ — for setup-phase allocations
+    /// (e.g. collective array creation) excluded from measurement windows.
+    /// Still respects the region limit and accounts γ bytes.
+    pub fn register_region_untimed(&self, off: usize, len: usize) -> Result<RegionId, RegionError> {
+        let st = self.state();
+        if let Some(limit) = self.m.config().memregion_limit {
+            if st.active_regions.get() >= limit {
+                self.m.stats().incr("pami.region_register_failed");
+                return Err(RegionError::LimitReached);
+            }
+        }
+        let id = {
+            let mut regions = st.regions.borrow_mut();
+            regions.push(Region {
+                off,
+                len,
+                active: true,
+            });
+            RegionId(regions.len() - 1)
+        };
+        st.active_regions.set(st.active_regions.get() + 1);
+        st.space.add_region(self.m.params().memregion_bytes);
+        self.m.stats().incr("pami.regions_created");
+        Ok(id)
+    }
+
+    /// Deregister a region, freeing a limit slot and its metadata bytes.
+    pub fn deregister_region(&self, id: RegionId) {
+        let st = self.state();
+        let mut regions = st.regions.borrow_mut();
+        let region = &mut regions[id.0];
+        if region.active {
+            region.active = false;
+            st.active_regions.set(st.active_regions.get() - 1);
+            st.space.sub_region(self.m.params().memregion_bytes);
+        }
+    }
+
+    /// Find an active region of this rank fully covering `[off, off+len)`.
+    pub fn find_region(&self, off: usize, len: usize) -> Option<RegionId> {
+        self.state()
+            .regions
+            .borrow()
+            .iter()
+            .enumerate()
+            .find(|(_, reg)| reg.active && reg.off <= off && off + len <= reg.off + reg.len)
+            .map(|(i, _)| RegionId(i))
+    }
+
+    /// Number of currently active regions.
+    pub fn region_count(&self) -> usize {
+        self.state().active_regions.get()
+    }
+
+    /// `(offset, len)` bounds of a registered region.
+    pub fn region_bounds(&self, id: RegionId) -> (usize, usize) {
+        let regions = self.state().regions.borrow();
+        let r = &regions[id.0];
+        (r.off, r.len)
+    }
+
+    /// Register an active-message handler under `dispatch` on context `ctx`.
+    pub fn register_dispatch(&self, ctx: usize, dispatch: u16, handler: AmHandler) {
+        self.ctx(ctx).dispatch.borrow_mut().insert(dispatch, handler);
+    }
+
+    // ------------------------------------------------------------------
+    // RDMA (zero-copy, no target CPU)
+    // ------------------------------------------------------------------
+
+    /// RDMA put: `len` bytes from this rank's `local_off` to `target`'s
+    /// `remote_off`. The data snapshot is taken at post time (buffer-reuse
+    /// semantics); the remote completion fires when the payload lands, the
+    /// local completion after the hardware ack returns.
+    pub async fn rdma_put(
+        &self,
+        target: usize,
+        local_off: usize,
+        remote_off: usize,
+        len: usize,
+    ) -> PutHandles {
+        let inner = Rc::clone(&self.m.inner);
+        let sim = self.m.sim().clone();
+        let p = self.m.params().clone();
+        self.m.stats().incr("pami.rdma_put");
+        sim.sleep(p.o_send).await;
+        let data = self.read_bytes(local_off, len);
+        let inject = sim.now() + p.rdma_engine;
+        let arrival = inner
+            .net
+            .borrow_mut()
+            .deliver(inject, self.r, target, len, MsgClass::Ordered)
+            + p.align_penalty(len);
+        let handles = PutHandles {
+            local: Completion::new(),
+            remote: Completion::new(),
+        };
+        let remote_done = handles.remote.clone();
+        let tgt_state = Rc::clone(&inner.ranks[target]);
+        sim.schedule(arrival, move || {
+            tgt_state.write(remote_off, &data);
+            remote_done.complete(());
+        });
+        let hops = inner.topo.hops(self.r, target);
+        let ack = arrival + p.oneway_header(hops);
+        let local_done = handles.local.clone();
+        sim.schedule(ack, move || local_done.complete(()));
+        handles
+    }
+
+    /// RDMA get: `len` bytes from `target`'s `remote_off` into this rank's
+    /// `local_off`. The target memory is read when the request reaches the
+    /// target NIC — no target CPU involvement (paper Eq. 7).
+    pub async fn rdma_get(
+        &self,
+        target: usize,
+        local_off: usize,
+        remote_off: usize,
+        len: usize,
+    ) -> Completion<()> {
+        let inner = Rc::clone(&self.m.inner);
+        let sim = self.m.sim().clone();
+        let p = self.m.params().clone();
+        self.m.stats().incr("pami.rdma_get");
+        sim.sleep(p.o_send).await;
+        let inject = sim.now() + p.rdma_engine;
+        let req_arrival =
+            inner
+                .net
+                .borrow_mut()
+                .deliver(inject, self.r, target, 0, MsgClass::Control);
+        let done = Completion::new();
+        let done2 = done.clone();
+        let src = self.r;
+        let sim2 = sim.clone();
+        sim.schedule(req_arrival, move || {
+            let data = inner.ranks[target].read(remote_off, len);
+            let resp_arrival = inner
+                .net
+                .borrow_mut()
+                .deliver(req_arrival, target, src, len, MsgClass::Ordered)
+                + p.align_penalty(len);
+            let src_state = Rc::clone(&inner.ranks[src]);
+            sim2.schedule(resp_arrival, move || {
+                src_state.write(local_off, &data);
+                done2.complete(());
+            });
+        });
+        done
+    }
+
+    // ------------------------------------------------------------------
+    // Software path (target CPU required)
+    // ------------------------------------------------------------------
+
+    fn push_to_target(&self, target: usize, arrival: desim::SimTime, item: WorkItem) {
+        let inner = Rc::clone(&self.m.inner);
+        let ctx_idx = self.m.target_ctx();
+        self.m.sim().schedule(arrival, move || {
+            inner.ranks[target].contexts[ctx_idx].push(item);
+        });
+    }
+
+    /// Software put (PAMI default RMA): the payload travels as an active
+    /// message and is written by the *target CPU* during progress.
+    pub async fn sw_put(
+        &self,
+        target: usize,
+        local_off: usize,
+        remote_off: usize,
+        len: usize,
+    ) -> PutHandles {
+        let inner = Rc::clone(&self.m.inner);
+        let sim = self.m.sim().clone();
+        let p = self.m.params().clone();
+        self.m.stats().incr("pami.sw_put");
+        sim.sleep(p.o_send).await;
+        let data = self.read_bytes(local_off, len);
+        let arrival = inner.net.borrow_mut().deliver(
+            sim.now(),
+            self.r,
+            target,
+            len + p.am_header_bytes,
+            MsgClass::Ordered,
+        );
+        let handles = PutHandles {
+            local: Completion::new(),
+            remote: Completion::new(),
+        };
+        handles.local.complete(()); // buffered at send
+        self.push_to_target(
+            target,
+            arrival,
+            WorkItem::SwPut {
+                src: self.r,
+                offset: remote_off,
+                data,
+                remote_done: handles.remote.clone(),
+            },
+        );
+        handles
+    }
+
+    /// Software get (the fall-back protocol, paper Eq. 8): an active message
+    /// asks the target to read and reply; requires target progress.
+    pub async fn sw_get(
+        &self,
+        target: usize,
+        local_off: usize,
+        remote_off: usize,
+        len: usize,
+    ) -> Completion<()> {
+        let inner = Rc::clone(&self.m.inner);
+        let sim = self.m.sim().clone();
+        let p = self.m.params().clone();
+        self.m.stats().incr("pami.sw_get");
+        sim.sleep(p.o_send).await;
+        let arrival = inner.net.borrow_mut().deliver(
+            sim.now(),
+            self.r,
+            target,
+            p.am_header_bytes,
+            MsgClass::Control,
+        );
+        let done = Completion::new();
+        self.push_to_target(
+            target,
+            arrival,
+            WorkItem::SwGet {
+                src: self.r,
+                offset: remote_off,
+                len,
+                local_off,
+                done: done.clone(),
+            },
+        );
+        done
+    }
+
+    /// Accumulate `dst[i] += scale·src[i]` over f64s at the target (applied
+    /// by the target CPU during progress; associative, so unordered with
+    /// respect to other accumulates).
+    pub async fn acc_f64(
+        &self,
+        target: usize,
+        local_off: usize,
+        remote_off: usize,
+        elems: usize,
+        scale: f64,
+    ) -> PutHandles {
+        let inner = Rc::clone(&self.m.inner);
+        let sim = self.m.sim().clone();
+        let p = self.m.params().clone();
+        self.m.stats().incr("pami.acc");
+        sim.sleep(p.o_send).await;
+        let data = self.read_bytes(local_off, elems * 8);
+        let arrival = inner.net.borrow_mut().deliver(
+            sim.now(),
+            self.r,
+            target,
+            elems * 8 + p.am_header_bytes,
+            MsgClass::Ordered,
+        );
+        let handles = PutHandles {
+            local: Completion::new(),
+            remote: Completion::new(),
+        };
+        handles.local.complete(());
+        self.push_to_target(
+            target,
+            arrival,
+            WorkItem::AccF64 {
+                src: self.r,
+                offset: remote_off,
+                scale,
+                data,
+                remote_done: handles.remote.clone(),
+            },
+        );
+        handles
+    }
+
+    /// Atomic read-modify-write on an i64 in the target's memory. AMOs are
+    /// **unordered** with respect to all other traffic (paper §III-A4) and
+    /// serviced by target-side software (§III-D).
+    pub async fn rmw(&self, target: usize, remote_off: usize, op: RmwOp) -> Completion<i64> {
+        let inner = Rc::clone(&self.m.inner);
+        let sim = self.m.sim().clone();
+        let p = self.m.params().clone();
+        self.m.stats().incr("pami.rmw");
+        sim.sleep(p.o_send).await;
+        let arrival = inner.net.borrow_mut().deliver(
+            sim.now(),
+            self.r,
+            target,
+            16,
+            MsgClass::Unordered,
+        );
+        let done = Completion::new();
+        self.push_to_target(
+            target,
+            arrival,
+            WorkItem::Rmw {
+                src: self.r,
+                offset: remote_off,
+                op,
+                done: done.clone(),
+            },
+        );
+        done
+    }
+
+    /// Packed (typed-datatype) strided get: ship a chunk descriptor to the
+    /// target, whose CPU gathers the chunks into one bulk reply; the reply is
+    /// scattered into `local_chunks` here. Used for tall-skinny strided
+    /// transfers (paper §III-C2).
+    pub async fn packed_get(
+        &self,
+        target: usize,
+        chunks: Vec<(usize, usize)>,
+        local_chunks: Vec<(usize, usize)>,
+    ) -> Completion<()> {
+        let inner = Rc::clone(&self.m.inner);
+        let sim = self.m.sim().clone();
+        let p = self.m.params().clone();
+        self.m.stats().incr("pami.packed_get");
+        sim.sleep(p.o_send).await;
+        let desc_bytes = p.am_header_bytes + chunks.len() * 16;
+        let arrival = inner.net.borrow_mut().deliver(
+            sim.now(),
+            self.r,
+            target,
+            desc_bytes,
+            MsgClass::Control,
+        );
+        let done = Completion::new();
+        self.push_to_target(
+            target,
+            arrival,
+            WorkItem::PackedGet {
+                src: self.r,
+                chunks,
+                local_chunks,
+                done: done.clone(),
+            },
+        );
+        done
+    }
+
+    /// Packed (typed-datatype) strided put: gather the local chunks (CPU
+    /// pack cost), ship one bulk message, and have the target CPU scatter it.
+    pub async fn packed_put(
+        &self,
+        target: usize,
+        local_chunks: Vec<(usize, usize)>,
+        remote_chunks: Vec<(usize, usize)>,
+    ) -> PutHandles {
+        let inner = Rc::clone(&self.m.inner);
+        let sim = self.m.sim().clone();
+        let p = self.m.params().clone();
+        self.m.stats().incr("pami.packed_put");
+        sim.sleep(p.o_send).await;
+        let total: usize = local_chunks.iter().map(|&(_, l)| l).sum();
+        sim.sleep(SimDuration::from_ps(total as u64 * p.pack_byte_time_ps))
+            .await;
+        let mut data = Vec::with_capacity(total);
+        for &(off, len) in &local_chunks {
+            data.extend_from_slice(&self.read_bytes(off, len));
+        }
+        let arrival = inner.net.borrow_mut().deliver(
+            sim.now(),
+            self.r,
+            target,
+            total + p.am_header_bytes + remote_chunks.len() * 16,
+            MsgClass::Ordered,
+        );
+        let handles = PutHandles {
+            local: Completion::new(),
+            remote: Completion::new(),
+        };
+        handles.local.complete(()); // packed copy: buffer immediately reusable
+        self.push_to_target(
+            target,
+            arrival,
+            WorkItem::PackedPut {
+                src: self.r,
+                data,
+                chunks: remote_chunks,
+                remote_done: handles.remote.clone(),
+            },
+        );
+        handles
+    }
+
+    /// Packed strided accumulate: gather local chunks, ship one message, and
+    /// have the target CPU scatter-accumulate (`dst += scale·src`) into the
+    /// remote chunks.
+    pub async fn acc_strided_f64(
+        &self,
+        target: usize,
+        local_chunks: Vec<(usize, usize)>,
+        remote_chunks: Vec<(usize, usize)>,
+        scale: f64,
+    ) -> PutHandles {
+        let inner = Rc::clone(&self.m.inner);
+        let sim = self.m.sim().clone();
+        let p = self.m.params().clone();
+        self.m.stats().incr("pami.acc_strided");
+        sim.sleep(p.o_send).await;
+        let total: usize = local_chunks.iter().map(|&(_, l)| l).sum();
+        sim.sleep(SimDuration::from_ps(total as u64 * p.pack_byte_time_ps))
+            .await;
+        let mut data = Vec::with_capacity(total);
+        for &(off, len) in &local_chunks {
+            data.extend_from_slice(&self.read_bytes(off, len));
+        }
+        let arrival = inner.net.borrow_mut().deliver(
+            sim.now(),
+            self.r,
+            target,
+            total + p.am_header_bytes + remote_chunks.len() * 16,
+            MsgClass::Ordered,
+        );
+        let handles = PutHandles {
+            local: Completion::new(),
+            remote: Completion::new(),
+        };
+        handles.local.complete(());
+        self.push_to_target(
+            target,
+            arrival,
+            WorkItem::AccStrided {
+                src: self.r,
+                data,
+                chunks: remote_chunks,
+                scale,
+                remote_done: handles.remote.clone(),
+            },
+        );
+        handles
+    }
+
+    /// Send an active message to a registered handler at the target.
+    /// The returned completion covers *local* send completion only.
+    pub async fn am_send(
+        &self,
+        target: usize,
+        dispatch: u16,
+        header: Vec<u8>,
+        payload: Vec<u8>,
+    ) -> Completion<()> {
+        let inner = Rc::clone(&self.m.inner);
+        let sim = self.m.sim().clone();
+        let p = self.m.params().clone();
+        self.m.stats().incr("pami.am");
+        sim.sleep(p.o_send).await;
+        let arrival = inner.net.borrow_mut().deliver(
+            sim.now(),
+            self.r,
+            target,
+            header.len() + payload.len() + p.am_header_bytes,
+            MsgClass::Control,
+        );
+        let done = Completion::new();
+        done.complete(());
+        self.push_to_target(
+            target,
+            arrival,
+            WorkItem::Am {
+                src: self.r,
+                dispatch,
+                header,
+                payload,
+            },
+        );
+        done
+    }
+
+    /// Immediate active message (PAMI's blocking variant, §III-A2): small
+    /// header-only payloads with blocking send-completion semantics — the
+    /// call returns once the message is on the wire.
+    pub async fn am_send_immediate(&self, target: usize, dispatch: u16, header: Vec<u8>) {
+        assert!(
+            header.len() <= 128,
+            "immediate AMs carry at most 128 header bytes"
+        );
+        let inner = Rc::clone(&self.m.inner);
+        let sim = self.m.sim().clone();
+        let p = self.m.params().clone();
+        self.m.stats().incr("pami.am_immediate");
+        sim.sleep(p.o_send).await;
+        let arrival = inner.net.borrow_mut().deliver(
+            sim.now(),
+            self.r,
+            target,
+            header.len() + p.am_header_bytes,
+            MsgClass::Control,
+        );
+        self.push_to_target(
+            target,
+            arrival,
+            WorkItem::Am {
+                src: self.r,
+                dispatch,
+                header,
+                payload: Vec::new(),
+            },
+        );
+        // Blocking completion: occupied until the NIC accepts the packet.
+        sim.sleep(p.rdma_engine).await;
+    }
+
+    // ------------------------------------------------------------------
+    // Progress engine
+    // ------------------------------------------------------------------
+
+    /// Drive the progress engine on context `ctx_idx`: acquire the context
+    /// lock and service up to `max_items` queued work items. Returns the
+    /// number serviced.
+    pub async fn advance(&self, ctx_idx: usize, max_items: usize) -> usize {
+        let ctx = self.ctx(ctx_idx);
+        let _guard = ctx.lock.lock().await;
+        let mut n = 0;
+        while n < max_items {
+            let item = ctx.queue.borrow_mut().pop_front();
+            let Some(item) = item else { break };
+            self.service_item(item).await;
+            ctx.serviced.set(ctx.serviced.get() + 1);
+            n += 1;
+        }
+        n
+    }
+
+    /// Execute one work item (context lock held by the caller).
+    async fn service_item(&self, item: WorkItem) {
+        let sim = self.m.sim().clone();
+        let p = self.m.params().clone();
+        let inner = Rc::clone(&self.m.inner);
+        match item {
+            WorkItem::SwPut {
+                offset,
+                data,
+                remote_done,
+                ..
+            } => {
+                sim.sleep(p.am_dispatch).await;
+                self.state().write(offset, &data);
+                remote_done.complete(());
+            }
+            WorkItem::SwGet {
+                src,
+                offset,
+                len,
+                local_off,
+                done,
+            } => {
+                sim.sleep(p.am_dispatch).await;
+                let data = self.state().read(offset, len);
+                let resp = inner.net.borrow_mut().deliver(
+                    sim.now(),
+                    self.r,
+                    src,
+                    len,
+                    MsgClass::Ordered,
+                ) + p.align_penalty(len);
+                let src_state = Rc::clone(&inner.ranks[src]);
+                sim.schedule(resp, move || {
+                    src_state.write(local_off, &data);
+                    done.complete(());
+                });
+            }
+            WorkItem::Rmw {
+                src,
+                offset,
+                op,
+                done,
+            } => {
+                sim.sleep(p.rmw_service).await;
+                let old = self.state().read_i64(offset);
+                let new = match op {
+                    RmwOp::FetchAdd(v) => Some(old.wrapping_add(v)),
+                    RmwOp::Swap(v) => Some(v),
+                    RmwOp::CompareSwap { compare, swap } => {
+                        if old == compare {
+                            Some(swap)
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some(new) = new {
+                    self.state().write_i64(offset, new);
+                }
+                let resp = inner.net.borrow_mut().deliver(
+                    sim.now(),
+                    self.r,
+                    src,
+                    8,
+                    MsgClass::Unordered,
+                );
+                sim.schedule(resp, move || done.complete(old));
+            }
+            WorkItem::AccF64 {
+                offset,
+                scale,
+                data,
+                remote_done,
+                ..
+            } => {
+                let elems = data.len() / 8;
+                let cost = p.am_dispatch
+                    + SimDuration::from_ps(elems as u64 * p.acc_elem_time_ps);
+                sim.sleep(cost).await;
+                let incoming: Vec<f64> = data
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect();
+                let mut cur = self.read_f64s(offset, elems);
+                for (c, x) in cur.iter_mut().zip(&incoming) {
+                    *c += scale * x;
+                }
+                self.write_f64s(offset, &cur);
+                remote_done.complete(());
+            }
+            WorkItem::PackedGet {
+                src,
+                chunks,
+                local_chunks,
+                done,
+            } => {
+                let total: usize = chunks.iter().map(|&(_, l)| l).sum();
+                let pack = SimDuration::from_ps(total as u64 * p.pack_byte_time_ps);
+                sim.sleep(p.am_dispatch + pack).await;
+                let mut data = Vec::with_capacity(total);
+                for &(off, len) in &chunks {
+                    data.extend_from_slice(&self.state().read(off, len));
+                }
+                let resp = inner.net.borrow_mut().deliver(
+                    sim.now(),
+                    self.r,
+                    src,
+                    total,
+                    MsgClass::Ordered,
+                ) + pack; // unpack (scatter) cost at the requester
+                let src_state = Rc::clone(&inner.ranks[src]);
+                sim.schedule(resp, move || {
+                    let mut cursor = 0;
+                    for &(off, len) in &local_chunks {
+                        src_state.write(off, &data[cursor..cursor + len]);
+                        cursor += len;
+                    }
+                    done.complete(());
+                });
+            }
+            WorkItem::PackedPut {
+                data,
+                chunks,
+                remote_done,
+                ..
+            } => {
+                let total = data.len();
+                let pack = SimDuration::from_ps(total as u64 * p.pack_byte_time_ps);
+                sim.sleep(p.am_dispatch + pack).await;
+                let mut cursor = 0;
+                for &(off, len) in &chunks {
+                    self.state().write(off, &data[cursor..cursor + len]);
+                    cursor += len;
+                }
+                remote_done.complete(());
+            }
+            WorkItem::AccStrided {
+                data,
+                chunks,
+                scale,
+                remote_done,
+                ..
+            } => {
+                let elems = data.len() / 8;
+                let cost = p.am_dispatch
+                    + SimDuration::from_ps(elems as u64 * p.acc_elem_time_ps);
+                sim.sleep(cost).await;
+                let mut cursor = 0;
+                for &(off, len) in &chunks {
+                    let n = len / 8;
+                    let mut cur = self.read_f64s(off, n);
+                    for (i, c) in cur.iter_mut().enumerate() {
+                        let b = &data[cursor + i * 8..cursor + i * 8 + 8];
+                        let x = f64::from_le_bytes(b.try_into().expect("8 bytes"));
+                        *c += scale * x;
+                    }
+                    self.write_f64s(off, &cur);
+                    cursor += len;
+                }
+                remote_done.complete(());
+            }
+            WorkItem::Am {
+                src,
+                dispatch,
+                header,
+                payload,
+            } => {
+                sim.sleep(p.am_dispatch).await;
+                let ctx = self.ctx(self.m.target_ctx());
+                let handler = ctx.dispatch.borrow().get(&dispatch).cloned();
+                match handler {
+                    Some(h) => h(
+                        AmEnv {
+                            machine: self.m.clone(),
+                            rank: self.r,
+                        },
+                        AmMsg {
+                            src,
+                            header,
+                            payload,
+                        },
+                    ),
+                    None => {
+                        self.m.stats().incr("pami.am_unhandled");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Block until `done` completes, *while driving the progress engine* on
+    /// the main context — this is how the default (D) configuration services
+    /// remote requests: only when the main thread is inside a blocking
+    /// communication call (paper §IV-B3).
+    pub async fn progress_wait<T: Clone + 'static>(&self, done: &Completion<T>) -> T {
+        let main_ctx = self.ctx(0);
+        loop {
+            if let Some(v) = done.peek() {
+                // Completions are reaped by advancing the context, which
+                // requires the progress-engine lock — with ρ=1 this is where
+                // the main thread contends with the asynchronous progress
+                // thread (§III-D).
+                let _reap = main_ctx.lock.lock().await;
+                return v;
+            }
+            if main_ctx.depth() > 0 {
+                self.advance(0, 1).await;
+                continue;
+            }
+            match race(done.wait(), main_ctx.arrived.wait()).await {
+                Either::Left(v) => {
+                    let _reap = main_ctx.lock.lock().await;
+                    return v;
+                }
+                Either::Right(()) => {}
+            }
+        }
+    }
+
+    /// Start an asynchronous progress thread (the paper's "AT" design): a
+    /// task on one of the node's spare SMT threads that services context
+    /// `ctx_idx` whenever work arrives, independent of the main thread.
+    pub fn start_progress_thread(&self, ctx_idx: usize) -> AsyncThread {
+        let stop = Completion::new();
+        let stop2 = stop.clone();
+        let this = self.clone();
+        let sim = self.m.sim().clone();
+        self.m.sim().spawn(async move {
+            loop {
+                if stop2.is_complete() {
+                    break;
+                }
+                let ctx = this.ctx(ctx_idx);
+                if ctx.depth() == 0 {
+                    match race(ctx.arrived.wait(), stop2.wait()).await {
+                        Either::Left(()) => {}
+                        Either::Right(()) => break,
+                    }
+                    continue;
+                }
+                sim.sleep(this.m.params().at_wakeup).await;
+                let n = this.advance(ctx_idx, usize::MAX).await;
+                this.m.stats().add("pami.at_serviced", n as u64);
+            }
+        });
+        AsyncThread { stop }
+    }
+}

@@ -1,0 +1,188 @@
+//! Cross-validation: the closed-form LogGP models of `torus5d::cost`
+//! (the paper's Eqs. 7–9) against the event-level simulation. The two are
+//! independent implementations of the same cost structure; agreement here
+//! means the figures produced by the simulator are the figures the models
+//! predict.
+
+use desim::{Sim, SimDuration, SimTime};
+use pami_sim::{Machine, MachineConfig};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn machine(nprocs: usize) -> (Sim, Machine) {
+    let sim = Sim::new();
+    let m = Machine::new(sim.clone(), MachineConfig::new(nprocs).procs_per_node(1));
+    (sim, m)
+}
+
+/// |a - b| <= tol microseconds.
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+#[test]
+fn eq7_rdma_get_model_matches_simulation() {
+    for bytes in [16usize, 256, 4096, 65536, 1 << 20] {
+        let (sim, m) = machine(2);
+        let a = m.rank(0);
+        let b = m.rank(1);
+        let remote = b.alloc(bytes);
+        let local = a.alloc(bytes);
+        let p = m.params().clone();
+        let s = sim.clone();
+        let out = Rc::new(Cell::new(0.0));
+        let out2 = Rc::clone(&out);
+        sim.spawn(async move {
+            let t0 = s.now();
+            a.rdma_get(1, local, remote, bytes).await.wait().await;
+            s.sleep(p.o_recv).await;
+            out2.set((s.now() - t0).as_us());
+        });
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        sim.shutdown();
+        let hops = m.topology().hops(0, 1);
+        let model = m.params().model_rdma_get(hops, bytes).as_us();
+        assert!(
+            close(out.get(), model, 0.01),
+            "bytes={bytes}: sim {} vs Eq.7 {}",
+            out.get(),
+            model
+        );
+    }
+}
+
+#[test]
+fn eq8_fallback_model_matches_simulation_with_prompt_target() {
+    // Eq. 8 assumes the target services promptly; give it an async thread
+    // with zero wake-up overhead for an apples-to-apples check, and allow
+    // the wake-up granularity as tolerance otherwise.
+    for bytes in [16usize, 1024, 65536] {
+        let (sim, m) = machine(2);
+        let a = m.rank(0);
+        let b = m.rank(1);
+        let remote = b.alloc(bytes);
+        let local = a.alloc(bytes);
+        let _at = b.start_progress_thread(0);
+        let p = m.params().clone();
+        let s = sim.clone();
+        let out = Rc::new(Cell::new(0.0));
+        let out2 = Rc::clone(&out);
+        sim.spawn(async move {
+            let t0 = s.now();
+            a.sw_get(1, local, remote, bytes).await.wait().await;
+            s.sleep(p.o_recv).await;
+            out2.set((s.now() - t0).as_us());
+        });
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        sim.shutdown();
+        let hops = m.topology().hops(0, 1);
+        let model = m.params().model_fallback_get(hops, bytes).as_us();
+        // Tolerance: AT wake-up + AM header wire time.
+        let tol = m.params().at_wakeup.as_us()
+            + m.params().wire_time(m.params().am_header_bytes).as_us()
+            + 0.05;
+        assert!(
+            close(out.get(), model, tol),
+            "bytes={bytes}: sim {} vs Eq.8 {} (tol {tol})",
+            out.get(),
+            model
+        );
+    }
+}
+
+#[test]
+fn eq9_strided_model_matches_chunked_rdma_gets() {
+    // Post n chunk gets back-to-back and wait for all: the paper's Eq. 9
+    // o·(m/l0) + L + m·G structure (plus the per-chunk NIC engine time and
+    // completion processing the model folds into o).
+    let total = 1 << 18;
+    for l0 in [4096usize, 16384, 65536] {
+        let chunks = total / l0;
+        let (sim, m) = machine(2);
+        let a = m.rank(0);
+        let b = m.rank(1);
+        let remote = b.alloc(total * 2);
+        let local = a.alloc(total);
+        let p = m.params().clone();
+        let s = sim.clone();
+        let out = Rc::new(Cell::new(0.0));
+        let out2 = Rc::clone(&out);
+        sim.spawn(async move {
+            let t0 = s.now();
+            let mut dones = Vec::new();
+            for i in 0..chunks {
+                dones.push(
+                    a.rdma_get(1, local + i * l0, remote + i * l0 * 2, l0)
+                        .await,
+                );
+            }
+            for d in dones {
+                d.wait().await;
+            }
+            s.sleep(p.o_recv).await;
+            out2.set((s.now() - t0).as_us());
+        });
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        sim.shutdown();
+        let hops = m.topology().hops(0, 1);
+        let p = m.params();
+        // Eq. 9 adds the posting overheads and the wire time (no overlap);
+        // the event simulation pipelines them. The measured time must land
+        // between the overlapped lower bound max(o·chunks, m·G) and Eq. 9's
+        // upper bound, both plus the fixed round-trip terms.
+        let fixed = (p.o_send + p.rdma_engine).as_us() // first post before overlap
+            + 2.0 * p.oneway_header(hops).as_us()
+            + p.o_recv.as_us()
+            + 1.0;
+        let posting = (p.o_send + p.rdma_engine).as_us() * chunks as f64;
+        let wire = p.wire_time(total).as_us();
+        let lower = posting.max(wire);
+        let upper = p.model_strided(hops, l0, chunks).as_us()
+            + p.oneway_header(hops).as_us()
+            + p.o_recv.as_us()
+            + 1.0;
+        assert!(
+            out.get() >= lower && out.get() <= upper + fixed,
+            "l0={l0}: sim {} outside [{lower}, {}]",
+            out.get(),
+            upper + fixed
+        );
+    }
+}
+
+#[test]
+fn hop_latency_in_simulation_equals_parameter() {
+    // Measure two distances through the full sim and recover 35 ns/hop.
+    let (sim, m) = machine(64);
+    let far = (1..64)
+        .max_by_key(|&r| m.topology().hops(0, r))
+        .expect("ranks");
+    let near = (1..64)
+        .find(|&r| m.topology().hops(0, r) == 1)
+        .expect("adjacent");
+    let h_far = m.topology().hops(0, far);
+    let lat = |target: usize| {
+        let (sim, m) = machine(64);
+        let a = m.rank(0);
+        let b = m.rank(target);
+        let remote = b.alloc(16);
+        let local = a.alloc(16);
+        let s = sim.clone();
+        let out = Rc::new(Cell::new(0.0));
+        let out2 = Rc::clone(&out);
+        sim.spawn(async move {
+            let t0 = s.now();
+            a.rdma_get(target, local, remote, 16).await.wait().await;
+            out2.set((s.now() - t0).as_ns());
+        });
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        sim.shutdown();
+        out.get()
+    };
+    let per_hop = (lat(far) - lat(near)) / ((h_far - 1) as f64 * 2.0);
+    assert!(
+        (per_hop - 35.0).abs() < 0.5,
+        "per-hop {per_hop} ns != 35 ns"
+    );
+    let _ = sim;
+}

@@ -1,0 +1,129 @@
+//! Deterministic dimension-ordered routing.
+//!
+//! Blue Gene/Q's software interfaces (at the time of the paper) enabled
+//! deterministic dimension-order routing only; this is what guarantees PAMI's
+//! pairwise message ordering. A route visits dimensions A→B→C→D→E, taking the
+//! shorter wrap direction in each (ties resolve to the positive direction).
+
+use crate::coords::{wrap_delta, Coord};
+use crate::shape::TorusShape;
+
+/// A directed physical link: from node `from`, along `dim`, in `dir`
+/// (+1 or −1). Used as the contention-tracking key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// Source node of the link.
+    pub from: Coord,
+    /// Dimension the link travels along (0=A … 4=E).
+    pub dim: u8,
+    /// Direction: `true` = increasing coordinate.
+    pub plus: bool,
+}
+
+/// Compute the dimension-ordered route between two nodes as the sequence of
+/// links traversed. An empty route means the nodes are identical.
+pub fn route(shape: &TorusShape, src: Coord, dst: Coord) -> Vec<Link> {
+    let mut links = Vec::new();
+    let mut cur = src;
+    for dim in 0..5u8 {
+        let size = shape.dim(dim as usize);
+        let delta = wrap_delta(cur.get(dim as usize), dst.get(dim as usize), size);
+        let plus = delta >= 0;
+        for _ in 0..delta.unsigned_abs() {
+            links.push(Link {
+                from: cur,
+                dim,
+                plus,
+            });
+            let c = cur.get(dim as usize);
+            let next = if plus {
+                (c + 1) % size
+            } else {
+                (c + size - 1) % size
+            };
+            cur = cur.with(dim as usize, next);
+        }
+    }
+    debug_assert_eq!(cur, dst, "route must terminate at destination");
+    links
+}
+
+/// Hop count of the dimension-ordered route (equals the torus distance,
+/// since dimension-order routing is minimal).
+pub fn hops(shape: &TorusShape, src: Coord, dst: Coord) -> u32 {
+    shape.torus_distance(src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_length_equals_distance() {
+        let s = TorusShape::for_nodes(128);
+        let a = s.node_coord(0);
+        for i in 0..s.num_nodes() {
+            let b = s.node_coord(i);
+            assert_eq!(route(&s, a, b).len() as u32, s.torus_distance(a, b));
+        }
+    }
+
+    #[test]
+    fn route_visits_dimensions_in_order() {
+        let s = TorusShape::new([4, 4, 4, 4, 2]);
+        let r = route(&s, Coord([0, 0, 0, 0, 0]), Coord([2, 1, 0, 3, 1]));
+        let dims: Vec<u8> = r.iter().map(|l| l.dim).collect();
+        let mut sorted = dims.clone();
+        sorted.sort_unstable();
+        assert_eq!(dims, sorted, "dimension order violated: {dims:?}");
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let s = TorusShape::for_nodes(32);
+        let c = s.node_coord(7);
+        assert!(route(&s, c, c).is_empty());
+    }
+
+    #[test]
+    fn route_takes_shorter_wrap_direction() {
+        let s = TorusShape::new([8, 1, 1, 1, 1]);
+        // 0 -> 6 should go backwards (2 hops) not forwards (6 hops).
+        let r = route(&s, Coord([0, 0, 0, 0, 0]), Coord([6, 0, 0, 0, 0]));
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|l| !l.plus));
+        // Tie (0 -> 4 in size 8) resolves to positive.
+        let r = route(&s, Coord([0, 0, 0, 0, 0]), Coord([4, 0, 0, 0, 0]));
+        assert_eq!(r.len(), 4);
+        assert!(r.iter().all(|l| l.plus));
+    }
+
+    #[test]
+    fn route_is_deterministic() {
+        let s = TorusShape::for_nodes(64);
+        let a = s.node_coord(3);
+        let b = s.node_coord(49);
+        assert_eq!(route(&s, a, b), route(&s, a, b));
+    }
+
+    #[test]
+    fn consecutive_links_are_connected() {
+        let s = TorusShape::for_nodes(128);
+        let a = s.node_coord(0);
+        let b = s.node_coord(101);
+        let r = route(&s, a, b);
+        let mut cur = a;
+        for link in &r {
+            assert_eq!(link.from, cur);
+            let size = s.dim(link.dim as usize);
+            let c = cur.get(link.dim as usize);
+            let next = if link.plus {
+                (c + 1) % size
+            } else {
+                (c + size - 1) % size
+            };
+            cur = cur.with(link.dim as usize, next);
+        }
+        assert_eq!(cur, b);
+    }
+}

@@ -1,0 +1,109 @@
+//! The paper's §III-E motivating workload: a distributed `C = A·B` whose
+//! inner loop overlaps non-blocking **gets of A and B** with **accumulates
+//! into C**. Under the naive per-target consistency scheme every get is
+//! fenced behind the outstanding accumulates (false positives); the paper's
+//! per-memory-region status (`cs_mr`) recognizes that A/B reads and C writes
+//! touch different distributed structures and skips the fences.
+//!
+//! ```sh
+//! cargo run --release --example dgemm_overlap
+//! ```
+
+use armci::{Armci, ArmciConfig, ConsistencyMode};
+use desim::{Sim, SimDuration};
+use global_arrays::Ga;
+use pami_sim::{Machine, MachineConfig};
+
+const N: usize = 96; // matrix dimension
+const NB: usize = 24; // block size
+const P: usize = 4;
+
+fn run(mode: ConsistencyMode) -> (f64, u64, f64) {
+    let sim = Sim::new();
+    let machine = Machine::new(sim.clone(), MachineConfig::new(P).procs_per_node(1).contexts(2));
+    let armci = Armci::new(machine, ArmciConfig::default().consistency(mode));
+    let a = Ga::create(&armci, "A", N, N);
+    let b = Ga::create(&armci, "B", N, N);
+    let c = Ga::create(&armci, "C", N, N);
+    // A = 1, B = identity  =>  C should equal A after one sweep.
+    a.fill(1.0);
+    b.fill(0.0);
+    for i in 0..N {
+        b.set_direct(i, i, 1.0);
+    }
+    c.fill(0.0);
+
+    let nblk = N / NB;
+    for r in 0..P {
+        let rk = armci.rank(r);
+        let s = sim.clone();
+        let (a, b, c) = (a.clone(), b.clone(), c.clone());
+        sim.spawn(async move {
+            let abuf = rk.malloc(NB * NB * 8).await;
+            let bbuf = rk.malloc(NB * NB * 8).await;
+            let cbuf = rk.malloc(NB * NB * 8).await;
+            // Own a strided slice of the (i,j) block space.
+            let mut task = 0usize;
+            for bi in 0..nblk {
+                for bj in 0..nblk {
+                    if task % P == r {
+                        let (ilo, ihi) = (bi * NB, (bi + 1) * NB);
+                        let (jlo, jhi) = (bj * NB, (bj + 1) * NB);
+                        for bk in 0..nblk {
+                            let (klo, khi) = (bk * NB, (bk + 1) * NB);
+                            // Overlapped: gets of A(b_i,b_k), B(b_k,b_j) while
+                            // the previous accumulate into C is still in
+                            // flight — the cs_mr pattern.
+                            a.get_patch(&rk, ilo, ihi, klo, khi, abuf).await;
+                            b.get_patch(&rk, klo, khi, jlo, jhi, bbuf).await;
+                            // Local NB x NB dgemm (modelled flops + real math).
+                            let av = rk.pami().read_f64s(abuf, NB * NB);
+                            let bv = rk.pami().read_f64s(bbuf, NB * NB);
+                            let mut cv = vec![0.0f64; NB * NB];
+                            for i in 0..NB {
+                                for k in 0..NB {
+                                    let aik = av[i * NB + k];
+                                    if aik != 0.0 {
+                                        for j in 0..NB {
+                                            cv[i * NB + j] += aik * bv[k * NB + j];
+                                        }
+                                    }
+                                }
+                            }
+                            rk.pami().write_f64s(cbuf, &cv);
+                            s.sleep(SimDuration::from_us(40)).await; // flop time
+                            c.acc_patch(&rk, ilo, ihi, jlo, jhi, cbuf, 1.0).await;
+                        }
+                    }
+                    task += 1;
+                }
+            }
+            rk.barrier().await;
+        });
+    }
+    let end = sim.run();
+    let fences = armci.induced_fences();
+    armci.finalize();
+    sim.shutdown();
+    // Verify: C == A (since B = I).
+    let checksum = c.checksum();
+    assert!(
+        (checksum - (N * N) as f64).abs() < 1e-6,
+        "C checksum {checksum} != {}",
+        N * N
+    );
+    (end.as_us(), fences, checksum)
+}
+
+fn main() {
+    println!("dgemm with overlapped gets (A,B) and accumulates (C), {N}x{N}, {P} ranks");
+    let (t_naive, f_naive, _) = run(ConsistencyMode::PerTarget);
+    println!("  cs_tgt (naive): {t_naive:>10.1} us, induced fences = {f_naive}");
+    let (t_mr, f_mr, _) = run(ConsistencyMode::PerRegion);
+    println!("  cs_mr  (paper): {t_mr:>10.1} us, induced fences = {f_mr}");
+    println!(
+        "  cs_mr removes {} false-positive fences and is {:.1}% faster; result verified (C = A)",
+        f_naive - f_mr,
+        100.0 * (t_naive - t_mr) / t_naive
+    );
+}

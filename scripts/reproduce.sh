@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the paper plus the design ablations.
+# Results land in results/*.txt. Full-scale fig9/fig11 take a few minutes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release -p bgq-bench --bins
+mkdir -p results
+run() { echo "== $1"; ./target/release/"$1" ${2-} > "results/$1.txt" 2>&1; }
+run table2_attributes
+run fig3_latency
+run fig4_bandwidth
+run fig5_latency_per_byte
+run fig6_efficiency
+run fig7_rank_latency
+run fig8_strided
+run fig9_rmw
+run fig11_nwchem_scf
+run abl_fallback
+run abl_contexts
+run abl_consistency
+run abl_region_cache
+run abl_strided_pack
+run abl_contention
+run abl_mapping
+echo "all results in results/"

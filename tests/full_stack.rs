@@ -1,0 +1,268 @@
+//! Cross-crate integration tests: the full desim → torus5d → pami-sim →
+//! armci → global-arrays → nwchem-scf stack, asserting the paper's
+//! qualitative results as invariants.
+
+use armci::{Armci, ArmciConfig, ConsistencyMode, ProgressMode};
+use desim::{Sim, SimDuration, SimTime};
+use global_arrays::{Ga, SharedCounter};
+use nwchem_scf::{run_scf, ScfConfig};
+use pami_sim::{Machine, MachineConfig};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+fn fixture(p: usize, contexts: usize, mode: ProgressMode) -> (Sim, Armci) {
+    let sim = Sim::new();
+    let machine = Machine::new(
+        sim.clone(),
+        MachineConfig::new(p).procs_per_node(1).contexts(contexts),
+    );
+    let armci = Armci::new(machine, ArmciConfig::default().progress(mode));
+    (sim, armci)
+}
+
+fn finish(sim: &Sim, armci: &Armci) {
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+    armci.finalize();
+    sim.shutdown();
+}
+
+#[test]
+fn paper_headline_get_latency_holds_through_full_stack() {
+    let (sim, armci) = fixture(2, 2, ProgressMode::AsyncThread);
+    let r0 = armci.rank(0);
+    let r1 = armci.rank(1);
+    let lat = Rc::new(Cell::new(0.0));
+    let lat2 = Rc::clone(&lat);
+    let s = sim.clone();
+    sim.spawn(async move {
+        let remote = r1.malloc(64).await;
+        let local = r0.malloc(64).await;
+        r0.get(1, local, remote, 16).await;
+        let t0 = s.now();
+        for _ in 0..20 {
+            r0.get(1, local, remote, 16).await;
+        }
+        lat2.set((s.now() - t0).as_us() / 20.0);
+    });
+    finish(&sim, &armci);
+    assert!((lat.get() - 2.89).abs() < 0.05, "16B get = {}", lat.get());
+}
+
+#[test]
+fn ga_over_armci_over_pami_moves_bits_correctly() {
+    // A torture mix: strided puts, gets, accumulates and counter draws from
+    // every rank concurrently, then global verification.
+    let p = 9;
+    let (sim, armci) = fixture(p, 2, ProgressMode::AsyncThread);
+    let ga = Ga::create(&armci, "t", 30, 30);
+    ga.fill(1.0);
+    let counter = SharedCounter::create(&armci, 0);
+    for r in 0..p {
+        let rk = armci.rank(r);
+        let ga = ga.clone();
+        let counter = counter.clone();
+        sim.spawn(async move {
+            let buf = rk.malloc(30 * 30 * 8).await;
+            loop {
+                let t = counter.next(&rk, 1).await;
+                if t >= 30 {
+                    break;
+                }
+                // Each task accumulates +1 into one row.
+                let row = t as usize;
+                rk.pami().write_f64s(buf, &[1.0; 30]);
+                ga.acc_patch(&rk, row, row + 1, 0, 30, buf, 1.0).await;
+            }
+            rk.barrier().await;
+        });
+    }
+    finish(&sim, &armci);
+    // Every row got exactly one +1 on top of the initial 1.0.
+    for i in 0..30 {
+        for j in 0..30 {
+            assert_eq!(ga.get_direct(i, j), 2.0, "({i},{j})");
+        }
+    }
+    assert_eq!(ga.checksum(), 2.0 * 900.0);
+}
+
+#[test]
+fn at_never_loses_to_default_on_counter_heavy_workload() {
+    for p in [4usize, 8, 12] {
+        let d = run_scf(p, &ScfConfig::tiny(ProgressMode::Default));
+        let at = run_scf(p, &ScfConfig::tiny(ProgressMode::AsyncThread));
+        assert!(
+            at.total_us <= d.total_us * 1.01,
+            "p={p}: AT {} > D {}",
+            at.total_us,
+            d.total_us
+        );
+        assert!(
+            at.counter_wait_mean_us <= d.counter_wait_mean_us,
+            "p={p}: AT counter wait not better"
+        );
+    }
+}
+
+#[test]
+fn consistency_modes_agree_on_results_differ_on_fences() {
+    // Same random-ish workload under both trackers must produce identical
+    // final data; only the induced-fence count may differ.
+    let mut checksums = Vec::new();
+    let mut fences = Vec::new();
+    for mode in [ConsistencyMode::PerTarget, ConsistencyMode::PerRegion] {
+        let p = 4;
+        let sim = Sim::new();
+        let machine = Machine::new(
+            sim.clone(),
+            MachineConfig::new(p).procs_per_node(1).contexts(2),
+        );
+        let armci = Armci::new(
+            machine,
+            ArmciConfig::default()
+                .progress(ProgressMode::AsyncThread)
+                .consistency(mode),
+        );
+        let a = Ga::create(&armci, "A", 16, 16);
+        let c = Ga::create(&armci, "C", 16, 16);
+        a.fill(3.0);
+        c.fill(0.0);
+        for r in 0..p {
+            let rk = armci.rank(r);
+            let (a, c) = (a.clone(), c.clone());
+            sim.spawn(async move {
+                let buf = rk.malloc(16 * 16 * 8).await;
+                let contrib = rk.malloc(16 * 16 * 8).await;
+                rk.pami().write_f64s(contrib, &[1.0; 256]);
+                for _ in 0..5 {
+                    c.acc_patch(&rk, 0, 16, 0, 16, contrib, 1.0).await;
+                    a.get_patch(&rk, 0, 16, 0, 16, buf).await; // disjoint read
+                    // The read must see pristine A regardless of mode.
+                    assert_eq!(rk.pami().read_f64s(buf, 1)[0], 3.0);
+                }
+                rk.barrier().await;
+            });
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+        armci.finalize();
+        sim.shutdown();
+        checksums.push(c.checksum());
+        fences.push(armci.induced_fences());
+    }
+    assert_eq!(checksums[0], checksums[1]);
+    assert_eq!(checksums[0], (4 * 5 * 256) as f64);
+    assert!(
+        fences[1] < fences[0],
+        "cs_mr ({}) must fence less than cs_tgt ({})",
+        fences[1],
+        fences[0]
+    );
+}
+
+#[test]
+fn fallback_and_rdma_paths_agree_on_data() {
+    // The same program with regions enabled/disabled must move identical
+    // bytes; only the timing and protocol counters differ.
+    let mut sums = Vec::new();
+    for limit in [None, Some(0)] {
+        let sim = Sim::new();
+        let machine = Machine::new(
+            sim.clone(),
+            MachineConfig::new(3)
+                .procs_per_node(1)
+                .contexts(2)
+                .memregion_limit(limit),
+        );
+        let armci = Armci::new(machine, ArmciConfig::default());
+        let done = Rc::new(Cell::new(0.0f64));
+        let done2 = Rc::clone(&done);
+        let r0 = armci.rank(0);
+        let r1 = armci.rank(1);
+        sim.spawn(async move {
+            let src = r0.malloc(1024).await;
+            let dst = r1.malloc(1024).await;
+            let back = r0.malloc(1024).await;
+            let data: Vec<f64> = (0..128).map(|x| x as f64 * 0.5).collect();
+            r0.pami().write_f64s(src, &data);
+            r0.put(1, src, dst, 1024).await;
+            r0.fence(1).await;
+            r0.get(1, back, dst, 1024).await;
+            done2.set(r0.pami().read_f64s(back, 128).iter().sum());
+        });
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+        armci.finalize();
+        sim.shutdown();
+        sums.push(done.get());
+    }
+    assert_eq!(sums[0], sums[1]);
+    assert_eq!(sums[0], (0..128).map(|x| x as f64 * 0.5).sum::<f64>());
+}
+
+#[test]
+fn scf_scales_down_total_time_with_more_ranks() {
+    // Strong scaling sanity: 8 ranks finish faster than 2 on the same work.
+    let cfg = ScfConfig::tiny(ProgressMode::AsyncThread);
+    let small = run_scf(2, &cfg);
+    let large = run_scf(8, &cfg);
+    assert!(
+        large.total_us < small.total_us,
+        "8 ranks ({}) not faster than 2 ({})",
+        large.total_us,
+        small.total_us
+    );
+}
+
+#[test]
+fn rank_latency_oscillates_with_torus_distance() {
+    // Miniature Fig 7: on a multi-node partition, per-rank get latency is a
+    // monotone function of hop count.
+    let p = 64;
+    let (sim, armci) = fixture(p, 2, ProgressMode::AsyncThread);
+    let topo = armci.machine().topology().clone();
+    let r0 = armci.rank(0);
+    let lat: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(vec![0.0; p]));
+    let lat2 = Rc::clone(&lat);
+    let s = sim.clone();
+    let armci2 = armci.clone();
+    sim.spawn(async move {
+        let local = r0.malloc(64).await;
+        for t in 1..p {
+            let pr = armci2.machine().rank(t);
+            let off = pr.alloc(64);
+            let _ = pr.register_region_untimed(off, 64);
+            r0.get(t, local, off, 16).await; // warm
+            let t0 = s.now();
+            r0.get(t, local, off, 16).await;
+            lat2.borrow_mut()[t] = (s.now() - t0).as_us();
+        }
+    });
+    finish(&sim, &armci);
+    let lat = lat.borrow();
+    // Group by hops: means must be strictly increasing in hop count.
+    let mut by_hops: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
+    for t in 1..p {
+        by_hops.entry(topo.hops(0, t)).or_default().push(lat[t]);
+    }
+    let means: Vec<(u32, f64)> = by_hops
+        .iter()
+        .map(|(h, v)| (*h, v.iter().sum::<f64>() / v.len() as f64))
+        .collect();
+    for w in means.windows(2) {
+        assert!(
+            w[1].1 > w[0].1,
+            "latency not increasing with hops: {means:?}"
+        );
+    }
+    // Each extra hop adds ~2*35ns.
+    if means.len() >= 2 {
+        let (h0, l0) = means[1]; // skip intra-node entry if present
+        let (h1, l1) = *means.last().unwrap();
+        if h1 > h0 && h0 >= 1 {
+            let per_hop = (l1 - l0) * 1000.0 / ((h1 - h0) as f64 * 2.0);
+            assert!(
+                (per_hop - 35.0).abs() < 5.0,
+                "per-hop {per_hop} ns != 35 ns"
+            );
+        }
+    }
+}

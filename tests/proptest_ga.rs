@@ -1,0 +1,95 @@
+//! End-to-end property test: arbitrary patches of a block-distributed
+//! global array round-trip through the full ARMCI/PAMI/network stack.
+
+use armci::{Armci, ArmciConfig};
+use desim::{Sim, SimDuration, SimTime};
+use global_arrays::Ga;
+use pami_sim::{Machine, MachineConfig};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn patch_round_trip(
+    rows: usize,
+    cols: usize,
+    p: usize,
+    rlo: usize,
+    rhi: usize,
+    clo: usize,
+    chi: usize,
+    caller: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let sim = Sim::new();
+    let machine = Machine::new(
+        sim.clone(),
+        MachineConfig::new(p).procs_per_node(1).contexts(2),
+    );
+    let armci = Armci::new(machine, ArmciConfig::default());
+    let ga = Ga::create(&armci, "t", rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            ga.set_direct(i, j, (i * cols + j) as f64);
+        }
+    }
+    let rk = armci.rank(caller);
+    let elems = (rhi - rlo) * (chi - clo);
+    let got: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+    let got2 = Rc::clone(&got);
+    let ga2 = ga.clone();
+    sim.spawn(async move {
+        let buf = rk.malloc(elems * 8).await;
+        // Read the patch, double it, write it back, read again.
+        ga2.get_patch(&rk, rlo, rhi, clo, chi, buf).await;
+        let v = rk.pami().read_f64s(buf, elems);
+        let doubled: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
+        rk.pami().write_f64s(buf, &doubled);
+        ga2.put_patch(&rk, rlo, rhi, clo, chi, buf).await;
+        rk.fence_all().await;
+        let buf2 = rk.malloc(elems * 8).await;
+        ga2.get_patch(&rk, rlo, rhi, clo, chi, buf2).await;
+        *got2.borrow_mut() = rk.pami().read_f64s(buf2, elems);
+    });
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+    armci.finalize();
+    sim.shutdown();
+    let expect: Vec<f64> = (rlo..rhi)
+        .flat_map(|i| (clo..chi).map(move |j| 2.0 * (i * cols + j) as f64))
+        .collect();
+    let got = got.borrow().clone();
+    (got, expect)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn arbitrary_patches_round_trip(
+        rows in 4usize..24,
+        cols in 4usize..24,
+        p in 1usize..7,
+        a in 0usize..24, b in 1usize..24,
+        c in 0usize..24, d in 1usize..24,
+        caller_sel in 0usize..8,
+    ) {
+        let rlo = a % rows;
+        let rhi = (rlo + 1 + b % (rows - rlo)).min(rows);
+        let clo = c % cols;
+        let chi = (clo + 1 + d % (cols - clo)).min(cols);
+        let caller = caller_sel % p;
+        let (got, expect) = patch_round_trip(rows, cols, p, rlo, rhi, clo, chi, caller);
+        prop_assert_eq!(got, expect);
+    }
+}
+
+#[test]
+fn full_matrix_patch_from_every_rank() {
+    for caller in 0..4 {
+        let (got, expect) = patch_round_trip(12, 9, 4, 0, 12, 0, 9, caller);
+        assert_eq!(got, expect, "caller {caller}");
+    }
+}
+
+#[test]
+fn single_element_patches() {
+    let (got, expect) = patch_round_trip(8, 8, 4, 3, 4, 5, 6, 1);
+    assert_eq!(got, expect);
+}

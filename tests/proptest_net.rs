@@ -1,0 +1,132 @@
+//! Property-based tests of the network model's global invariants:
+//! bandwidth conservation, pairwise ordering, and control-traffic
+//! non-starvation — for arbitrary interleaved traffic.
+
+use desim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use torus5d::{BgqParams, MsgClass, NetState, Topology};
+
+#[derive(Debug, Clone)]
+struct Msg {
+    inject_ns: u64,
+    src: usize,
+    dst: usize,
+    bytes: usize,
+    class: u8, // 0 ordered, 1 control, 2 unordered
+}
+
+fn arb_traffic() -> impl Strategy<Value = Vec<Msg>> {
+    proptest::collection::vec(
+        (0u64..10_000, 0usize..8, 0usize..8, 1usize..65536, 0u8..3).prop_map(
+            |(inject_ns, src, dst, bytes, class)| Msg {
+                inject_ns,
+                src,
+                dst: if src == dst { (dst + 1) % 8 } else { dst },
+                bytes,
+                class,
+            },
+        ),
+        1..64,
+    )
+}
+
+fn class_of(c: u8) -> MsgClass {
+    match c {
+        0 => MsgClass::Ordered,
+        1 => MsgClass::Control,
+        _ => MsgClass::Unordered,
+    }
+}
+
+proptest! {
+    #[test]
+    fn ordered_bandwidth_is_conserved_per_source(mut traffic in arb_traffic()) {
+        // The total wire time of Ordered messages from one source fits in
+        // the [first injection, last arrival] window: no source exceeds
+        // link bandwidth.
+        traffic.sort_by_key(|m| m.inject_ns);
+        let topo = Topology::for_procs(8, 1);
+        let params = BgqParams::default();
+        let mut net = NetState::new(topo, params.clone(), false);
+        let mut per_src: std::collections::HashMap<usize, (SimTime, SimTime, u64)> =
+            Default::default();
+        for m in &traffic {
+            let inject = SimTime::ZERO + SimDuration::from_ns(m.inject_ns);
+            let arrival = net.deliver(inject, m.src, m.dst, m.bytes, class_of(m.class));
+            prop_assert!(arrival > inject);
+            if m.class == 0 {
+                let e = per_src.entry(m.src).or_insert((inject, arrival, 0));
+                e.0 = e.0.min(inject);
+                e.1 = e.1.max(arrival);
+                e.2 += params.wire_time(m.bytes).as_ps();
+            }
+        }
+        for (src, (first, last, wire_total)) in per_src {
+            let window = last.since(first).as_ps();
+            prop_assert!(
+                wire_total <= window,
+                "src {src}: {wire_total} ps of wire in a {window} ps window"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_arrivals_are_monotone_for_ordered_classes(mut traffic in arb_traffic()) {
+        traffic.sort_by_key(|m| m.inject_ns);
+        let topo = Topology::for_procs(8, 1);
+        let mut net = NetState::new(topo, BgqParams::default(), false);
+        let mut last_pair: std::collections::HashMap<(usize, usize), SimTime> =
+            Default::default();
+        for m in &traffic {
+            let inject = SimTime::ZERO + SimDuration::from_ns(m.inject_ns);
+            let arrival = net.deliver(inject, m.src, m.dst, m.bytes, class_of(m.class));
+            if m.class != 2 {
+                if let Some(&prev) = last_pair.get(&(m.src, m.dst)) {
+                    prop_assert!(
+                        arrival >= prev,
+                        "pair ({},{}) reordered: {arrival:?} < {prev:?}",
+                        m.src,
+                        m.dst
+                    );
+                }
+                last_pair.insert((m.src, m.dst), arrival);
+            }
+        }
+    }
+
+    #[test]
+    fn unordered_latency_is_load_independent(traffic in arb_traffic(), probe_bytes in 1usize..64) {
+        // An AMO's latency equals the analytic reference no matter what
+        // traffic preceded it on fresh pairs.
+        let topo = Topology::for_procs(8, 1);
+        let mut net = NetState::new(topo, BgqParams::default(), false);
+        for m in &traffic {
+            let inject = SimTime::ZERO + SimDuration::from_ns(m.inject_ns);
+            // Keep probe pair (6 -> 7) out of the background traffic.
+            if (m.src, m.dst) != (6, 7) {
+                net.deliver(inject, m.src, m.dst, m.bytes, class_of(m.class));
+            }
+        }
+        let t = SimTime::ZERO + SimDuration::from_ms(1);
+        let arrival = net.deliver(t, 6, 7, probe_bytes, MsgClass::Unordered);
+        let expect = net.analytic(6, 7, probe_bytes);
+        prop_assert_eq!(arrival, t + expect);
+    }
+
+    #[test]
+    fn contended_mode_never_beats_analytic(mut traffic in arb_traffic()) {
+        traffic.sort_by_key(|m| m.inject_ns);
+        let topo = Topology::for_procs(8, 1);
+        let mut analytic = NetState::new(topo.clone(), BgqParams::default(), false);
+        let mut contended = NetState::new(topo, BgqParams::default(), true);
+        for m in &traffic {
+            let inject = SimTime::ZERO + SimDuration::from_ns(m.inject_ns);
+            let a = analytic.deliver(inject, m.src, m.dst, m.bytes, class_of(m.class));
+            let c = contended.deliver(inject, m.src, m.dst, m.bytes, class_of(m.class));
+            prop_assert!(
+                c >= a,
+                "contended {c:?} earlier than analytic {a:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the strided datatype machinery: decompositions
+//! tile the described bytes exactly, coalescing preserves them, and paired
+//! chunk lists re-split consistently.
+
+use armci::Strided;
+use proptest::prelude::*;
+
+/// Well-formed descriptor: strides at least the extent below them.
+fn arb_strided() -> impl Strategy<Value = Strided> {
+    (1usize..64, proptest::collection::vec((1usize..5, 0usize..16), 0..3), 0usize..512)
+        .prop_map(|(chunk, levels, offset)| {
+            let mut counts = Vec::new();
+            let mut strides = Vec::new();
+            let mut extent = chunk;
+            for (count, gap) in levels {
+                // Each level's stride covers the level below plus a gap, so
+                // chunks never overlap.
+                let stride = extent + gap;
+                counts.push(count);
+                strides.push(stride);
+                extent = stride * count;
+            }
+            Strided {
+                offset,
+                chunk,
+                counts,
+                strides,
+            }
+        })
+}
+
+fn byte_set(s: &Strided) -> Vec<usize> {
+    let mut v: Vec<usize> = s
+        .chunks()
+        .into_iter()
+        .flat_map(|(off, len)| off..off + len)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #[test]
+    fn chunks_cover_total_bytes_exactly(s in arb_strided()) {
+        let total: usize = s.chunks().iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(total, s.total_bytes());
+        // No overlap: the byte set has no duplicates.
+        let bytes = byte_set(&s);
+        let mut dedup = bytes.clone();
+        dedup.dedup();
+        prop_assert_eq!(bytes.len(), dedup.len(), "overlapping chunks");
+    }
+
+    #[test]
+    fn normalization_preserves_byte_set(s in arb_strided()) {
+        let n = s.normalized();
+        prop_assert_eq!(byte_set(&s), byte_set(&n));
+        prop_assert_eq!(s.total_bytes(), n.total_bytes());
+    }
+
+    #[test]
+    fn pair_chunks_is_a_consistent_resplit(rows in 1usize..16, row in 1usize..64, lgap in 0usize..32, rgap in 0usize..32) {
+        let local = Strided::patch2d(0, row, rows, row + lgap);
+        let remote = Strided::patch2d(10_000, row, rows, row + rgap);
+        let pairs = Strided::pair_chunks(&local, &remote);
+        // Pair lengths match on both sides and sum to the total.
+        let mut ltotal = 0;
+        let mut rtotal = 0;
+        for ((_, ll), (_, rl)) in &pairs {
+            prop_assert_eq!(ll, rl);
+            ltotal += ll;
+            rtotal += rl;
+        }
+        prop_assert_eq!(ltotal, local.total_bytes());
+        prop_assert_eq!(rtotal, remote.total_bytes());
+        // Walking the pairs visits each side's bytes in canonical order.
+        let mut lbytes = Vec::new();
+        let mut rbytes = Vec::new();
+        for ((lo, ll), (ro, rl)) in &pairs {
+            lbytes.extend(*lo..lo + ll);
+            rbytes.extend(*ro..ro + rl);
+        }
+        let lref: Vec<usize> = local.chunks().into_iter().flat_map(|(o, l)| o..o + l).collect();
+        let rref: Vec<usize> = remote.chunks().into_iter().flat_map(|(o, l)| o..o + l).collect();
+        prop_assert_eq!(lbytes, lref);
+        prop_assert_eq!(rbytes, rref);
+    }
+
+    #[test]
+    fn dense_patch_coalesces_to_one_chunk(rows in 1usize..32, row in 1usize..128, off in 0usize..256) {
+        let s = Strided::patch2d(off, row, rows, row); // ld == row: dense
+        let chunks = s.chunks();
+        prop_assert_eq!(chunks.len(), 1);
+        prop_assert_eq!(chunks[0], (off, rows * row));
+    }
+
+    #[test]
+    fn patch2d_chunk_count(rows in 1usize..32, row in 1usize..64, gap in 1usize..32) {
+        let s = Strided::patch2d(0, row, rows, row + gap);
+        prop_assert_eq!(s.chunks().len(), rows);
+        prop_assert_eq!(s.nchunks(), rows);
+    }
+}
