@@ -102,17 +102,13 @@ impl ArmciRank {
                 .remove(&seq)
                 .expect("collective state present");
             let params = self.armci().machine().params();
-            let cost = params.barrier_cost(p)
-                + params.wire_time(xs.len() * 8);
+            let cost = params.barrier_cost(p) + params.wire_time(xs.len() * 8);
             let result = Rc::new((st.acc, Vec::new()));
             let done2 = st.done.clone();
             self.armci()
                 .sim()
                 .schedule_in(cost, move || done2.complete(result));
-            self.armci()
-                .machine()
-                .stats()
-                .incr("armci.allreduce");
+            self.armci().machine().stats().incr("armci.allreduce");
         }
         let out = self.pami().progress_wait(&done).await;
         out.0.clone()
@@ -146,11 +142,7 @@ impl ArmciRank {
                 st.bytes_payload = d;
             }
             st.arrived += 1;
-            (
-                st.done.clone(),
-                st.arrived == p,
-                st.bytes_payload.len(),
-            )
+            (st.done.clone(), st.arrived == p, st.bytes_payload.len())
         };
         if ready {
             let st = eng
@@ -159,7 +151,8 @@ impl ArmciRank {
                 .remove(&seq)
                 .expect("collective state present");
             let params = self.armci().machine().params();
-            let cost = params.barrier_cost(p) + params.wire_time(nbytes.max(st.bytes_payload.len()));
+            let cost =
+                params.barrier_cost(p) + params.wire_time(nbytes.max(st.bytes_payload.len()));
             let result = Rc::new((Vec::new(), st.bytes_payload));
             let done2 = st.done.clone();
             self.armci()
@@ -196,14 +189,16 @@ mod tests {
     fn allreduce_sum_and_max() {
         let p = 5;
         let (sim, a) = setup(p);
-        let outs: Rc<RefCell<Vec<(Vec<f64>, Vec<f64>)>>> =
-            Rc::new(RefCell::new(vec![Default::default(); p]));
+        type Outs = Rc<RefCell<Vec<(Vec<f64>, Vec<f64>)>>>;
+        let outs: Outs = Rc::new(RefCell::new(vec![Default::default(); p]));
         for r in 0..p {
             let rk = a.rank(r);
             let outs = Rc::clone(&outs);
             sim.spawn(async move {
                 let sum = rk.allreduce_f64(&[r as f64, 1.0], ReduceOp::Sum).await;
-                let max = rk.allreduce_f64(&[r as f64, -(r as f64)], ReduceOp::Max).await;
+                let max = rk
+                    .allreduce_f64(&[r as f64, -(r as f64)], ReduceOp::Max)
+                    .await;
                 outs.borrow_mut()[r] = (sum, max);
             });
         }

@@ -61,10 +61,7 @@ impl ConsistencyTracker {
 
     /// Record an outstanding write (`done` = its remote completion).
     pub fn record_write(&mut self, target: usize, region: RegionKey, done: Completion<()>) {
-        self.writes
-            .entry((target, region))
-            .or_default()
-            .push(done);
+        self.writes.entry((target, region)).or_default().push(done);
     }
 
     /// Drop completions that already fired (cheap lazy pruning).
@@ -78,11 +75,7 @@ impl ConsistencyTracker {
     /// Completions that must be awaited before a read of `(target, region)`
     /// may be issued. Removes them from the outstanding set; increments the
     /// induced-fence counter when nonempty.
-    pub fn conflicts_for_read(
-        &mut self,
-        target: usize,
-        region: RegionKey,
-    ) -> Vec<Completion<()>> {
+    pub fn conflicts_for_read(&mut self, target: usize, region: RegionKey) -> Vec<Completion<()>> {
         self.checks += 1;
         self.prune();
         let mut out = Vec::new();

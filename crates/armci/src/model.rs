@@ -60,11 +60,26 @@ pub fn region_time(tau: usize, sigma: usize, delta: SimDuration) -> SimDuration 
 /// `(name, value)` rows for reporting.
 pub fn attribute_rows(p: &BgqParams, rho: usize) -> Vec<(&'static str, String)> {
     vec![
-        ("Endpoint Space Utilization (alpha)", format!("{} Bytes", p.endpoint_bytes)),
-        ("Endpoint Creation Time (beta)", format!("{}", p.endpoint_create)),
-        ("Memory Region Space Utilization (gamma)", format!("{} Bytes", p.memregion_bytes)),
-        ("Memory Region Creation Time (delta)", format!("{}", p.memregion_create)),
-        ("Context Space Utilization (epsilon)", format!("{} Bytes", p.context_bytes)),
+        (
+            "Endpoint Space Utilization (alpha)",
+            format!("{} Bytes", p.endpoint_bytes),
+        ),
+        (
+            "Endpoint Creation Time (beta)",
+            format!("{}", p.endpoint_create),
+        ),
+        (
+            "Memory Region Space Utilization (gamma)",
+            format!("{} Bytes", p.memregion_bytes),
+        ),
+        (
+            "Memory Region Creation Time (delta)",
+            format!("{}", p.memregion_create),
+        ),
+        (
+            "Context Space Utilization (epsilon)",
+            format!("{} Bytes", p.context_bytes),
+        ),
         ("Context Creation Time", format!("{}", p.context_create)),
         ("Number of Contexts (rho)", format!("{rho}")),
     ]
@@ -101,7 +116,11 @@ mod tests {
     fn attribute_rows_cover_table2() {
         let rows = attribute_rows(&BgqParams::default(), 2);
         assert_eq!(rows.len(), 7);
-        assert!(rows.iter().any(|(n, v)| n.contains("alpha") && v == "4 Bytes"));
-        assert!(rows.iter().any(|(n, v)| n.contains("delta") && v == "43.000us"));
+        assert!(rows
+            .iter()
+            .any(|(n, v)| n.contains("alpha") && v == "4 Bytes"));
+        assert!(rows
+            .iter()
+            .any(|(n, v)| n.contains("delta") && v == "43.000us"));
     }
 }

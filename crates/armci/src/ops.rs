@@ -10,7 +10,7 @@
 //! (Eq. 9) unless the contiguous chunk is below the pack threshold
 //! (tall-skinny), in which case the packed typed-datatype path is used.
 
-use desim::{Completion, SimDuration};
+use desim::{Completion, SimDuration, TraceValue, Tracer, TrackId};
 use pami_sim::{PamiRank, RmwOp};
 
 use crate::handle::{NbHandle, OpKind};
@@ -52,6 +52,20 @@ impl ArmciRank {
 
     fn stats(&self) -> desim::Stats {
         self.a.inner.machine.stats()
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.a.sim().tracer()
+    }
+
+    /// This rank's trace track. The `format!` (and everything else) is
+    /// guarded on enablement so disabled tracing allocates nothing.
+    fn op_track(&self, tr: &Tracer) -> TrackId {
+        if tr.on() {
+            tr.track(&format!("rank {}", self.r))
+        } else {
+            TrackId(0)
+        }
     }
 
     // ------------------------------------------------------------------
@@ -134,9 +148,7 @@ impl ArmciRank {
             let cost = self.a.inner.machine.params().barrier_cost(p);
             let offs = std::rc::Rc::new(st.offs);
             let done2 = st.done.clone();
-            self.a
-                .sim()
-                .schedule_in(cost, move || done2.complete(offs));
+            self.a.sim().schedule_in(cost, move || done2.complete(offs));
         }
         let offs = self.pami.progress_wait(&done).await;
         (*offs).clone()
@@ -183,10 +195,7 @@ impl ArmciRank {
             .await;
         let res = self.pami.progress_wait(&reply).await;
         if let Some(region) = res {
-            self.rt()
-                .region_cache
-                .borrow_mut()
-                .insert(target, region);
+            self.rt().region_cache.borrow_mut().insert(target, region);
         }
         res
     }
@@ -236,18 +245,41 @@ impl ArmciRank {
     ) -> NbHandle {
         self.stats().incr("armci.get");
         self.stats().add("armci.get_bytes", len as u64);
+        let tr = self.tracer();
+        let track = self.op_track(&tr);
+        tr.span_begin(
+            track,
+            "armci.get",
+            self.a.sim().now(),
+            &[
+                ("target", TraceValue::U64(target as u64)),
+                ("bytes", TraceValue::U64(len as u64)),
+            ],
+        );
         self.ensure_endpoint(target).await;
         let remote = self.resolve_remote(target, remote_off, len).await;
         let key = remote.map(|r| r.off);
         self.consistency_read_gate(target, key).await;
         let local_ok = self.ensure_local_region(local_off, len).await;
-        let done = if local_ok && remote.is_some() {
+        let (done, path) = if local_ok && remote.is_some() {
             self.stats().incr("armci.get_rdma");
-            self.pami.rdma_get(target, local_off, remote_off, len).await
+            (
+                self.pami.rdma_get(target, local_off, remote_off, len).await,
+                "rdma",
+            )
         } else {
             self.stats().incr("armci.get_fallback");
-            self.pami.sw_get(target, local_off, remote_off, len).await
+            (
+                self.pami.sw_get(target, local_off, remote_off, len).await,
+                "fallback",
+            )
         };
+        tr.span_end(
+            track,
+            "armci.get",
+            self.a.sim().now(),
+            &[("path", TraceValue::Str(path))],
+        );
         let h = NbHandle {
             kind: OpKind::Get,
             target,
@@ -274,17 +306,40 @@ impl ArmciRank {
     ) -> NbHandle {
         self.stats().incr("armci.put");
         self.stats().add("armci.put_bytes", len as u64);
+        let tr = self.tracer();
+        let track = self.op_track(&tr);
+        tr.span_begin(
+            track,
+            "armci.put",
+            self.a.sim().now(),
+            &[
+                ("target", TraceValue::U64(target as u64)),
+                ("bytes", TraceValue::U64(len as u64)),
+            ],
+        );
         self.ensure_endpoint(target).await;
         let remote = self.resolve_remote(target, remote_off, len).await;
         let key = remote.map(|r| r.off);
         let local_ok = self.ensure_local_region(local_off, len).await;
-        let handles = if local_ok && remote.is_some() {
+        let (handles, path) = if local_ok && remote.is_some() {
             self.stats().incr("armci.put_rdma");
-            self.pami.rdma_put(target, local_off, remote_off, len).await
+            (
+                self.pami.rdma_put(target, local_off, remote_off, len).await,
+                "rdma",
+            )
         } else {
             self.stats().incr("armci.put_fallback");
-            self.pami.sw_put(target, local_off, remote_off, len).await
+            (
+                self.pami.sw_put(target, local_off, remote_off, len).await,
+                "fallback",
+            )
         };
+        tr.span_end(
+            track,
+            "armci.put",
+            self.a.sim().now(),
+            &[("path", TraceValue::Str(path))],
+        );
         self.rt()
             .consistency
             .borrow_mut()
@@ -317,6 +372,18 @@ impl ArmciRank {
     ) -> NbHandle {
         self.stats().incr("armci.acc");
         self.stats().add("armci.acc_bytes", (elems * 8) as u64);
+        let tr = self.tracer();
+        let track = self.op_track(&tr);
+        tr.span_begin(
+            track,
+            "armci.acc",
+            self.a.sim().now(),
+            &[
+                ("target", TraceValue::U64(target as u64)),
+                ("bytes", TraceValue::U64((elems * 8) as u64)),
+                ("path", TraceValue::Str("software")),
+            ],
+        );
         self.ensure_endpoint(target).await;
         // Accumulates never need the region for the transfer itself, but the
         // region key (if cheaply known) lets cs_mr scope conflict tracking.
@@ -330,6 +397,7 @@ impl ArmciRank {
             .pami
             .acc_f64(target, local_off, remote_off, elems, scale)
             .await;
+        tr.span_end(track, "armci.acc", self.a.sim().now(), &[]);
         self.rt()
             .consistency
             .borrow_mut()
@@ -354,7 +422,9 @@ impl ArmciRank {
         elems: usize,
         scale: f64,
     ) {
-        let h = self.nbacc(target, local_off, remote_off, elems, scale).await;
+        let h = self
+            .nbacc(target, local_off, remote_off, elems, scale)
+            .await;
         self.wait(&h).await;
     }
 
@@ -395,6 +465,22 @@ impl ArmciRank {
         let min_chunk = pairs.iter().map(|&(_, (_, l))| l).min().unwrap_or(0);
         let zero_copy =
             min_chunk >= self.a.inner.cfg.pack_threshold && local_ok && region.is_some();
+        let tr = self.tracer();
+        let track = self.op_track(&tr);
+        tr.span_begin(
+            track,
+            "armci.get_strided",
+            self.a.sim().now(),
+            &[
+                ("target", TraceValue::U64(target as u64)),
+                ("bytes", TraceValue::U64(remote.total_bytes() as u64)),
+                ("chunks", TraceValue::U64(pairs.len() as u64)),
+                (
+                    "path",
+                    TraceValue::Str(if zero_copy { "zero_copy" } else { "packed" }),
+                ),
+            ],
+        );
         let done = if zero_copy {
             self.stats().incr("armci.strided_zero_copy");
             let mut parts = Vec::with_capacity(pairs.len());
@@ -408,6 +494,7 @@ impl ArmciRank {
                 .packed_get(target, remote.chunks(), local.chunks())
                 .await
         };
+        tr.span_end(track, "armci.get_strided", self.a.sim().now(), &[]);
         let h = NbHandle {
             kind: OpKind::Get,
             target,
@@ -445,6 +532,22 @@ impl ArmciRank {
         let min_chunk = pairs.iter().map(|&(_, (_, l))| l).min().unwrap_or(0);
         let zero_copy =
             min_chunk >= self.a.inner.cfg.pack_threshold && local_ok && region.is_some();
+        let tr = self.tracer();
+        let track = self.op_track(&tr);
+        tr.span_begin(
+            track,
+            "armci.put_strided",
+            self.a.sim().now(),
+            &[
+                ("target", TraceValue::U64(target as u64)),
+                ("bytes", TraceValue::U64(remote.total_bytes() as u64)),
+                ("chunks", TraceValue::U64(pairs.len() as u64)),
+                (
+                    "path",
+                    TraceValue::Str(if zero_copy { "zero_copy" } else { "packed" }),
+                ),
+            ],
+        );
         let (local_done, remote_done) = if zero_copy {
             self.stats().incr("armci.strided_zero_copy");
             let mut locals = Vec::with_capacity(pairs.len());
@@ -466,6 +569,7 @@ impl ArmciRank {
                 .await;
             (h.local, h.remote)
         };
+        tr.span_end(track, "armci.put_strided", self.a.sim().now(), &[]);
         self.rt()
             .consistency
             .borrow_mut()
@@ -526,13 +630,7 @@ impl ArmciRank {
     }
 
     /// Blocking strided accumulate.
-    pub async fn acc_strided(
-        &self,
-        target: usize,
-        local: &Strided,
-        remote: &Strided,
-        scale: f64,
-    ) {
+    pub async fn acc_strided(&self, target: usize, local: &Strided, remote: &Strided, scale: f64) {
         let h = self.nbacc_strided(target, local, remote, scale).await;
         self.wait(&h).await;
     }
@@ -578,12 +676,15 @@ impl ArmciRank {
         let min_len = parts.iter().map(|&(_, _, l)| l).min().expect("nonempty");
         let local_span = {
             let lo = parts.iter().map(|&(l, _, _)| l).min().expect("nonempty");
-            let hi = parts.iter().map(|&(l, _, len)| l + len).max().expect("nonempty");
+            let hi = parts
+                .iter()
+                .map(|&(l, _, len)| l + len)
+                .max()
+                .expect("nonempty");
             (lo, hi - lo)
         };
         let local_ok = self.ensure_local_region(local_span.0, local_span.1).await;
-        let done = if region.is_some() && local_ok && min_len >= self.a.inner.cfg.pack_threshold
-        {
+        let done = if region.is_some() && local_ok && min_len >= self.a.inner.cfg.pack_threshold {
             self.stats().incr("armci.strided_zero_copy");
             let mut dones = Vec::with_capacity(parts.len());
             for &(l, r, len) in parts {
@@ -633,39 +734,41 @@ impl ArmciRank {
         let key = region.map(|r| r.off);
         let local_span = {
             let lo = parts.iter().map(|&(l, _, _)| l).min().expect("nonempty");
-            let hi = parts.iter().map(|&(l, _, len)| l + len).max().expect("nonempty");
+            let hi = parts
+                .iter()
+                .map(|&(l, _, len)| l + len)
+                .max()
+                .expect("nonempty");
             (lo, hi - lo)
         };
         let local_ok = self.ensure_local_region(local_span.0, local_span.1).await;
         let min_len = parts.iter().map(|&(_, _, l)| l).min().expect("nonempty");
-        let (local_done, remote_done) = if region.is_some()
-            && local_ok
-            && min_len >= self.a.inner.cfg.pack_threshold
-        {
-            self.stats().incr("armci.strided_zero_copy");
-            let mut locals = Vec::with_capacity(parts.len());
-            let mut remotes = Vec::with_capacity(parts.len());
-            for &(l, r, len) in parts {
-                let h = self.pami.rdma_put(target, l, r, len).await;
-                locals.push(h.local);
-                remotes.push(h.remote);
-            }
-            (
-                merge_completions(self.a.sim(), locals),
-                merge_completions(self.a.sim(), remotes),
-            )
-        } else {
-            self.stats().incr("armci.strided_packed");
-            let remote_chunks: Vec<(usize, usize)> =
-                parts.iter().map(|&(_, r, l)| (r, l)).collect();
-            let local_chunks: Vec<(usize, usize)> =
-                parts.iter().map(|&(l, _, len)| (l, len)).collect();
-            let h = self
-                .pami
-                .packed_put(target, local_chunks, remote_chunks)
-                .await;
-            (h.local, h.remote)
-        };
+        let (local_done, remote_done) =
+            if region.is_some() && local_ok && min_len >= self.a.inner.cfg.pack_threshold {
+                self.stats().incr("armci.strided_zero_copy");
+                let mut locals = Vec::with_capacity(parts.len());
+                let mut remotes = Vec::with_capacity(parts.len());
+                for &(l, r, len) in parts {
+                    let h = self.pami.rdma_put(target, l, r, len).await;
+                    locals.push(h.local);
+                    remotes.push(h.remote);
+                }
+                (
+                    merge_completions(self.a.sim(), locals),
+                    merge_completions(self.a.sim(), remotes),
+                )
+            } else {
+                self.stats().incr("armci.strided_packed");
+                let remote_chunks: Vec<(usize, usize)> =
+                    parts.iter().map(|&(_, r, l)| (r, l)).collect();
+                let local_chunks: Vec<(usize, usize)> =
+                    parts.iter().map(|&(l, _, len)| (l, len)).collect();
+                let h = self
+                    .pami
+                    .packed_put(target, local_chunks, remote_chunks)
+                    .await;
+                (h.local, h.remote)
+            };
         self.rt()
             .consistency
             .borrow_mut()
@@ -695,6 +798,14 @@ impl ArmciRank {
     /// registry.
     pub async fn wait(&self, h: &NbHandle) {
         let t0 = self.a.sim().now();
+        let tr = self.tracer();
+        let track = self.op_track(&tr);
+        tr.span_begin(
+            track,
+            "armci.wait",
+            t0,
+            &[("target", TraceValue::U64(h.target as u64))],
+        );
         self.pami.progress_wait(&h.done).await;
         let p = self.a.inner.machine.params();
         match h.kind {
@@ -707,7 +818,11 @@ impl ArmciRank {
             OpKind::Put => "armci.wait.put",
             OpKind::Acc => "armci.wait.acc",
         };
-        self.stats().record_time(key, self.a.sim().now() - t0);
+        let waited = self.a.sim().now() - t0;
+        self.stats().record_time(key, waited);
+        // Same key in the histogram space: ns-granularity latency buckets.
+        self.stats().record_hist(key, waited.as_ps() / 1000);
+        tr.span_end(track, "armci.wait", self.a.sim().now(), &[]);
     }
 
     /// Wait for all outstanding implicit requests of this rank.
@@ -757,12 +872,7 @@ impl ArmciRank {
             (done, leader)
         };
         if leader {
-            let cost = self
-                .a
-                .inner
-                .machine
-                .params()
-                .barrier_cost(self.a.nprocs());
+            let cost = self.a.inner.machine.params().barrier_cost(self.a.nprocs());
             let d2 = done.clone();
             self.a.sim().schedule_in(cost, move || d2.complete(()));
         }
@@ -777,16 +887,36 @@ impl ArmciRank {
     /// value. This is the load-balance-counter primitive (§III-D).
     pub async fn rmw_fetch_add(&self, target: usize, remote_off: usize, val: i64) -> i64 {
         let t0 = self.a.sim().now();
+        // The full blocking call is one span: in D mode its length is
+        // dominated by waiting for the *target* to enter a blocking call and
+        // service the queue — exactly the pathology of §III-D.
+        let tr = self.tracer();
+        let track = self.op_track(&tr);
+        tr.span_begin(
+            track,
+            "armci.rmw",
+            t0,
+            &[
+                ("target", TraceValue::U64(target as u64)),
+                ("op", TraceValue::Str("fetch_add")),
+            ],
+        );
         self.ensure_endpoint(target).await;
         self.stats().incr("armci.rmw");
-        let done = self.pami.rmw(target, remote_off, RmwOp::FetchAdd(val)).await;
+        let done = self
+            .pami
+            .rmw(target, remote_off, RmwOp::FetchAdd(val))
+            .await;
         let old = self.pami.progress_wait(&done).await;
         self.a
             .sim()
             .sleep(self.a.inner.machine.params().o_recv)
             .await;
+        let waited = self.a.sim().now() - t0;
+        self.stats().record_time("armci.wait.rmw", waited);
         self.stats()
-            .record_time("armci.wait.rmw", self.a.sim().now() - t0);
+            .record_hist("armci.wait.rmw", waited.as_ps() / 1000);
+        tr.span_end(track, "armci.rmw", self.a.sim().now(), &[]);
         old
     }
 
@@ -804,13 +934,7 @@ impl ArmciRank {
     }
 
     /// Blocking compare-and-swap; returns the previous value.
-    pub async fn rmw_cas(
-        &self,
-        target: usize,
-        remote_off: usize,
-        compare: i64,
-        swap: i64,
-    ) -> i64 {
+    pub async fn rmw_cas(&self, target: usize, remote_off: usize, compare: i64, swap: i64) -> i64 {
         self.ensure_endpoint(target).await;
         self.stats().incr("armci.rmw");
         let done = self

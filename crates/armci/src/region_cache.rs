@@ -84,20 +84,13 @@ impl RegionCache {
     /// Insert a region fetched from `target`, evicting the globally
     /// least-frequently-used entry if at capacity. Returns the evicted
     /// entry's `(target, region)` if any.
-    pub fn insert(
-        &mut self,
-        target: usize,
-        region: RemoteRegion,
-    ) -> Option<(usize, RemoteRegion)> {
+    pub fn insert(&mut self, target: usize, region: RemoteRegion) -> Option<(usize, RemoteRegion)> {
         if self.capacity == 0 {
             return None;
         }
         // Refresh rather than duplicate if an identical entry exists.
         if let Some(ids) = self.by_target.get(&target) {
-            if let Some(&i) = ids
-                .iter()
-                .find(|&&i| self.entries[i].region == region)
-            {
+            if let Some(&i) = ids.iter().find(|&&i| self.entries[i].region == region) {
                 self.entries[i].freq += 1;
                 return None;
             }

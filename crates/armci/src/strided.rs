@@ -163,9 +163,7 @@ impl Strided {
     pub fn self_overlapping(&self) -> bool {
         let mut ranges: Vec<(usize, usize)> = self.chunks();
         ranges.sort_unstable();
-        ranges
-            .windows(2)
-            .any(|w| w[0].0 + w[0].1 > w[1].0)
+        ranges.windows(2).any(|w| w[0].0 + w[0].1 > w[1].0)
     }
 }
 

@@ -7,9 +7,16 @@ use pami_sim::{Machine, MachineConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
 
-fn setup(nprocs: usize, mcfg: impl FnOnce(MachineConfig) -> MachineConfig, acfg: ArmciConfig) -> (Sim, Armci) {
+fn setup(
+    nprocs: usize,
+    mcfg: impl FnOnce(MachineConfig) -> MachineConfig,
+    acfg: ArmciConfig,
+) -> (Sim, Armci) {
     let sim = Sim::new();
-    let machine = Machine::new(sim.clone(), mcfg(MachineConfig::new(nprocs).procs_per_node(1)));
+    let machine = Machine::new(
+        sim.clone(),
+        mcfg(MachineConfig::new(nprocs).procs_per_node(1)),
+    );
     let armci = Armci::new(machine, acfg);
     (sim, armci)
 }
@@ -49,11 +56,7 @@ fn put_get_round_trip_rdma() {
 fn fallback_used_when_regions_unavailable() {
     // Region limit 0: nothing can register; every transfer takes the
     // fall-back path yet data stays correct.
-    let (sim, a) = setup(
-        2,
-        |m| m.memregion_limit(Some(0)),
-        ArmciConfig::default(),
-    );
+    let (sim, a) = setup(2, |m| m.memregion_limit(Some(0)), ArmciConfig::default());
     let r0 = a.rank(0);
     let r1 = a.rank(1);
     let done = Rc::new(RefCell::new(false));
@@ -155,7 +158,10 @@ fn per_region_mode_skips_fence_for_disjoint_structures() {
         induced.push(a.induced_fences());
     }
     assert!(induced[0] >= 4, "naive mode must fence: {induced:?}");
-    assert_eq!(induced[1], 0, "cs_mr must not fence disjoint reads: {induced:?}");
+    assert_eq!(
+        induced[1], 0,
+        "cs_mr must not fence disjoint reads: {induced:?}"
+    );
 }
 
 #[test]
@@ -171,7 +177,8 @@ fn strided_round_trip_zero_copy() {
         let local_base = r0.malloc(4 * 1024).await;
         let back = r0.malloc(4 * 1024).await;
         for row in 0..4usize {
-            r0.pami().write_bytes(local_base + row * 1024, &[row as u8 + 1; 1024]);
+            r0.pami()
+                .write_bytes(local_base + row * 1024, &[row as u8 + 1; 1024]);
         }
         let local = Strided::patch2d(local_base, 1024, 4, 1024);
         let remote = Strided::patch2d(remote_base, 1024, 4, 2048);
@@ -187,8 +194,14 @@ fn strided_round_trip_zero_copy() {
             );
         }
         // Check data actually landed strided at the target.
-        assert_eq!(r1.pami().read_bytes(remote_base + 2048, 4), vec![2, 2, 2, 2]);
-        assert_eq!(r1.pami().read_bytes(remote_base + 1024, 4), vec![0, 0, 0, 0]); // gap untouched
+        assert_eq!(
+            r1.pami().read_bytes(remote_base + 2048, 4),
+            vec![2, 2, 2, 2]
+        );
+        assert_eq!(
+            r1.pami().read_bytes(remote_base + 1024, 4),
+            vec![0, 0, 0, 0]
+        ); // gap untouched
         *ok2.borrow_mut() = true;
     });
     finish(&sim);
@@ -236,7 +249,8 @@ fn strided_acc_accumulates_patch() {
         }
         let local_base = r0.malloc(4 * 64).await;
         for row in 0..4usize {
-            r0.pami().write_f64s(local_base + row * 64, &[row as f64; 8]);
+            r0.pami()
+                .write_f64s(local_base + row * 64, &[row as f64; 8]);
         }
         let local = Strided::patch2d(local_base, 64, 4, 64);
         let remote = Strided::patch2d(remote_base, 64, 4, 64);
@@ -330,7 +344,11 @@ fn counter_works_in_default_progress_mode() {
     // D mode: the owner services AMOs only inside blocking calls; the final
     // barrier keeps it in progress_wait, so everyone completes.
     let p = 4;
-    let (sim, a) = setup(p, |m| m, ArmciConfig::default().progress(ProgressMode::Default));
+    let (sim, a) = setup(
+        p,
+        |m| m,
+        ArmciConfig::default().progress(ProgressMode::Default),
+    );
     let owner = a.rank(0);
     let counter = owner.alloc_unregistered(8);
     let results = Rc::new(RefCell::new(Vec::new()));
@@ -413,10 +431,7 @@ fn notify_wait_pairwise_sync() {
         });
     }
     finish(&sim);
-    assert_eq!(
-        &*order.borrow(),
-        &["producer-done", "consumer-resumed"]
-    );
+    assert_eq!(&*order.borrow(), &["producer-done", "consumer-resumed"]);
 }
 
 #[test]

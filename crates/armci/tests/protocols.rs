@@ -118,10 +118,7 @@ fn malloc_collective_exchanges_offsets_and_keys() {
     // And the data landed.
     for r in 0..p {
         let prev = (r + p - 1) % p;
-        assert_eq!(
-            a.machine().rank(r).read_i64(offsets[0][r]),
-            prev as i64
-        );
+        assert_eq!(a.machine().rank(r).read_i64(offsets[0][r]), prev as i64);
     }
 }
 
@@ -134,10 +131,7 @@ fn region_cache_eviction_forces_requery() {
         MachineConfig::new(p).procs_per_node(1).contexts(2),
     );
     // Cache only 2 entries: visiting 5 targets round-robin thrashes it.
-    let armci = Armci::new(
-        machine,
-        ArmciConfig::default().region_cache_capacity(2),
-    );
+    let armci = Armci::new(machine, ArmciConfig::default().region_cache_capacity(2));
     let r0 = armci.rank(0);
     let mut remotes = Vec::new();
     for t in 1..p {
@@ -232,10 +226,7 @@ fn default_mode_mixed_traffic_stress() {
     armci.finalize();
     sim.shutdown();
     assert!(handles.borrow().iter().all(|&d| d), "a rank hung");
-    assert_eq!(
-        armci.machine().rank(0).read_i64(counter),
-        (p * 10) as i64
-    );
+    assert_eq!(armci.machine().rank(0).read_i64(counter), (p * 10) as i64);
 }
 
 #[test]
@@ -288,8 +279,8 @@ fn deregistered_region_falls_back() {
         let dst = r1.malloc(1024).await;
         let buf = r0.malloc(1024).await;
         r0.get(1, buf, dst, 256).await; // RDMA (registered + cached)
-        // Owner tears the region down; the stale cache entry still points at
-        // it, but a *fresh* runtime lookup after eviction must fall back.
+                                        // Owner tears the region down; the stale cache entry still points at
+                                        // it, but a *fresh* runtime lookup after eviction must fall back.
         let id = r1.pami().find_region(dst, 1024).expect("registered");
         r1.pami().deregister_region(id);
         assert!(r1.pami().find_region(dst, 256).is_none());

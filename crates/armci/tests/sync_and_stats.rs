@@ -9,7 +9,11 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 fn setup(p: usize, mode: ProgressMode) -> (Sim, Armci) {
-    let contexts = if mode == ProgressMode::AsyncThread { 2 } else { 1 };
+    let contexts = if mode == ProgressMode::AsyncThread {
+        2
+    } else {
+        1
+    };
     let sim = Sim::new();
     let machine = Machine::new(
         sim.clone(),
@@ -174,9 +178,7 @@ fn collectives_interleave_with_rma() {
                 let next = (r + 1) % rk.armci().nprocs();
                 rk.put(next, scratch, bufs[next], 8).await;
                 rk.fence(next).await;
-                let s = rk
-                    .allreduce_f64(&[(round + r) as f64], ReduceOp::Sum)
-                    .await;
+                let s = rk.allreduce_f64(&[(round + r) as f64], ReduceOp::Sum).await;
                 sums.push(s[0]);
             }
             results.borrow_mut().push(sums);

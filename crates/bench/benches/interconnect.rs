@@ -1,63 +1,63 @@
-//! Criterion benches of the interconnect model: routing, mapping and
-//! delivery-time computation (the per-message cost of the network layer).
+//! Benches of the interconnect model: routing, mapping and delivery-time
+//! computation (the per-message cost of the network layer).
+//! Plain `Instant`-based harness; run with `cargo bench -p bgq-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use desim::SimTime;
+use std::time::Instant;
 use torus5d::{routing, BgqParams, Mapping, MsgClass, NetState, Topology, TorusShape};
 
-fn bench_routing(c: &mut Criterion) {
+fn time<F: FnMut() -> u64>(name: &str, iters: usize, mut f: F) {
+    let mut sink = f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(f());
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<40} {:>12.3} us/iter (sink {sink})", per * 1e6);
+}
+
+fn bench_routing() {
     let shape = TorusShape::for_nodes(512);
     let a = shape.node_coord(0);
     let b = shape.node_coord(377);
-    c.bench_function("interconnect/route_512n", |bch| {
-        bch.iter(|| routing::route(&shape, a, b).len());
+    time("interconnect/route_512n", 10_000, || {
+        routing::route(&shape, a, b).len() as u64
     });
-    c.bench_function("interconnect/distance_512n", |bch| {
-        bch.iter(|| shape.torus_distance(a, b));
+    time("interconnect/distance_512n", 10_000, || {
+        shape.torus_distance(a, b) as u64
     });
 }
 
-fn bench_mapping(c: &mut Criterion) {
+fn bench_mapping() {
     let shape = TorusShape::for_nodes(256);
     let m = Mapping::abcdet();
-    c.bench_function("interconnect/rank_to_coord_4096", |bch| {
-        bch.iter(|| {
-            let mut acc = 0usize;
-            for r in 0..4096 {
-                acc += m.rank_to_coord(r, &shape, 16).1;
-            }
-            acc
-        });
+    time("interconnect/rank_to_coord_4096", 100, || {
+        let mut acc = 0usize;
+        for r in 0..4096 {
+            acc += m.rank_to_coord(r, &shape, 16).1;
+        }
+        acc as u64
     });
 }
 
-fn bench_delivery(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interconnect/deliver");
+fn bench_delivery() {
     for contention in [false, true] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(if contention { "contended" } else { "analytic" }),
-            &contention,
-            |bch, &contention| {
-                let topo = Topology::for_procs(4096, 16);
-                let mut net = NetState::new(topo, BgqParams::default(), contention);
-                let mut t = SimTime::ZERO;
-                let mut src = 0usize;
-                bch.iter(|| {
-                    src = (src + 997) % 4096;
-                    let dst = (src + 2048) % 4096;
-                    t = net.deliver(t, src, dst, 4096, MsgClass::Ordered);
-                    t
-                });
-            },
-        );
+        let label = if contention { "contended" } else { "analytic" };
+        let topo = Topology::for_procs(4096, 16);
+        let mut net = NetState::new(topo, BgqParams::default(), contention);
+        let mut t = SimTime::ZERO;
+        let mut src = 0usize;
+        time(&format!("interconnect/deliver/{label}"), 10_000, || {
+            src = (src + 997) % 4096;
+            let dst = (src + 2048) % 4096;
+            t = net.deliver(t, src, dst, 4096, MsgClass::Ordered);
+            t.as_ps()
+        });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    targets = bench_routing, bench_mapping, bench_delivery
+fn main() {
+    bench_routing();
+    bench_mapping();
+    bench_delivery();
 }
-criterion_main!(benches);

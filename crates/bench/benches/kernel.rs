@@ -1,74 +1,75 @@
-//! Criterion benches of the discrete-event kernel: how much host time one
-//! simulated event costs (the figure harness's throughput is bounded by
-//! this).
+//! Benches of the discrete-event kernel: how much host time one simulated
+//! event costs (the figure harness's throughput is bounded by this).
+//! Plain `Instant`-based harness; run with `cargo bench -p bgq-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use desim::{Completion, Sim, SimDuration};
+use std::time::Instant;
 
-fn bench_timer_wheel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel/timers");
-    for n in [100usize, 1000, 10_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let sim = Sim::new();
-                for i in 0..n {
-                    let s = sim.clone();
-                    sim.spawn(async move {
-                        s.sleep(SimDuration::from_ns(i as u64 % 977)).await;
-                        s.sleep(SimDuration::from_ns(i as u64 % 331)).await;
-                    });
-                }
-                sim.run()
-            });
-        });
+fn time<F: FnMut()>(name: &str, iters: usize, mut f: F) {
+    // One warm-up iteration, then the timed batch.
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
     }
-    g.finish();
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<40} {:>12.1} us/iter", per * 1e6);
 }
 
-fn bench_completion_fanout(c: &mut Criterion) {
-    c.bench_function("kernel/completion_fanout_1000", |b| {
-        b.iter(|| {
+fn bench_timer_wheel() {
+    for n in [100usize, 1000, 10_000] {
+        time(&format!("kernel/timers/{n}"), 20, || {
             let sim = Sim::new();
-            let done: Completion<u64> = Completion::new();
-            for _ in 0..1000 {
-                let d = done.clone();
-                sim.spawn(async move { d.wait().await });
-            }
-            let d = done.clone();
-            let s = sim.clone();
-            sim.spawn(async move {
-                s.sleep(SimDuration::from_us(1)).await;
-                d.complete(42);
-            });
-            sim.run()
-        });
-    });
-}
-
-fn bench_mutex_convoy(c: &mut Criterion) {
-    c.bench_function("kernel/mutex_convoy_100x10", |b| {
-        b.iter(|| {
-            let sim = Sim::new();
-            let m = desim::sync::SimMutex::new();
-            for _ in 0..100 {
-                let m = m.clone();
+            for i in 0..n {
                 let s = sim.clone();
                 sim.spawn(async move {
-                    for _ in 0..10 {
-                        let _g = m.lock().await;
-                        s.sleep(SimDuration::from_ns(50)).await;
-                    }
+                    s.sleep(SimDuration::from_ns(i as u64 % 977)).await;
+                    s.sleep(SimDuration::from_ns(i as u64 % 331)).await;
                 });
             }
-            sim.run()
+            sim.run();
         });
+    }
+}
+
+fn bench_completion_fanout() {
+    time("kernel/completion_fanout_1000", 20, || {
+        let sim = Sim::new();
+        let done: Completion<u64> = Completion::new();
+        for _ in 0..1000 {
+            let d = done.clone();
+            sim.spawn(async move { d.wait().await });
+        }
+        let d = done.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_us(1)).await;
+            d.complete(42);
+        });
+        sim.run();
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    targets = bench_timer_wheel, bench_completion_fanout, bench_mutex_convoy
+fn bench_mutex_convoy() {
+    time("kernel/mutex_convoy_100x10", 20, || {
+        let sim = Sim::new();
+        let m = desim::sync::SimMutex::new();
+        for _ in 0..100 {
+            let m = m.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                for _ in 0..10 {
+                    let _g = m.lock().await;
+                    s.sleep(SimDuration::from_ns(50)).await;
+                }
+            });
+        }
+        sim.run();
+    });
 }
-criterion_main!(benches);
+
+fn main() {
+    bench_timer_wheel();
+    bench_completion_fanout();
+    bench_mutex_convoy();
+}

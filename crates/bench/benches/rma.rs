@@ -1,12 +1,22 @@
-//! Criterion benches of end-to-end simulated RMA operations: host cost of
-//! one simulated blocking get/put/rmw and strided transfers through the
-//! full ARMCI → PAMI → network stack.
+//! Benches of end-to-end simulated RMA operations: host cost of one
+//! simulated blocking get/put/rmw and strided transfers through the full
+//! ARMCI → PAMI → network stack.
+//! Plain `Instant`-based harness; run with `cargo bench -p bgq-bench`.
 
 use armci::{ArmciConfig, ProgressMode, Strided};
 use bgq_bench::Fixture;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use pami_sim::MachineConfig;
+use std::time::Instant;
+
+fn time<F: FnMut()>(name: &str, iters: usize, mut f: F) {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<40} {:>12.1} us/iter", per * 1e6);
+}
 
 fn sim_get(bytes: usize, reps: usize) {
     let f = Fixture::new(2, 1, ArmciConfig::default());
@@ -22,62 +32,53 @@ fn sim_get(bytes: usize, reps: usize) {
     f.finish();
 }
 
-fn bench_blocking_get(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rma/blocking_get_x100");
+fn bench_blocking_get() {
     for bytes in [16usize, 4096, 1 << 20] {
-        g.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &bytes| {
-            b.iter(|| sim_get(bytes, 100));
+        time(&format!("rma/blocking_get_x100/{bytes}"), 20, || {
+            sim_get(bytes, 100)
         });
     }
-    g.finish();
 }
 
-fn bench_rmw_contended(c: &mut Criterion) {
-    c.bench_function("rma/rmw_16ranks_x10", |b| {
-        b.iter(|| {
-            let f = Fixture::with_machine(
-                MachineConfig::new(16).procs_per_node(16).contexts(2),
-                ArmciConfig::default().progress(ProgressMode::AsyncThread),
-            );
-            let counter = f.armci.machine().rank(0).alloc(8);
-            for r in 1..16 {
-                let rk = f.rank(r);
-                f.sim.spawn(async move {
-                    for _ in 0..10 {
-                        rk.rmw_fetch_add(0, counter, 1).await;
-                    }
-                });
-            }
-            f.finish();
-        });
+fn bench_rmw_contended() {
+    time("rma/rmw_16ranks_x10", 20, || {
+        let f = Fixture::with_machine(
+            MachineConfig::new(16).procs_per_node(16).contexts(2),
+            ArmciConfig::default().progress(ProgressMode::AsyncThread),
+        );
+        let counter = f.armci.machine().rank(0).alloc(8);
+        for r in 1..16 {
+            let rk = f.rank(r);
+            f.sim.spawn(async move {
+                for _ in 0..10 {
+                    rk.rmw_fetch_add(0, counter, 1).await;
+                }
+            });
+        }
+        f.finish();
     });
 }
 
-fn bench_strided(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rma/strided_get_64x4k");
+fn bench_strided() {
     for (label, pack) in [("zero_copy", 0usize), ("packed", usize::MAX)] {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &pack, |b, &pack| {
-            b.iter(|| {
-                let f = Fixture::new(2, 1, ArmciConfig::default().pack_threshold(pack));
-                let r0 = f.rank(0);
-                let r1 = f.rank(1);
-                f.sim.spawn(async move {
-                    let remote_base = r1.malloc(64 * 8192).await;
-                    let local_base = r0.malloc(64 * 4096).await;
-                    let remote = Strided::patch2d(remote_base, 4096, 64, 8192);
-                    let local = Strided::patch2d(local_base, 4096, 64, 4096);
-                    r0.get_strided(1, &local, &remote).await;
-                });
-                f.finish();
+        time(&format!("rma/strided_get_64x4k/{label}"), 20, || {
+            let f = Fixture::new(2, 1, ArmciConfig::default().pack_threshold(pack));
+            let r0 = f.rank(0);
+            let r1 = f.rank(1);
+            f.sim.spawn(async move {
+                let remote_base = r1.malloc(64 * 8192).await;
+                let local_base = r0.malloc(64 * 4096).await;
+                let remote = Strided::patch2d(remote_base, 4096, 64, 8192);
+                let local = Strided::patch2d(local_base, 4096, 64, 4096);
+                r0.get_strided(1, &local, &remote).await;
             });
+            f.finish();
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    targets = bench_blocking_get, bench_rmw_contended, bench_strided
+fn main() {
+    bench_blocking_get();
+    bench_rmw_contended();
+    bench_strided();
 }
-criterion_main!(benches);

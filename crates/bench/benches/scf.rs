@@ -1,29 +1,24 @@
-//! Criterion bench of the SCF mini-app: host cost of simulating one small
-//! Fock-build sweep in each progress mode.
+//! Bench of the SCF mini-app: host cost of simulating one small Fock-build
+//! sweep in each progress mode.
+//! Plain `Instant`-based harness; run with `cargo bench -p bgq-bench`.
 
 use armci::ProgressMode;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use nwchem_scf::{run_scf, ScfConfig};
+use std::time::Instant;
 
-fn bench_scf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scf/tiny_8ranks");
-    g.sample_size(10);
+fn main() {
     for (label, mode) in [
         ("default", ProgressMode::Default),
         ("async_thread", ProgressMode::AsyncThread),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
-            let cfg = ScfConfig::tiny(mode);
-            b.iter(|| run_scf(8, &cfg));
-        });
+        let cfg = ScfConfig::tiny(mode);
+        run_scf(8, &cfg); // warm-up
+        let iters = 10;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            run_scf(8, &cfg);
+        }
+        let per = t0.elapsed().as_secs_f64() / iters as f64;
+        println!("scf/tiny_8ranks/{label:<28} {:>12.1} us/iter", per * 1e6);
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    targets = bench_scf
-}
-criterion_main!(benches);

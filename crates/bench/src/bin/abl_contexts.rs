@@ -65,7 +65,10 @@ fn run(contexts: usize, p: usize, rounds: usize) -> f64 {
 fn main() {
     let rounds = arg_usize("--rounds", 200);
     println!("== Ablation: rho=1 vs rho=2 contexts under AT (rank-0 get loop, us) ==");
-    println!("{:>4} {:>14} {:>14} {:>10}", "p", "rho=1", "rho=2", "speedup");
+    println!(
+        "{:>4} {:>14} {:>14} {:>10}",
+        "p", "rho=1", "rho=2", "speedup"
+    );
     for p in [2usize, 4, 8, 16] {
         let one = run(1, p, rounds);
         let two = run(2, p, rounds);

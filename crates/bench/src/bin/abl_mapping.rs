@@ -16,7 +16,10 @@ use torus5d::Mapping;
 fn rank_latencies(p: usize, c: usize, mapping: Mapping) -> Vec<f64> {
     let mut mcfg = MachineConfig::new(p).procs_per_node(c).contexts(2);
     mcfg.mapping = mapping;
-    let f = Fixture::with_machine(mcfg, ArmciConfig::default().progress(ProgressMode::AsyncThread));
+    let f = Fixture::with_machine(
+        mcfg,
+        ArmciConfig::default().progress(ProgressMode::AsyncThread),
+    );
     let r0 = f.rank(0);
     let lat: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(vec![0.0; p]));
     let lat2 = Rc::clone(&lat);
@@ -35,14 +38,19 @@ fn rank_latencies(p: usize, c: usize, mapping: Mapping) -> Vec<f64> {
         }
     });
     f.finish();
-    Rc::try_unwrap(lat).map(RefCell::into_inner).unwrap_or_default()
+    Rc::try_unwrap(lat)
+        .map(RefCell::into_inner)
+        .unwrap_or_default()
 }
 
 fn neighbour_exchange_time(p: usize, c: usize, mapping: Mapping) -> f64 {
     // All ranks put 64KB to rank+1 simultaneously (halo-style traffic).
     let mut mcfg = MachineConfig::new(p).procs_per_node(c).contexts(2);
     mcfg.mapping = mapping;
-    let f = Fixture::with_machine(mcfg, ArmciConfig::default().progress(ProgressMode::AsyncThread));
+    let f = Fixture::with_machine(
+        mcfg,
+        ArmciConfig::default().progress(ProgressMode::AsyncThread),
+    );
     let out = Rc::new(RefCell::new(0.0f64));
     let bytes = 64 * 1024;
     let mut remotes = Vec::new();

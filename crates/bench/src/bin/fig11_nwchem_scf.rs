@@ -5,7 +5,7 @@
 //! the load-balance counter collapses under AT.
 
 use armci::ProgressMode;
-use bgq_bench::{arg_flag, arg_list, arg_usize};
+use bgq_bench::{arg_flag, arg_list, arg_str, arg_usize, write_text};
 use nwchem_scf::{run_scf, ScfConfig};
 
 fn main() {
@@ -44,9 +44,12 @@ fn main() {
     }
     println!("paper: AT reduces execution time by up to 30%;");
     println!("       load-balance-counter time drops sharply with AT");
-    if let Ok(json) = serde_json::to_string_pretty(&rows) {
-        if std::env::args().any(|a| a == "--json") {
-            println!("{json}");
-        }
+    if let Some(path) = arg_str("--json") {
+        let body = rows
+            .iter()
+            .map(|r| format!("  {}", r.to_json()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        write_text(&path, &format!("[\n{body}\n]\n"));
     }
 }

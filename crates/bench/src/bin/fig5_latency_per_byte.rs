@@ -8,7 +8,10 @@ use bgq_bench::{arg_usize, fmt_size, get_latency, size_sweep};
 fn main() {
     let reps = arg_usize("--reps", 50);
     println!("== Fig 5: effective get latency per byte (2 procs) ==");
-    println!("{:>8} {:>12} {:>16}", "size", "get (us)", "latency/byte (ns)");
+    println!(
+        "{:>8} {:>12} {:>16}",
+        "size", "get (us)", "latency/byte (ns)"
+    );
     for m in size_sweep(16, 1 << 20) {
         let g = get_latency(2, 1, 1, m, reps);
         println!(

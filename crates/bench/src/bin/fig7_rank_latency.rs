@@ -44,7 +44,10 @@ fn main() {
     f.finish();
 
     let lat = lat.borrow();
-    println!("== Fig 7: 16B get latency vs rank, p={p}, c={c}, shape {} ==", topo.shape);
+    println!(
+        "== Fig 7: 16B get latency vs rank, p={p}, c={c}, shape {} ==",
+        topo.shape
+    );
     println!("{:>6} {:>6} {:>10}", "rank", "hops", "get (us)");
     let stride = (p / 64).max(1);
     for r in (1..p).step_by(stride) {

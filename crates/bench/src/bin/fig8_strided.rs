@@ -44,7 +44,10 @@ fn run(total: usize, l0: usize, is_get: bool, reps: usize) -> f64 {
 fn main() {
     let total = arg_usize("--total", 1 << 20);
     let reps = arg_usize("--reps", 4);
-    println!("== Fig 8: strided bandwidth vs l0 (total {} transfer) ==", fmt_size(total));
+    println!(
+        "== Fig 8: strided bandwidth vs l0 (total {} transfer) ==",
+        fmt_size(total)
+    );
     println!(
         "{:>8} {:>8} {:>14} {:>14}",
         "l0", "chunks", "get (MB/s)", "put (MB/s)"

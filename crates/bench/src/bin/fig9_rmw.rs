@@ -6,23 +6,46 @@
 //! default design's latency is dominated by rank 0's compute grain; the
 //! asynchronous thread removes that dependence but latency still grows
 //! linearly with p (software AMO serialization — no NIC support).
+//!
+//! Observability: `--json <path>` writes a merged [`desim::MetricsSnapshot`]
+//! (protocol-path counters, wait-time histograms) over the whole sweep;
+//! `--trace <path>` writes a Chrome trace-event file (one process per
+//! configuration, traced at the smallest process count) loadable in
+//! Perfetto / `chrome://tracing`.
 
 use armci::{ArmciConfig, ProgressMode};
-use bgq_bench::{arg_list, arg_usize, Fixture};
-use desim::SimDuration;
-use std::cell::{Cell, RefCell};
+use bgq_bench::{arg_list, arg_str, arg_usize, write_text, Fixture};
+use desim::{ChromeTrace, MetricsSnapshot, SimDuration, Stats};
+use std::cell::Cell;
 use std::rc::Rc;
 
-fn run(p: usize, progress: ProgressMode, rank0_computes: bool, k: usize) -> f64 {
+struct RunOut {
+    latency_us: f64,
+    snapshot: MetricsSnapshot,
+}
+
+fn run(
+    p: usize,
+    progress: ProgressMode,
+    rank0_computes: bool,
+    k: usize,
+    trace: Option<(&mut ChromeTrace, u64, &str)>,
+) -> RunOut {
     let contexts = if progress == ProgressMode::AsyncThread {
         2
     } else {
         1
     };
     let f = Fixture::with_machine(
-        pami_sim::MachineConfig::new(p).procs_per_node(16).contexts(contexts),
+        pami_sim::MachineConfig::new(p)
+            .procs_per_node(16)
+            .contexts(contexts),
         ArmciConfig::default().progress(progress),
     );
+    let tracer = f.sim.tracer();
+    if trace.is_some() {
+        tracer.enable(1 << 20);
+    }
     let owner = f.armci.machine().rank(0);
     let counter = owner.alloc(8);
     owner.write_i64(counter, 0);
@@ -64,27 +87,64 @@ fn run(p: usize, progress: ProgressMode, rank0_computes: bool, k: usize) -> f64 
         });
     }
     f.finish();
-    total_wait.get().as_us() / ops as f64
+    f.armci.machine().flush_net_stats();
+    let snapshot = f.armci.machine().stats().snapshot();
+    if let Some((ct, pid, name)) = trace {
+        ct.add_process(pid, name, &tracer);
+        tracer.disable();
+    }
+    RunOut {
+        latency_us: total_wait.get().as_us() / ops as f64,
+        snapshot,
+    }
 }
 
 fn main() {
-    let procs = arg_list("--procs", &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096]);
+    let procs = arg_list(
+        "--procs",
+        &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096],
+    );
     let k = arg_usize("--ops", 10);
+    let json_path = arg_str("--json");
+    let trace_path = arg_str("--trace");
+    let mut chrome = trace_path.as_ref().map(|_| ChromeTrace::new());
+    // Merge vehicle for the sweep-wide metrics snapshot.
+    let merged = Stats::new();
+
     println!("== Fig 9: fetch-and-add latency on a counter at rank 0 (us/op) ==");
     println!(
         "{:>6} {:>14} {:>14} {:>14} {:>14}",
         "p", "D", "AT", "D+compute", "AT+compute"
     );
-    type Rows = Vec<(usize, [f64; 4])>;
-    let results: Rc<RefCell<Rows>> = Rc::new(RefCell::new(Vec::new()));
-    for &p in &procs {
-        let d = run(p, ProgressMode::Default, false, k);
-        let at = run(p, ProgressMode::AsyncThread, false, k);
-        let dc = run(p, ProgressMode::Default, true, k);
-        let atc = run(p, ProgressMode::AsyncThread, true, k);
-        println!("{p:>6} {d:>14.2} {at:>14.2} {dc:>14.2} {atc:>14.2}");
-        results.borrow_mut().push((p, [d, at, dc, atc]));
+    const CONFIGS: [(ProgressMode, bool, &str); 4] = [
+        (ProgressMode::Default, false, "fig9 D"),
+        (ProgressMode::AsyncThread, false, "fig9 AT"),
+        (ProgressMode::Default, true, "fig9 D+compute"),
+        (ProgressMode::AsyncThread, true, "fig9 AT+compute"),
+    ];
+    for (pi, &p) in procs.iter().enumerate() {
+        let mut lat = [0.0f64; 4];
+        for (ci, &(mode, compute, name)) in CONFIGS.iter().enumerate() {
+            // Trace only the smallest process count: one pid per config.
+            let trace = match (&mut chrome, pi) {
+                (Some(ct), 0) => Some((&mut *ct, ci as u64 + 1, name)),
+                _ => None,
+            };
+            let out = run(p, mode, compute, k, trace);
+            lat[ci] = out.latency_us;
+            merged.absorb(&out.snapshot);
+        }
+        println!(
+            "{p:>6} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+            lat[0], lat[1], lat[2], lat[3]
+        );
     }
     println!("paper: D+compute >> others (grain ~300us); AT immune to rank-0 compute;");
     println!("       AT latency grows ~linearly with p (software AMOs, no NIC support)");
+    if let Some(path) = json_path {
+        write_text(&path, &merged.snapshot().to_json());
+    }
+    if let (Some(path), Some(ct)) = (trace_path, chrome) {
+        write_text(&path, &ct.finish());
+    }
 }

@@ -10,11 +10,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 fn main() {
-    let f = Fixture::new(
-        4,
-        1,
-        armci::ArmciConfig::default(),
-    );
+    let f = Fixture::new(4, 1, armci::ArmciConfig::default());
     let r0 = f.armci.machine().rank(0);
     let params = f.armci.machine().params().clone();
     let s = f.sim.clone();
@@ -36,15 +32,25 @@ fn main() {
         let ctx = s.now() - t0;
         let mut m = out.borrow_mut();
         m.push(("Endpoint Creation Time (beta)".into(), format!("{beta}")));
-        m.push(("Memory Region Creation Time (delta)".into(), format!("{delta}")));
+        m.push((
+            "Memory Region Creation Time (delta)".into(),
+            format!("{delta}"),
+        ));
         m.push(("Context Creation Time".into(), format!("{ctx}")));
     });
     f.finish();
 
     println!("== Table II: empirical values of time and space attributes ==");
-    println!("{:<45} {:>18} {:>18}", "Property", "paper", "measured/model");
+    println!(
+        "{:<45} {:>18} {:>18}",
+        "Property", "paper", "measured/model"
+    );
     let paper_rows = [
-        ("Message Size for Data Transfer (m)", "16 B - 1 MB", "16 B - 1 MB"),
+        (
+            "Message Size for Data Transfer (m)",
+            "16 B - 1 MB",
+            "16 B - 1 MB",
+        ),
         ("Total number of processes (p)", "2 - 4096", "2 - 4096"),
         ("Number of processes/Node (c)", "1 - 16", "1 - 16"),
         ("Communication Clique (zeta)", "1 - p", "1 - p"),

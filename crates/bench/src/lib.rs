@@ -166,11 +166,7 @@ pub fn parse_list(args: &[String], name: &str, default: &[usize]) -> Vec<usize> 
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
-        .map(|v| {
-            v.split(',')
-                .filter_map(|x| x.trim().parse().ok())
-                .collect()
-        })
+        .map(|v| v.split(',').filter_map(|x| x.trim().parse().ok()).collect())
         .unwrap_or_else(|| default.to_vec())
 }
 
@@ -186,9 +182,37 @@ pub fn arg_list(name: &str, default: &[usize]) -> Vec<usize> {
     parse_list(&args, name, default)
 }
 
+/// Parse `--key value` for a string-valued option (testable core).
+pub fn parse_str(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parse a `--key value` string option (e.g. `--json out.json`).
+pub fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    parse_str(&args, name)
+}
+
 /// True when `--flag` is present.
 pub fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
+}
+
+/// Write a text artifact (JSON snapshot, Chrome trace) to `path`, creating
+/// parent directories as needed, and report it on stdout.
+pub fn write_text(path: &str, contents: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(path, contents) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
 }
 
 /// Human-friendly byte-size label.
@@ -238,6 +262,8 @@ mod tests {
         assert_eq!(parse_usize(&args, "--bad", 8), 8); // unparsable -> default
         assert_eq!(parse_list(&args, "--list", &[9]), vec![1, 2, 3]);
         assert_eq!(parse_list(&args, "--missing", &[9]), vec![9]);
+        assert_eq!(parse_str(&args, "--bad").as_deref(), Some("x"));
+        assert_eq!(parse_str(&args, "--missing"), None);
         // value missing after the flag -> default
         let tail: Vec<String> = ["prog", "--procs"].iter().map(|s| s.to_string()).collect();
         assert_eq!(parse_usize(&tail, "--procs", 7), 7);

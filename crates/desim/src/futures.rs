@@ -54,7 +54,11 @@ mod tests {
         let sim = Sim::new();
         let s = sim.clone();
         let h = sim.spawn(async move {
-            let r = race(s.sleep(SimDuration::from_us(5)), s.sleep(SimDuration::from_us(2))).await;
+            let r = race(
+                s.sleep(SimDuration::from_us(5)),
+                s.sleep(SimDuration::from_us(2)),
+            )
+            .await;
             (matches!(r, Either::Right(())), s.now())
         });
         sim.run();
@@ -68,7 +72,11 @@ mod tests {
         let sim = Sim::new();
         let s = sim.clone();
         let h = sim.spawn(async move {
-            let r = race(s.sleep(SimDuration::from_us(3)), s.sleep(SimDuration::from_us(3))).await;
+            let r = race(
+                s.sleep(SimDuration::from_us(3)),
+                s.sleep(SimDuration::from_us(3)),
+            )
+            .await;
             matches!(r, Either::Left(()))
         });
         sim.run();

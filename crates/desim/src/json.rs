@@ -1,0 +1,77 @@
+//! Minimal deterministic JSON writer.
+//!
+//! The workspace builds offline with no external crates, so the trace
+//! exporter and [`crate::stats::MetricsSnapshot`] serialize through this
+//! hand-rolled helper instead of serde. Output is deterministic: map keys are
+//! emitted in the order the caller supplies them (callers sort), floats use
+//! Rust's shortest-roundtrip `Display`, and no whitespace depends on
+//! ambient state.
+
+/// Append `s` to `out` as a JSON string literal (with surrounding quotes).
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `v` to `out` as a JSON number. Non-finite values (which JSON cannot
+/// represent) are written as `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // `Display` prints integral floats without a decimal point; keep the
+        // value typed as a float for strict JSON consumers.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append `v` to `out` as a JSON integer.
+pub fn push_u64(out: &mut String, v: u64) {
+    out.push_str(&format!("{v}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(f: impl FnOnce(&mut String)) -> String {
+        let mut out = String::new();
+        f(&mut out);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(s(|o| push_str(o, "a\"b\\c\nd")), r#""a\"b\\c\nd""#);
+        assert_eq!(s(|o| push_str(o, "\u{1}")), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        assert_eq!(s(|o| push_f64(o, 2.89)), "2.89");
+        assert_eq!(s(|o| push_f64(o, 3.0)), "3.0");
+        assert_eq!(s(|o| push_f64(o, f64::NAN)), "null");
+    }
+
+    #[test]
+    fn integers_are_plain() {
+        assert_eq!(s(|o| push_u64(o, u64::MAX)), "18446744073709551615");
+    }
+}

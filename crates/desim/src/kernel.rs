@@ -10,14 +10,13 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
-
-use parking_lot::Mutex;
 
 use crate::event::Completion;
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::Tracer;
 
 /// Identifier of a spawned task within a [`Sim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,10 +72,10 @@ struct TaskWaker {
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.ready.queue.lock().push_back(self.id);
+        self.ready.queue.lock().unwrap().push_back(self.id);
     }
     fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.queue.lock().push_back(self.id);
+        self.ready.queue.lock().unwrap().push_back(self.id);
     }
 }
 
@@ -90,6 +89,7 @@ pub(crate) struct Kernel {
     live_tasks: Cell<usize>,
     events_processed: Cell<u64>,
     stats: Stats,
+    tracer: Tracer,
 }
 
 impl Kernel {
@@ -106,6 +106,7 @@ impl Kernel {
             live_tasks: Cell::new(0),
             events_processed: Cell::new(0),
             stats: Stats::new(),
+            tracer: Tracer::new(),
         })
     }
 
@@ -192,7 +193,7 @@ impl Kernel {
     fn drain_ready(&self) {
         let trace = std::env::var_os("DESIM_TRACE").is_some();
         loop {
-            let id = self.ready.queue.lock().pop_front();
+            let id = self.ready.queue.lock().unwrap().pop_front();
             match id {
                 Some(id) => {
                     let n = self.events_processed.get() + 1;
@@ -204,7 +205,7 @@ impl Kernel {
                             self.now.get(),
                             self.live_tasks.get(),
                             self.timers.borrow().len(),
-                            self.ready.queue.lock().len()
+                            self.ready.queue.lock().unwrap().len()
                         );
                     }
                     self.poll_task(id);
@@ -263,6 +264,12 @@ impl Sim {
         self.k.stats.clone()
     }
 
+    /// Shared event tracer for this simulation. Disabled (and free) unless
+    /// [`Tracer::enable`] is called.
+    pub fn tracer(&self) -> Tracer {
+        self.k.tracer.clone()
+    }
+
     /// Number of events (task polls + timer firings) processed so far.
     pub fn events_processed(&self) -> u64 {
         self.k.events_processed.get()
@@ -285,7 +292,7 @@ impl Sim {
             let out = future.await;
             done2.complete(out);
         }));
-        self.k.ready.queue.lock().push_back(id);
+        self.k.ready.queue.lock().unwrap().push_back(id);
         JoinHandle {
             task: TaskId(id),
             done,
@@ -357,7 +364,7 @@ impl Sim {
     /// with daemon tasks is finished.
     pub fn shutdown(&self) {
         self.k.timers.borrow_mut().clear();
-        self.k.ready.queue.lock().clear();
+        self.k.ready.queue.lock().unwrap().clear();
         // Futures may own JoinHandles/Completions; dropping them can run Drop
         // impls that call back into the kernel, so take them out first.
         let taken: Vec<Option<TaskSlot>> = {

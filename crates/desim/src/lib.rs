@@ -33,16 +33,19 @@
 pub mod channel;
 pub mod event;
 pub mod futures;
+pub mod json;
 pub mod kernel;
 pub mod rng;
 pub mod stats;
 pub mod sync;
 pub mod time;
+pub mod trace;
 pub mod waker_set;
 
 pub use event::Completion;
 pub use futures::{race, Either};
 pub use kernel::{JoinHandle, Sim, TaskId};
 pub use rng::SimRng;
-pub use stats::Stats;
+pub use stats::{MetricsSnapshot, Stats};
 pub use time::{SimDuration, SimTime};
+pub use trace::{ChromeTrace, TraceValue, Tracer, TrackId};

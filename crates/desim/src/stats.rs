@@ -40,6 +40,20 @@ impl DurationStat {
         self.count += 1;
         self.total += d;
     }
+
+    fn merge(&mut self, other: &DurationStat) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.total += other.total;
+    }
 }
 
 #[derive(Default)]
@@ -78,12 +92,7 @@ impl Stats {
 
     /// Current value of counter `key` (zero if never touched).
     pub fn counter(&self, key: &str) -> u64 {
-        self.inner
-            .borrow()
-            .counters
-            .get(key)
-            .copied()
-            .unwrap_or(0)
+        self.inner.borrow().counters.get(key).copied().unwrap_or(0)
     }
 
     /// Record one duration sample under `key`.
@@ -158,9 +167,126 @@ impl Stats {
             );
         }
         for (k, h) in &inner.histograms {
-            let _ = writeln!(out, "hist    {k}: n={} p50~{} p99~{}", h.count(), h.quantile(0.5), h.quantile(0.99));
+            let _ = writeln!(
+                out,
+                "hist    {k}: n={} p50~{} p99~{}",
+                h.count(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            );
         }
         out
+    }
+
+    /// Snapshot every counter, duration stat and histogram into a plain,
+    /// serializable value (sorted key order, hence deterministic).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.borrow();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            durations: inner
+                .durations
+                .iter()
+                .map(|(k, d)| (k.clone(), *d))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// Fold a snapshot (e.g. from another simulation run) into this registry.
+    /// Counters add, duration stats merge, histograms merge bucket-wise.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        let mut inner = self.inner.borrow_mut();
+        for (k, v) in &snap.counters {
+            *inner.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, d) in &snap.durations {
+            inner.durations.entry(k.clone()).or_default().merge(d);
+        }
+        for (k, h) in &snap.histograms {
+            inner.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+/// A plain-data snapshot of a [`Stats`] registry: sorted key/value vectors
+/// of counters, duration stats and full histograms. Serializes to
+/// deterministic JSON with [`MetricsSnapshot::to_json`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(key, value)` counter pairs in sorted key order.
+    pub counters: Vec<(String, u64)>,
+    /// `(key, stat)` duration pairs in sorted key order.
+    pub durations: Vec<(String, DurationStat)>,
+    /// `(key, histogram)` pairs in sorted key order.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Serialize as a deterministic JSON document.
+    ///
+    /// Shape:
+    /// `{"counters": {key: u64, ...},
+    ///   "durations": {key: {count, total_ps, mean_ps, min_ps, max_ps}, ...},
+    ///   "histograms": {key: {count, sum, mean, p50, p99, buckets: [u64; 65]}, ...}}`
+    pub fn to_json(&self) -> String {
+        use crate::json::{push_f64, push_str, push_u64};
+        let mut o = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            o.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_str(&mut o, k);
+            o.push_str(": ");
+            push_u64(&mut o, *v);
+        }
+        o.push_str("\n  },\n  \"durations\": {");
+        for (i, (k, d)) in self.durations.iter().enumerate() {
+            o.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_str(&mut o, k);
+            o.push_str(": {\"count\": ");
+            push_u64(&mut o, d.count);
+            o.push_str(", \"total_ps\": ");
+            push_u64(&mut o, d.total.as_ps());
+            o.push_str(", \"mean_ps\": ");
+            push_u64(&mut o, d.mean().as_ps());
+            o.push_str(", \"min_ps\": ");
+            push_u64(&mut o, d.min.as_ps());
+            o.push_str(", \"max_ps\": ");
+            push_u64(&mut o, d.max.as_ps());
+            o.push('}');
+        }
+        o.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            o.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_str(&mut o, k);
+            o.push_str(": {\"count\": ");
+            push_u64(&mut o, h.count());
+            o.push_str(", \"sum\": ");
+            o.push_str(&format!("{}", h.sum()));
+            o.push_str(", \"mean\": ");
+            push_f64(&mut o, h.mean());
+            o.push_str(", \"p50\": ");
+            push_u64(&mut o, h.quantile(0.5));
+            o.push_str(", \"p99\": ");
+            push_u64(&mut o, h.quantile(0.99));
+            o.push_str(", \"buckets\": [");
+            for (j, b) in h.buckets().iter().enumerate() {
+                if j > 0 {
+                    o.push(',');
+                }
+                push_u64(&mut o, *b);
+            }
+            o.push_str("]}");
+        }
+        o.push_str("\n  }\n}\n");
+        o
     }
 }
 
@@ -209,21 +335,56 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile: upper bound of the bucket containing rank
-    /// `q * count`.
+    /// Sum of all samples (exact).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The raw log₂ bucket counts. Bucket 0 holds samples of value 0 or 1;
+    /// bucket `i > 0` holds samples in `[2^(i-1), 2^i - 1]`... precisely:
+    /// a sample `v` lands in bucket `64 - v.leading_zeros()` (0 for `v = 0`).
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// Inclusive upper bound of bucket `i`, saturating at `u64::MAX` for the
+    /// top bucket (whose true bound `2^64 - 1` is exactly `u64::MAX`).
+    fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (((1u128 << i) - 1).min(u64::MAX as u128)) as u64
+        }
+    }
+
+    /// Approximate quantile: upper bound of the bucket containing the
+    /// nearest-rank sample for `q`.
+    ///
+    /// Uses the nearest-rank definition `rank = ceil(q * count)` clamped to
+    /// `[1, count]`, so `q = 0.0` returns the bucket of the smallest sample
+    /// and `q = 1.0` the bucket of the largest.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0)) * self.count as f64).ceil() as u64;
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0;
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
-            if seen >= rank.max(1) {
-                return if i == 0 { 0 } else { (1u128 << i) as u64 - 1 };
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
             }
         }
         u64::MAX
+    }
+
+    /// Fold another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += ob;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
     }
 }
 
@@ -317,6 +478,88 @@ mod tests {
         s.incr("aa");
         s.incr("mm");
         assert_eq!(s.counter_keys(), vec!["aa", "mm", "zz"]);
+    }
+
+    #[test]
+    fn quantile_top_bucket_does_not_underflow() {
+        // Regression: a sample in the top bucket used to hit
+        // `(1u128 << 64) as u64 - 1`, truncating to 0 then underflowing.
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        h.record(u64::MAX / 2 + 1); // also top bucket
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_nearest_rank_edges() {
+        let mut h = Histogram::default();
+        for v in [1u64, 16, 1024] {
+            h.record(v);
+        }
+        // q = 0.0 -> rank clamps to 1 -> bucket of the smallest sample.
+        assert_eq!(h.quantile(0.0), 1);
+        // q = 1.0 -> rank = count -> bucket of the largest sample; the
+        // upper bound of 1024's bucket [1024, 2047] is 2047.
+        assert_eq!(h.quantile(1.0), 2047);
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        // rank never exceeds count even with fp rounding near 1.0.
+        assert_eq!(h.quantile(0.999_999_999), h.quantile(1.0));
+    }
+
+    #[test]
+    fn histogram_merge_adds_buckets() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.record(3);
+        b.record(300);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 303);
+        assert_eq!(a.buckets().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_absorbs() {
+        let s = Stats::new();
+        s.incr("armci.get");
+        s.add("armci.get_bytes", 4096);
+        s.record_time("armci.wait.get", SimDuration::from_us(3));
+        s.record_hist("armci.wait.get", 3000);
+        let snap = s.snapshot();
+        assert_eq!(snap.counters.len(), 2);
+        assert_eq!(snap.durations.len(), 1);
+        assert_eq!(snap.histograms.len(), 1);
+
+        let merged = Stats::new();
+        merged.absorb(&snap);
+        merged.absorb(&snap);
+        assert_eq!(merged.counter("armci.get"), 2);
+        assert_eq!(merged.time("armci.wait.get").count, 2);
+        assert_eq!(merged.time("armci.wait.get").min.as_us(), 3.0);
+        assert_eq!(merged.hist("armci.wait.get").count(), 2);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_complete() {
+        let s = Stats::new();
+        s.incr("pami.rmw");
+        s.record_time("t", SimDuration::from_ns(5));
+        s.record_hist("h", u64::MAX);
+        let j1 = s.snapshot().to_json();
+        let j2 = s.snapshot().to_json();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"pami.rmw\": 1"));
+        assert!(j1.contains("\"total_ps\": 5000"));
+        assert!(j1.contains("\"p99\": 18446744073709551615"));
+        // Full bucket vector: 65 entries -> 64 commas inside the array.
+        let buckets = j1.split("\"buckets\": [").nth(1).unwrap();
+        let arr = buckets.split(']').next().unwrap();
+        assert_eq!(arr.split(',').count(), 65);
     }
 
     #[test]

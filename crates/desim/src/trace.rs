@@ -1,0 +1,442 @@
+//! Deterministic structured event tracing on virtual time.
+//!
+//! Every [`crate::Sim`] owns a [`Tracer`]. It is **disabled by default** and
+//! in that state every recording call is a branch on one `Cell<bool>` and an
+//! immediate return — no allocation, no counter update, nothing observable.
+//! Call [`Tracer::enable`] to start capturing into a bounded ring buffer of
+//! structured events:
+//!
+//! * [`Tracer::span_begin`] / [`Tracer::span_end`] bracket an operation on a
+//!   *track* (one horizontal lane in a trace viewer — typically one rank, or
+//!   a rank's async progress thread);
+//! * [`Tracer::instant`] marks a point event;
+//! * every event carries the virtual [`SimTime`], a static name and typed
+//!   [`TraceValue`] attributes.
+//!
+//! [`ChromeTrace`] serializes one or more tracers into the Chrome
+//! trace-event JSON format, loadable in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`. Each tracer becomes a *process*; each track a
+//! *thread*. Because events are stamped with virtual time and stored in
+//! recording order, two runs of the same seeded simulation serialize to
+//! byte-identical JSON.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::json;
+use crate::time::SimTime;
+
+/// A typed attribute value attached to a trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceValue {
+    /// Static string (protocol path names, modes, …).
+    Str(&'static str),
+    /// Unsigned integer (bytes, ranks, counts).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl fmt::Display for TraceValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceValue::Str(s) => write!(f, "{s}"),
+            TraceValue::U64(v) => write!(f, "{v}"),
+            TraceValue::I64(v) => write!(f, "{v}"),
+            TraceValue::F64(v) => write!(f, "{v}"),
+            TraceValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Identifier of a track (a lane in the trace viewer), from
+/// [`Tracer::track`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrackId(pub u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Begin,
+    End,
+    Instant,
+}
+
+struct TraceEvent {
+    phase: Phase,
+    name: &'static str,
+    at: SimTime,
+    track: TrackId,
+    args: Vec<(&'static str, TraceValue)>,
+}
+
+#[derive(Default)]
+struct TracerInner {
+    enabled: Cell<bool>,
+    capacity: Cell<usize>,
+    events: RefCell<VecDeque<TraceEvent>>,
+    dropped: Cell<u64>,
+    /// Track names in creation order; index == `TrackId`. Creation order is
+    /// deterministic because the simulation is.
+    tracks: RefCell<Vec<String>>,
+}
+
+/// Ring-buffered structured event recorder. Cheaply cloneable; all clones
+/// share state (like [`crate::Stats`]).
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Rc<TracerInner>,
+}
+
+impl Tracer {
+    /// New disabled tracer. Usually obtained via `Sim::tracer()` instead.
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Whether events are currently being recorded. Instrumentation sites
+    /// should guard any argument construction (`format!`, attribute slices)
+    /// behind this so a disabled tracer costs a single predictable branch.
+    #[inline]
+    pub fn on(&self) -> bool {
+        self.inner.enabled.get()
+    }
+
+    /// Start recording, keeping at most `capacity` events (oldest dropped
+    /// first, counted in [`Tracer::dropped`]).
+    pub fn enable(&self, capacity: usize) {
+        self.inner.capacity.set(capacity.max(1));
+        self.inner.enabled.set(true);
+    }
+
+    /// Stop recording. Already-captured events are retained.
+    pub fn disable(&self) {
+        self.inner.enabled.set(false);
+    }
+
+    /// Intern a track by name, returning its id. Repeated calls with the same
+    /// name return the same id. Returns `TrackId(0)` without allocating when
+    /// disabled.
+    pub fn track(&self, name: &str) -> TrackId {
+        if !self.on() {
+            return TrackId(0);
+        }
+        let mut tracks = self.inner.tracks.borrow_mut();
+        if let Some(i) = tracks.iter().position(|t| t == name) {
+            return TrackId(i as u32);
+        }
+        tracks.push(name.to_string());
+        TrackId((tracks.len() - 1) as u32)
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut events = self.inner.events.borrow_mut();
+        if events.len() >= self.inner.capacity.get() {
+            events.pop_front();
+            self.inner.dropped.set(self.inner.dropped.get() + 1);
+        }
+        events.push_back(ev);
+    }
+
+    /// Open a span named `name` on `track` at virtual time `at`.
+    #[inline]
+    pub fn span_begin(
+        &self,
+        track: TrackId,
+        name: &'static str,
+        at: SimTime,
+        args: &[(&'static str, TraceValue)],
+    ) {
+        if !self.on() {
+            return;
+        }
+        self.push(TraceEvent {
+            phase: Phase::Begin,
+            name,
+            at,
+            track,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Close the innermost open span on `track` at virtual time `at`.
+    /// `name` must match the corresponding [`Tracer::span_begin`].
+    #[inline]
+    pub fn span_end(
+        &self,
+        track: TrackId,
+        name: &'static str,
+        at: SimTime,
+        args: &[(&'static str, TraceValue)],
+    ) {
+        if !self.on() {
+            return;
+        }
+        self.push(TraceEvent {
+            phase: Phase::End,
+            name,
+            at,
+            track,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Record a point event.
+    #[inline]
+    pub fn instant(
+        &self,
+        track: TrackId,
+        name: &'static str,
+        at: SimTime,
+        args: &[(&'static str, TraceValue)],
+    ) {
+        if !self.on() {
+            return;
+        }
+        self.push(TraceEvent {
+            phase: Phase::Instant,
+            name,
+            at,
+            track,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.events.borrow().len()
+    }
+
+    /// True if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted from the ring buffer since [`Tracer::enable`].
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.get()
+    }
+
+    /// Drop all buffered events and tracks (does not change enablement).
+    pub fn clear(&self) {
+        self.inner.events.borrow_mut().clear();
+        self.inner.tracks.borrow_mut().clear();
+        self.inner.dropped.set(0);
+    }
+}
+
+/// Builder serializing one or more [`Tracer`]s to Chrome trace-event JSON.
+///
+/// Each added tracer becomes a distinct *process* (pid) in the viewer, so a
+/// bench binary that runs several simulations (one per configuration) can
+/// merge them into a single trace file.
+pub struct ChromeTrace {
+    out: String,
+    first: bool,
+}
+
+impl Default for ChromeTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChromeTrace {
+    /// Start an empty trace document.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace {
+            out: String::from("{\"traceEvents\":["),
+            first: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+        self.out.push('\n');
+    }
+
+    fn meta(&mut self, pid: u64, tid: u64, what: &str, name: &str) {
+        self.sep();
+        self.out.push_str("{\"ph\":\"M\",\"pid\":");
+        json::push_u64(&mut self.out, pid);
+        self.out.push_str(",\"tid\":");
+        json::push_u64(&mut self.out, tid);
+        self.out.push_str(",\"name\":");
+        json::push_str(&mut self.out, what);
+        self.out.push_str(",\"args\":{\"name\":");
+        json::push_str(&mut self.out, name);
+        self.out.push_str("}}");
+    }
+
+    fn push_args(out: &mut String, args: &[(&'static str, TraceValue)]) {
+        out.push('{');
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str(out, k);
+            out.push(':');
+            match v {
+                TraceValue::Str(s) => json::push_str(out, s),
+                TraceValue::U64(n) => json::push_u64(out, *n),
+                TraceValue::I64(n) => out.push_str(&format!("{n}")),
+                TraceValue::F64(f) => json::push_f64(out, *f),
+                TraceValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        out.push('}');
+    }
+
+    /// Serialize `tracer`'s buffered events as process `pid` named `name`.
+    pub fn add_process(&mut self, pid: u64, name: &str, tracer: &Tracer) {
+        self.meta(pid, 0, "process_name", name);
+        for (tid, track) in tracer.inner.tracks.borrow().iter().enumerate() {
+            self.meta(pid, tid as u64, "thread_name", track);
+        }
+        for ev in tracer.inner.events.borrow().iter() {
+            self.sep();
+            let ph = match ev.phase {
+                Phase::Begin => "B",
+                Phase::End => "E",
+                Phase::Instant => "i",
+            };
+            self.out.push_str("{\"ph\":\"");
+            self.out.push_str(ph);
+            self.out.push_str("\",\"pid\":");
+            json::push_u64(&mut self.out, pid);
+            self.out.push_str(",\"tid\":");
+            json::push_u64(&mut self.out, ev.track.0 as u64);
+            // Chrome trace timestamps are microseconds; keep picosecond
+            // precision as a fraction.
+            self.out.push_str(",\"ts\":");
+            json::push_f64(&mut self.out, ev.at.as_ps() as f64 / 1e6);
+            self.out.push_str(",\"name\":");
+            json::push_str(&mut self.out, ev.name);
+            if ev.phase == Phase::Instant {
+                self.out.push_str(",\"s\":\"t\"");
+            }
+            if !ev.args.is_empty() {
+                self.out.push_str(",\"args\":");
+                Self::push_args(&mut self.out, &ev.args);
+            }
+            self.out.push('}');
+        }
+    }
+
+    /// Finish the document, returning the complete JSON string.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("\n]}\n");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_us(us)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tr = Tracer::new();
+        let track = tr.track("rank 0");
+        assert_eq!(track, TrackId(0));
+        tr.span_begin(track, "op", t(1), &[("bytes", TraceValue::U64(8))]);
+        tr.span_end(track, "op", t(2), &[]);
+        tr.instant(track, "tick", t(3), &[]);
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 0);
+        assert!(tr.inner.tracks.borrow().is_empty(), "no track interned");
+    }
+
+    #[test]
+    fn enabled_tracer_buffers_events_in_order() {
+        let tr = Tracer::new();
+        tr.enable(16);
+        let a = tr.track("rank 0");
+        let b = tr.track("rank 1");
+        assert_ne!(a, b);
+        assert_eq!(tr.track("rank 0"), a, "tracks are interned by name");
+        tr.span_begin(a, "get", t(1), &[("path", TraceValue::Str("rdma"))]);
+        tr.span_end(a, "get", t(4), &[]);
+        tr.instant(b, "arrive", t(2), &[]);
+        assert_eq!(tr.len(), 3);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let tr = Tracer::new();
+        tr.enable(2);
+        let track = tr.track("x");
+        for i in 0..5u64 {
+            tr.instant(track, "e", t(i), &[]);
+        }
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 3);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_shape() {
+        let tr = Tracer::new();
+        tr.enable(16);
+        let track = tr.track("rank 0");
+        tr.span_begin(
+            track,
+            "armci.get",
+            t(1),
+            &[
+                ("bytes", TraceValue::U64(1024)),
+                ("path", TraceValue::Str("rdma")),
+                ("ok", TraceValue::Bool(true)),
+                ("delta", TraceValue::I64(-3)),
+                ("frac", TraceValue::F64(0.5)),
+            ],
+        );
+        tr.span_end(track, "armci.get", t(3), &[]);
+        tr.instant(track, "mark", t(2), &[]);
+        let mut ct = ChromeTrace::new();
+        ct.add_process(7, "sim", &tr);
+        let out = ct.finish();
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.trim_end().ends_with("]}"));
+        assert!(out.contains("\"process_name\""));
+        assert!(out.contains("\"thread_name\""));
+        assert!(out.contains("\"ph\":\"B\""));
+        assert!(out.contains("\"ph\":\"E\""));
+        assert!(out.contains("\"ph\":\"i\""));
+        assert!(out.contains("\"ts\":1.0"));
+        assert!(out.contains("\"path\":\"rdma\""));
+        assert!(out.contains("\"delta\":-3"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = out.matches('{').count();
+        let closes = out.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let build = || {
+            let tr = Tracer::new();
+            tr.enable(8);
+            let track = tr.track("rank 0");
+            tr.span_begin(track, "op", t(1), &[("n", TraceValue::U64(3))]);
+            tr.span_end(track, "op", t(2), &[]);
+            let mut ct = ChromeTrace::new();
+            ct.add_process(1, "run", &tr);
+            ct.finish()
+        };
+        assert_eq!(build(), build());
+    }
+}

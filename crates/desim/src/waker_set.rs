@@ -27,12 +27,10 @@ impl WakerSet {
     /// A `None` slot is assigned a fresh id, stored back into `slot`.
     pub fn register(&mut self, slot: &mut Option<u64>, waker: &Waker) {
         match *slot {
-            Some(id) => {
-                match self.entries.iter_mut().find(|(eid, _)| *eid == id) {
-                    Some(e) => e.1 = waker.clone(),
-                    None => self.entries.push((id, waker.clone())),
-                }
-            }
+            Some(id) => match self.entries.iter_mut().find(|(eid, _)| *eid == id) {
+                Some(e) => e.1 = waker.clone(),
+                None => self.entries.push((id, waker.clone())),
+            },
             None => {
                 let id = self.next_id;
                 self.next_id += 1;

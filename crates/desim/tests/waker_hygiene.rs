@@ -103,11 +103,7 @@ fn repeated_sleep_registers_one_timer_each() {
 }
 
 /// Poll a sleep future to completion while being woken by a notify storm.
-async fn futures_pin(
-    sleep: desim::kernel::Sleep,
-    storms: &mut u32,
-    notify: &Notify,
-) {
+async fn futures_pin(sleep: desim::kernel::Sleep, storms: &mut u32, notify: &Notify) {
     let mut sleep = Box::pin(sleep);
     loop {
         match race(sleep.as_mut(), notify.wait()).await {

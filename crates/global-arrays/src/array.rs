@@ -81,14 +81,7 @@ impl Ga {
 
     /// Strided descriptor addressing the intersection of
     /// `[rlo,rhi)×[clo,chi)` with `rank`'s block, in that rank's memory.
-    fn owner_desc(
-        &self,
-        rank: usize,
-        rlo: usize,
-        rhi: usize,
-        clo: usize,
-        chi: usize,
-    ) -> Strided {
+    fn owner_desc(&self, rank: usize, rlo: usize, rhi: usize, clo: usize, chi: usize) -> Strided {
         let ((brlo, _), (bclo, bchi)) = self.inner.dist.block_of(rank);
         let ld = (bchi - bclo) * 8;
         let first = self.inner.bases[rank] + ((rlo - brlo) * (bchi - bclo) + (clo - bclo)) * 8;
@@ -207,14 +200,15 @@ impl Ga {
                 elems as u64 * params.acc_elem_time_ps,
             ))
             .await;
-        caller
-            .allreduce_f64(&[local], armci::ReduceOp::Sum)
-            .await[0]
+        caller.allreduce_f64(&[local], armci::ReduceOp::Sum).await[0]
     }
 
     /// Collective trace (sum of diagonal elements; square arrays).
     pub async fn trace(&self, caller: &ArmciRank) -> f64 {
-        assert_eq!(self.inner.dist.rows, self.inner.dist.cols, "trace needs square");
+        assert_eq!(
+            self.inner.dist.rows, self.inner.dist.cols,
+            "trace needs square"
+        );
         let ((rlo, rhi), (clo, chi)) = self.inner.dist.block_of(caller.id());
         let base = self.inner.bases[caller.id()];
         let mut local = 0.0;
@@ -222,9 +216,7 @@ impl Ga {
             let off = base + ((i - rlo) * (chi - clo) + (i - clo)) * 8;
             local += caller.pami().read_f64s(off, 1)[0];
         }
-        caller
-            .allreduce_f64(&[local], armci::ReduceOp::Sum)
-            .await[0]
+        caller.allreduce_f64(&[local], armci::ReduceOp::Sum).await[0]
     }
 
     // ------------------------------------------------------------------
@@ -262,10 +254,7 @@ impl Ga {
         for r in 0..self.inner.dist.nprocs() {
             let elems = self.inner.dist.local_elems(r);
             let pr = self.inner.armci.machine().rank(r);
-            sum += pr
-                .read_f64s(self.inner.bases[r], elems)
-                .iter()
-                .sum::<f64>();
+            sum += pr.read_f64s(self.inner.bases[r], elems).iter().sum::<f64>();
         }
         sum
     }

@@ -101,7 +101,13 @@ impl BlockDist {
 
     /// Iterate over the ranks whose blocks intersect the patch
     /// `[rlo, rhi) × [clo, chi)`, with the intersection rectangle.
-    pub fn owners_of_patch(&self, rlo: usize, rhi: usize, clo: usize, chi: usize) -> Vec<PatchOwner> {
+    pub fn owners_of_patch(
+        &self,
+        rlo: usize,
+        rhi: usize,
+        clo: usize,
+        chi: usize,
+    ) -> Vec<PatchOwner> {
         assert!(rlo < rhi && rhi <= self.rows, "bad row patch {rlo}..{rhi}");
         assert!(clo < chi && chi <= self.cols, "bad col patch {clo}..{chi}");
         let gi_lo = Self::index_of(self.rows, self.pr, rlo);

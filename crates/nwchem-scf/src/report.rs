@@ -1,10 +1,9 @@
 //! SCF run reports: per-phase timing breakdown as the paper's Fig 11.
 
 use desim::SimDuration;
-use serde::Serialize;
 
 /// Timing breakdown of one SCF run (all values are virtual time).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScfReport {
     /// Number of processes.
     pub nprocs: usize,
@@ -63,6 +62,49 @@ impl ScfReport {
             self.tasks_max,
         )
     }
+
+    /// Deterministic JSON object (one row of a `results/*.json` snapshot).
+    pub fn to_json(&self) -> String {
+        use desim::json::{push_f64, push_str, push_u64};
+        let mut o = String::from("{");
+        let field = |o: &mut String, first: bool, k: &str| {
+            if !first {
+                o.push_str(", ");
+            }
+            push_str(o, k);
+            o.push_str(": ");
+        };
+        field(&mut o, true, "nprocs");
+        push_u64(&mut o, self.nprocs as u64);
+        field(&mut o, false, "mode");
+        push_str(&mut o, &self.mode);
+        field(&mut o, false, "iterations");
+        push_u64(&mut o, self.iterations as u64);
+        field(&mut o, false, "tasks_per_iter");
+        push_u64(&mut o, self.tasks_per_iter as u64);
+        field(&mut o, false, "total_us");
+        push_f64(&mut o, self.total_us);
+        field(&mut o, false, "counter_wait_mean_us");
+        push_f64(&mut o, self.counter_wait_mean_us);
+        field(&mut o, false, "counter_wait_max_us");
+        push_f64(&mut o, self.counter_wait_max_us);
+        field(&mut o, false, "get_mean_us");
+        push_f64(&mut o, self.get_mean_us);
+        field(&mut o, false, "acc_mean_us");
+        push_f64(&mut o, self.acc_mean_us);
+        field(&mut o, false, "compute_mean_us");
+        push_f64(&mut o, self.compute_mean_us);
+        field(&mut o, false, "sync_mean_us");
+        push_f64(&mut o, self.sync_mean_us);
+        field(&mut o, false, "tasks_min");
+        push_u64(&mut o, self.tasks_min as u64);
+        field(&mut o, false, "tasks_max");
+        push_u64(&mut o, self.tasks_max as u64);
+        field(&mut o, false, "rmw_count");
+        push_u64(&mut o, self.rmw_count);
+        o.push('}');
+        o
+    }
 }
 
 /// Mean of a slice of durations, in µs.
@@ -117,5 +159,12 @@ mod tests {
         assert!(row.contains("1024"));
         assert!(row.contains("AT"));
         assert!(row.contains("25.0%"));
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"nprocs\": 1024"));
+        assert!(json.contains("\"mode\": \"AT\""));
+        assert!(json.contains("\"counter_wait_mean_us\": 250.0"));
+        assert!(json.contains("\"rmw_count\": 300"));
+        assert_eq!(json, r.to_json(), "serialization is deterministic");
     }
 }

@@ -129,10 +129,7 @@ pub fn run_scf(nprocs: usize, cfg: &ScfConfig) -> ScfReport {
             .procs_per_node(cfg.procs_per_node)
             .contexts(cfg.contexts),
     );
-    let armci = Armci::new(
-        machine,
-        ArmciConfig::default().progress(cfg.progress),
-    );
+    let armci = Armci::new(machine, ArmciConfig::default().progress(cfg.progress));
     let density = Ga::create(&armci, "density", cfg.nbf, cfg.nbf);
     let fock = Ga::create(&armci, "fock", cfg.nbf, cfg.nbf);
     density.fill(0.1);
@@ -162,8 +159,23 @@ pub fn run_scf(nprocs: usize, cfg: &ScfConfig) -> ScfReport {
             let f_buf = rk.malloc(patch_elems * 8).await;
             let mut tally = RankTally::default();
             let mut prev_energy = 0.0f64;
+            // SCF phase tags: one span per phase per iteration on this
+            // rank's track (allocation-free while tracing is disabled).
+            let tracer = s.tracer();
+            let track = if tracer.on() {
+                tracer.track(&format!("rank {}", rk.id()))
+            } else {
+                desim::TrackId(0)
+            };
             for iter in 0..cfg.iterations {
                 // --- Fock build (Fig 10 inner loop) ---
+                let t_fock = s.now();
+                tracer.span_begin(
+                    track,
+                    "scf.fock_build",
+                    t_fock,
+                    &[("iter", desim::TraceValue::U64(iter as u64))],
+                );
                 loop {
                     let t0 = s.now();
                     let t = counter.next(&rk, 1).await;
@@ -187,8 +199,8 @@ pub fn run_scf(nprocs: usize, cfg: &ScfConfig) -> ScfReport {
                     density.get_patch(&rk, clo, chi, rlo, rhi, d_buf2).await;
                     tally.get_time += s.now() - t0;
                     // do work: contract integrals with the density patches.
-                    let jitter = 1.0 - cfg.compute_jitter
-                        + 2.0 * cfg.compute_jitter * rng.next_f64();
+                    let jitter =
+                        1.0 - cfg.compute_jitter + 2.0 * cfg.compute_jitter * rng.next_f64();
                     let dt = SimDuration::from_us_f64(cfg.compute_mean.as_us() * jitter);
                     let t0 = s.now();
                     s.sleep(dt).await;
@@ -206,17 +218,41 @@ pub fn run_scf(nprocs: usize, cfg: &ScfConfig) -> ScfReport {
                     fock.acc_patch(&rk, rlo, rhi, clo, chi, f_buf, 1.0).await;
                     tally.acc_time += s.now() - t0;
                 }
+                tracer.span_end(track, "scf.fock_build", s.now(), &[]);
+                rk.armci()
+                    .machine()
+                    .stats()
+                    .record_time("scf.phase.fock", s.now() - t_fock);
                 // --- end of iteration: synchronize, reset counter, "diag" ---
                 let t0 = s.now();
+                tracer.span_begin(track, "scf.sync", t0, &[]);
                 rk.barrier().await;
                 if rk.id() == 0 {
                     counter.reset(&armci_handle);
                 }
                 rk.barrier().await;
                 tally.sync_time += s.now() - t0;
+                tracer.span_end(track, "scf.sync", s.now(), &[]);
+                rk.armci()
+                    .machine()
+                    .stats()
+                    .record_time("scf.phase.sync", s.now() - t0);
+                let t_diag = s.now();
+                tracer.span_begin(track, "scf.diag", t_diag, &[]);
                 s.sleep(cfg.diag_time).await;
+                tracer.span_end(track, "scf.diag", s.now(), &[]);
+                rk.armci()
+                    .machine()
+                    .stats()
+                    .record_time("scf.phase.diag", s.now() - t_diag);
                 // Convergence check: SCF energy via the collective network.
                 let energy = fock.global_sum(&rk).await;
+                tracer.instant(
+                    track,
+                    "scf.energy",
+                    s.now(),
+                    &[("value", desim::TraceValue::F64(energy))],
+                );
                 let delta = (energy - prev_energy).abs();
                 prev_energy = energy;
                 tally.iterations_run = iter + 1;

@@ -160,6 +160,36 @@ pub enum WorkItem {
     },
 }
 
+impl WorkItem {
+    /// Stable trace-span name for this kind of work (`pami.service.*`).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WorkItem::SwPut { .. } => "pami.service.sw_put",
+            WorkItem::SwGet { .. } => "pami.service.sw_get",
+            WorkItem::Rmw { .. } => "pami.service.rmw",
+            WorkItem::AccF64 { .. } => "pami.service.acc",
+            WorkItem::PackedGet { .. } => "pami.service.packed_get",
+            WorkItem::PackedPut { .. } => "pami.service.packed_put",
+            WorkItem::AccStrided { .. } => "pami.service.acc_strided",
+            WorkItem::Am { .. } => "pami.service.am",
+        }
+    }
+
+    /// Rank that originated this work item.
+    pub fn src(&self) -> usize {
+        match self {
+            WorkItem::SwPut { src, .. }
+            | WorkItem::SwGet { src, .. }
+            | WorkItem::Rmw { src, .. }
+            | WorkItem::AccF64 { src, .. }
+            | WorkItem::PackedGet { src, .. }
+            | WorkItem::PackedPut { src, .. }
+            | WorkItem::AccStrided { src, .. }
+            | WorkItem::Am { src, .. } => *src,
+        }
+    }
+}
+
 /// State of one communication context.
 pub struct CtxState {
     /// Arrived-but-unserviced work.

@@ -28,6 +28,9 @@ pub struct MachineConfig {
     /// the ARMCI fall-back protocol — the paper's "creation of memory region
     /// may fail due to memory constraints" case.
     pub memregion_limit: Option<usize>,
+    /// Record per-link occupancy even on the analytic (non-contended)
+    /// network path, for utilization heatmaps. Implied by `contention`.
+    pub track_links: bool,
     /// Process→torus mapping.
     pub mapping: Mapping,
     /// Explicit torus shape (default: the standard BG/Q partition shape for
@@ -45,6 +48,7 @@ impl MachineConfig {
             params: BgqParams::default(),
             contexts_per_rank: 1,
             contention: false,
+            track_links: false,
             memregion_limit: None,
             mapping: Mapping::abcdet(),
             shape: None,
@@ -67,6 +71,12 @@ impl MachineConfig {
     /// Enable/disable link contention.
     pub fn contention(mut self, on: bool) -> Self {
         self.contention = on;
+        self
+    }
+
+    /// Enable per-link occupancy accounting on the analytic network path.
+    pub fn track_links(mut self, on: bool) -> Self {
+        self.track_links = on;
         self
     }
 
@@ -210,7 +220,10 @@ impl Machine {
             procs_per_node: cfg.procs_per_node,
             mapping: cfg.mapping.clone(),
         };
-        let net = NetState::new(topo.clone(), cfg.params.clone(), cfg.contention);
+        let mut net = NetState::new(topo.clone(), cfg.params.clone(), cfg.contention);
+        if cfg.track_links {
+            net.set_link_tracking(true);
+        }
         let ranks = (0..cfg.nprocs)
             .map(|_| Rc::new(RankState::new(cfg.contexts_per_rank)))
             .collect();
@@ -260,10 +273,7 @@ impl Machine {
     /// Handle for one rank.
     pub fn rank(&self, r: usize) -> crate::PamiRank {
         assert!(r < self.nprocs(), "rank {r} out of range");
-        crate::PamiRank {
-            m: self.clone(),
-            r,
-        }
+        crate::PamiRank { m: self.clone(), r }
     }
 
     /// Space-accounting snapshot for a rank.
@@ -290,6 +300,29 @@ impl Machine {
     /// Total payload bytes the interconnect has delivered.
     pub fn net_bytes(&self) -> u64 {
         self.inner.net.borrow().bytes()
+    }
+
+    /// Accumulated busy time per directed torus link (deterministically
+    /// sorted). Populated under contention, or with
+    /// [`MachineConfig::track_links`] on the analytic path.
+    pub fn link_utilization(&self) -> Vec<(torus5d::Link, desim::SimDuration)> {
+        self.inner.net.borrow().link_utilization()
+    }
+
+    /// Fold interconnect totals into the stats registry under `net.*` keys:
+    /// `net.messages`, `net.bytes`, `net.links_used`, and a `net.link_busy_us`
+    /// histogram of per-link busy time (µs). Call once, at the end of a run,
+    /// before snapshotting.
+    pub fn flush_net_stats(&self) {
+        let stats = self.stats();
+        let net = self.inner.net.borrow();
+        stats.add("net.messages", net.messages());
+        stats.add("net.bytes", net.bytes());
+        let util = net.link_utilization();
+        stats.add("net.links_used", util.len() as u64);
+        for (_, busy) in &util {
+            stats.record_hist("net.link_busy_us", busy.as_us() as u64);
+        }
     }
 }
 

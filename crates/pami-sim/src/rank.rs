@@ -244,7 +244,10 @@ impl PamiRank {
 
     /// Register an active-message handler under `dispatch` on context `ctx`.
     pub fn register_dispatch(&self, ctx: usize, dispatch: u16, handler: AmHandler) {
-        self.ctx(ctx).dispatch.borrow_mut().insert(dispatch, handler);
+        self.ctx(ctx)
+            .dispatch
+            .borrow_mut()
+            .insert(dispatch, handler);
     }
 
     // ------------------------------------------------------------------
@@ -269,11 +272,12 @@ impl PamiRank {
         sim.sleep(p.o_send).await;
         let data = self.read_bytes(local_off, len);
         let inject = sim.now() + p.rdma_engine;
-        let arrival = inner
-            .net
-            .borrow_mut()
-            .deliver(inject, self.r, target, len, MsgClass::Ordered)
-            + p.align_penalty(len);
+        let arrival =
+            inner
+                .net
+                .borrow_mut()
+                .deliver(inject, self.r, target, len, MsgClass::Ordered)
+                + p.align_penalty(len);
         let handles = PutHandles {
             local: Completion::new(),
             remote: Completion::new(),
@@ -318,11 +322,12 @@ impl PamiRank {
         let sim2 = sim.clone();
         sim.schedule(req_arrival, move || {
             let data = inner.ranks[target].read(remote_off, len);
-            let resp_arrival = inner
-                .net
-                .borrow_mut()
-                .deliver(req_arrival, target, src, len, MsgClass::Ordered)
-                + p.align_penalty(len);
+            let resp_arrival =
+                inner
+                    .net
+                    .borrow_mut()
+                    .deliver(req_arrival, target, src, len, MsgClass::Ordered)
+                    + p.align_penalty(len);
             let src_state = Rc::clone(&inner.ranks[src]);
             sim2.schedule(resp_arrival, move || {
                 src_state.write(local_off, &data);
@@ -472,13 +477,11 @@ impl PamiRank {
         let p = self.m.params().clone();
         self.m.stats().incr("pami.rmw");
         sim.sleep(p.o_send).await;
-        let arrival = inner.net.borrow_mut().deliver(
-            sim.now(),
-            self.r,
-            target,
-            16,
-            MsgClass::Unordered,
-        );
+        let arrival =
+            inner
+                .net
+                .borrow_mut()
+                .deliver(sim.now(), self.r, target, 16, MsgClass::Unordered);
         let done = Completion::new();
         self.push_to_target(
             target,
@@ -701,17 +704,66 @@ impl PamiRank {
     /// lock and service up to `max_items` queued work items. Returns the
     /// number serviced.
     pub async fn advance(&self, ctx_idx: usize, max_items: usize) -> usize {
+        self.advance_on(ctx_idx, max_items, false).await
+    }
+
+    /// `advance` with attribution: `from_at` marks the asynchronous progress
+    /// thread as the driver, so trace spans land on its own track and the
+    /// §III-D lock contention (main thread vs AT on one context) is visible.
+    async fn advance_on(&self, ctx_idx: usize, max_items: usize, from_at: bool) -> usize {
+        let sim = self.m.sim().clone();
+        let stats = self.m.stats();
         let ctx = self.ctx(ctx_idx);
+        let t_req = sim.now();
         let _guard = ctx.lock.lock().await;
+        let lock_wait = sim.now().since(t_req);
+        if !lock_wait.is_zero() {
+            // Someone else held the progress lock: the ρ=1 contention.
+            stats.record_time("pami.ctx.lock_wait", lock_wait);
+            stats.incr("pami.ctx.lock_contended");
+        }
+        let t_hold = sim.now();
+        let tracer = sim.tracer();
+        let track = if tracer.on() {
+            Some(self.service_track(&tracer, from_at))
+        } else {
+            None
+        };
         let mut n = 0;
         while n < max_items {
             let item = ctx.queue.borrow_mut().pop_front();
             let Some(item) = item else { break };
-            self.service_item(item).await;
+            if let Some(track) = track {
+                let name = item.kind_name();
+                tracer.span_begin(
+                    track,
+                    name,
+                    sim.now(),
+                    &[("src", desim::TraceValue::U64(item.src() as u64))],
+                );
+                self.service_item(item).await;
+                tracer.span_end(track, name, sim.now(), &[]);
+            } else {
+                self.service_item(item).await;
+            }
             ctx.serviced.set(ctx.serviced.get() + 1);
             n += 1;
         }
+        if n > 0 {
+            stats.record_time("pami.ctx.lock_hold", sim.now().since(t_hold));
+            stats.record_hist("pami.advance_batch", n as u64);
+        }
         n
+    }
+
+    /// The trace track progress work is attributed to: the rank's main lane,
+    /// or its asynchronous-progress lane when driven by the AT.
+    fn service_track(&self, tracer: &desim::Tracer, from_at: bool) -> desim::TrackId {
+        if from_at {
+            tracer.track(&format!("rank {} (at)", self.r))
+        } else {
+            tracer.track(&format!("rank {}", self.r))
+        }
     }
 
     /// Execute one work item (context lock held by the caller).
@@ -739,13 +791,12 @@ impl PamiRank {
             } => {
                 sim.sleep(p.am_dispatch).await;
                 let data = self.state().read(offset, len);
-                let resp = inner.net.borrow_mut().deliver(
-                    sim.now(),
-                    self.r,
-                    src,
-                    len,
-                    MsgClass::Ordered,
-                ) + p.align_penalty(len);
+                let resp =
+                    inner
+                        .net
+                        .borrow_mut()
+                        .deliver(sim.now(), self.r, src, len, MsgClass::Ordered)
+                        + p.align_penalty(len);
                 let src_state = Rc::clone(&inner.ranks[src]);
                 sim.schedule(resp, move || {
                     src_state.write(local_off, &data);
@@ -774,13 +825,11 @@ impl PamiRank {
                 if let Some(new) = new {
                     self.state().write_i64(offset, new);
                 }
-                let resp = inner.net.borrow_mut().deliver(
-                    sim.now(),
-                    self.r,
-                    src,
-                    8,
-                    MsgClass::Unordered,
-                );
+                let resp =
+                    inner
+                        .net
+                        .borrow_mut()
+                        .deliver(sim.now(), self.r, src, 8, MsgClass::Unordered);
                 sim.schedule(resp, move || done.complete(old));
             }
             WorkItem::AccF64 {
@@ -791,8 +840,7 @@ impl PamiRank {
                 ..
             } => {
                 let elems = data.len() / 8;
-                let cost = p.am_dispatch
-                    + SimDuration::from_ps(elems as u64 * p.acc_elem_time_ps);
+                let cost = p.am_dispatch + SimDuration::from_ps(elems as u64 * p.acc_elem_time_ps);
                 sim.sleep(cost).await;
                 let incoming: Vec<f64> = data
                     .chunks_exact(8)
@@ -859,8 +907,7 @@ impl PamiRank {
                 ..
             } => {
                 let elems = data.len() / 8;
-                let cost = p.am_dispatch
-                    + SimDuration::from_ps(elems as u64 * p.acc_elem_time_ps);
+                let cost = p.am_dispatch + SimDuration::from_ps(elems as u64 * p.acc_elem_time_ps);
                 sim.sleep(cost).await;
                 let mut cursor = 0;
                 for &(off, len) in &chunks {
@@ -956,7 +1003,7 @@ impl PamiRank {
                     continue;
                 }
                 sim.sleep(this.m.params().at_wakeup).await;
-                let n = this.advance(ctx_idx, usize::MAX).await;
+                let n = this.advance_on(ctx_idx, usize::MAX, true).await;
                 this.m.stats().add("pami.at_serviced", n as u64);
             }
         });

@@ -111,10 +111,7 @@ fn eq9_strided_model_matches_chunked_rdma_gets() {
             let t0 = s.now();
             let mut dones = Vec::new();
             for i in 0..chunks {
-                dones.push(
-                    a.rdma_get(1, local + i * l0, remote + i * l0 * 2, l0)
-                        .await,
-                );
+                dones.push(a.rdma_get(1, local + i * l0, remote + i * l0 * 2, l0).await);
             }
             for d in dones {
                 d.wait().await;

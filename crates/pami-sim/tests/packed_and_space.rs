@@ -207,10 +207,7 @@ fn space_model_equations_match_accounting() {
     assert_eq!(t_endpoints, params.endpoint_create * (zeta * rho) as u64);
     // Eq. 5 / Eq. 6 (region metadata part).
     assert_eq!(snap.regions, (tau + sigma) * params.memregion_bytes);
-    assert_eq!(
-        t_regions,
-        params.memregion_create * (tau + sigma) as u64
-    );
+    assert_eq!(t_regions, params.memregion_create * (tau + sigma) as u64);
 }
 
 #[test]

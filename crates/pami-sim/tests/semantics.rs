@@ -117,9 +117,13 @@ fn sw_put_requires_target_progress() {
         // Give the network plenty of time: without target progress the data
         // must still not be visible.
         s.sleep(SimDuration::from_us(50)).await;
-        applied2.borrow_mut().push((s.now().as_us(), b2.read_i64(dst)));
+        applied2
+            .borrow_mut()
+            .push((s.now().as_us(), b2.read_i64(dst)));
         h.remote.wait().await;
-        applied2.borrow_mut().push((s.now().as_us(), b2.read_i64(dst)));
+        applied2
+            .borrow_mut()
+            .push((s.now().as_us(), b2.read_i64(dst)));
     });
     // Target only advances at t = 100us.
     let s2 = sim.clone();
@@ -384,7 +388,10 @@ fn am_dispatch_runs_registered_handler() {
         r0.am_send(1, 42, vec![1, 2], vec![0u8; 100]).await;
     });
     sim.run_until(desim::SimTime::ZERO + SimDuration::from_ms(10));
-    assert_eq!(*seen.borrow(), Some((1usize, 0usize, vec![1u8, 2], 100usize)));
+    assert_eq!(
+        *seen.borrow(),
+        Some((1usize, 0usize, vec![1u8, 2], 100usize))
+    );
     sim.shutdown();
 }
 
@@ -426,10 +433,7 @@ fn endpoint_creation_costs_beta_and_alpha_once() {
 #[test]
 fn region_registration_costs_and_limit() {
     let sim = Sim::new();
-    let m = Machine::new(
-        sim.clone(),
-        MachineConfig::new(2).memregion_limit(Some(2)),
-    );
+    let m = Machine::new(sim.clone(), MachineConfig::new(2).memregion_limit(Some(2)));
     let r0 = m.rank(0);
     let params = m.params().clone();
     let r0b = r0.clone();

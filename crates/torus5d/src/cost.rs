@@ -255,7 +255,10 @@ mod tests {
         let l1 = p.model_rdma_get(1, 16);
         let l7 = p.model_rdma_get(7, 16);
         let per_hop_roundtrip = (l7 - l1).as_ns() / (6.0 * 2.0);
-        assert!((per_hop_roundtrip - 35.0).abs() < 0.5, "{per_hop_roundtrip}");
+        assert!(
+            (per_hop_roundtrip - 35.0).abs() < 0.5,
+            "{per_hop_roundtrip}"
+        );
     }
 
     #[test]
@@ -271,10 +274,7 @@ mod tests {
     fn fallback_slower_than_rdma() {
         let p = BgqParams::default();
         for m in [16usize, 256, 4096, 1 << 20] {
-            assert!(
-                p.model_fallback_get(3, m) > p.model_rdma_get(3, m),
-                "m={m}"
-            );
+            assert!(p.model_fallback_get(3, m) > p.model_rdma_get(3, m), "m={m}");
         }
     }
 

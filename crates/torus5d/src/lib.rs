@@ -29,6 +29,7 @@ pub use coords::Coord;
 pub use cost::BgqParams;
 pub use mapping::Mapping;
 pub use net::{MsgClass, NetState};
+pub use routing::Link;
 pub use shape::TorusShape;
 
 /// A fully specified simulated partition: torus shape, processes/node and

@@ -45,6 +45,11 @@ pub struct NetState {
     /// Per-rank NIC injection FIFO: data payloads from one rank serialize
     /// onto the wire, bounding any stream at link bandwidth.
     tx_busy: HashMap<u32, SimTime>,
+    /// Accumulated occupancy (header + serialization) per directed link, for
+    /// utilization heatmaps. Filled by the contended path always, and by the
+    /// analytic path when [`NetState::set_link_tracking`] is on.
+    link_util: HashMap<Link, SimDuration>,
+    track_links: bool,
     messages: u64,
     bytes: u64,
 }
@@ -61,9 +66,17 @@ impl NetState {
             pair_last: HashMap::new(),
             link_busy: HashMap::new(),
             tx_busy: HashMap::new(),
+            link_util: HashMap::new(),
+            track_links: false,
             messages: 0,
             bytes: 0,
         }
+    }
+
+    /// Record per-link occupancy on the analytic (non-contended) path too.
+    /// Costs one route computation per internode message, so it is opt-in.
+    pub fn set_link_tracking(&mut self, on: bool) {
+        self.track_links = on;
     }
 
     /// The topology this network spans.
@@ -126,6 +139,9 @@ impl NetState {
         } else if self.contention {
             self.deliver_contended_head(start, src, dst, payload)
         } else {
+            if self.track_links {
+                self.account_links(src, dst, payload);
+            }
             start + self.params.oneway_header(self.topo.hops(src, dst))
         };
         let mut arrival = head + wire;
@@ -157,15 +173,33 @@ impl NetState {
         let wire = self.params.wire_time(payload);
         let mut t = inject + self.params.base_latency;
         for link in path {
-            let busy = self
-                .link_busy
-                .get(&link)
-                .copied()
-                .unwrap_or(SimTime::ZERO);
+            let busy = self.link_busy.get(&link).copied().unwrap_or(SimTime::ZERO);
             t = t.max(busy) + self.params.hop_latency;
             self.link_busy.insert(link, t + wire);
+            *self.link_util.entry(link).or_default() += self.params.hop_latency + wire;
         }
         t
+    }
+
+    /// Accumulate per-link occupancy for a message on the analytic path
+    /// (route walk for accounting only; timing stays LogGP).
+    fn account_links(&mut self, src: usize, dst: usize, payload: usize) {
+        let ca = self.topo.coord_of(src);
+        let cb = self.topo.coord_of(dst);
+        let wire = self.params.wire_time(payload);
+        for link in route(&self.topo.shape, ca, cb) {
+            *self.link_util.entry(link).or_default() += self.params.hop_latency + wire;
+        }
+    }
+
+    /// Accumulated busy time per directed link, sorted deterministically by
+    /// (source coordinate, dimension, direction). Suitable for emitting a
+    /// link-utilization heatmap.
+    pub fn link_utilization(&self) -> Vec<(Link, SimDuration)> {
+        let mut v: Vec<(Link, SimDuration)> =
+            self.link_util.iter().map(|(l, d)| (*l, *d)).collect();
+        v.sort_by_key(|(l, _)| (l.from.0, l.dim, l.plus));
+        v
     }
 
     /// Analytic reference delivery time ignoring FIFO/contention state
@@ -181,11 +215,7 @@ mod tests {
     use super::*;
 
     fn net(contention: bool) -> NetState {
-        NetState::new(
-            Topology::for_procs(64, 1),
-            BgqParams::default(),
-            contention,
-        )
+        NetState::new(Topology::for_procs(64, 1), BgqParams::default(), contention)
     }
 
     #[test]
@@ -193,9 +223,7 @@ mod tests {
         let mut n = net(false);
         let t0 = SimTime::ZERO;
         let a1 = n.deliver(t0, 0, 1, 0, MsgClass::Unordered);
-        let far = (0..64)
-            .max_by_key(|&r| n.topology().hops(0, r))
-            .unwrap();
+        let far = (0..64).max_by_key(|&r| n.topology().hops(0, r)).unwrap();
         let a2 = n.deliver(t0, 0, far, 0, MsgClass::Unordered);
         assert!(a2 > a1);
         let hops = n.topology().hops(0, far);
@@ -210,13 +238,7 @@ mod tests {
         // earlier than the big one.
         let t0 = SimTime::ZERO;
         let big = n.deliver(t0, 0, 5, 1 << 20, MsgClass::Ordered);
-        let small = n.deliver(
-            t0 + SimDuration::from_ns(1),
-            0,
-            5,
-            8,
-            MsgClass::Ordered,
-        );
+        let small = n.deliver(t0 + SimDuration::from_ns(1), 0, 5, 8, MsgClass::Ordered);
         assert!(small >= big);
     }
 
@@ -225,13 +247,7 @@ mod tests {
         let mut n = net(false);
         let t0 = SimTime::ZERO;
         let big = n.deliver(t0, 0, 5, 1 << 20, MsgClass::Ordered);
-        let amo = n.deliver(
-            t0 + SimDuration::from_ns(1),
-            0,
-            5,
-            8,
-            MsgClass::Unordered,
-        );
+        let amo = n.deliver(t0 + SimDuration::from_ns(1), 0, 5, 8, MsgClass::Unordered);
         assert!(amo < big, "AMO should overtake bulk transfer");
     }
 
@@ -302,10 +318,40 @@ mod tests {
         let t0 = SimTime::ZERO;
         let a = n.deliver(t0, 0, 1, 4096, MsgClass::Ordered);
         let p = n.params();
-        assert_eq!(
-            a.since(t0),
-            p.intranode_latency + p.intranode_time(4096)
+        assert_eq!(a.since(t0), p.intranode_latency + p.intranode_time(4096));
+    }
+
+    #[test]
+    fn link_utilization_accumulates_under_contention() {
+        let mut n = net(true);
+        let t0 = SimTime::ZERO;
+        n.deliver(t0, 0, 1, 1 << 16, MsgClass::Unordered);
+        n.deliver(t0, 0, 1, 1 << 16, MsgClass::Unordered);
+        let util = n.link_utilization();
+        assert!(!util.is_empty());
+        let wire = n.params().wire_time(1 << 16);
+        let hop = n.params().hop_latency;
+        // Both messages crossed the same single-hop route.
+        let total: SimDuration = util.iter().map(|(_, d)| *d).sum();
+        assert_eq!(total, (wire + hop) * 2);
+        // Deterministic ordering.
+        assert_eq!(util, n.link_utilization());
+    }
+
+    #[test]
+    fn link_tracking_covers_analytic_path() {
+        let mut n = net(false);
+        assert!(n.link_utilization().is_empty());
+        n.deliver(SimTime::ZERO, 0, 1, 4096, MsgClass::Ordered);
+        assert!(
+            n.link_utilization().is_empty(),
+            "analytic path does not account links unless tracking is on"
         );
+        n.set_link_tracking(true);
+        n.deliver(SimTime::ZERO, 0, 1, 4096, MsgClass::Ordered);
+        let util = n.link_utilization();
+        let hops = n.topology().hops(0, 1) as usize;
+        assert_eq!(util.len(), hops);
     }
 
     #[test]

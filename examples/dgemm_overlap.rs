@@ -20,7 +20,10 @@ const P: usize = 4;
 
 fn run(mode: ConsistencyMode) -> (f64, u64, f64) {
     let sim = Sim::new();
-    let machine = Machine::new(sim.clone(), MachineConfig::new(P).procs_per_node(1).contexts(2));
+    let machine = Machine::new(
+        sim.clone(),
+        MachineConfig::new(P).procs_per_node(1).contexts(2),
+    );
     let armci = Armci::new(machine, ArmciConfig::default().consistency(mode));
     let a = Ga::create(&armci, "A", N, N);
     let b = Ga::create(&armci, "B", N, N);

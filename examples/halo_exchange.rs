@@ -19,7 +19,10 @@ const STEPS: usize = 5;
 
 fn main() {
     let sim = Sim::new();
-    let machine = Machine::new(sim.clone(), MachineConfig::new(P).procs_per_node(4).contexts(2));
+    let machine = Machine::new(
+        sim.clone(),
+        MachineConfig::new(P).procs_per_node(4).contexts(2),
+    );
     let armci = Armci::new(machine, ArmciConfig::default());
 
     // Layout per rank: [left ghost][CELLS interior][right ghost], f64 each.
@@ -34,9 +37,9 @@ fn main() {
         slabs.push(off);
     }
     for r in 0..P {
-        for o in 0..P {
+        for (o, &slab) in slabs.iter().enumerate() {
             if r != o {
-                armci.seed_region(r, o, slabs[o], slab_bytes);
+                armci.seed_region(r, o, slab, slab_bytes);
             }
         }
     }

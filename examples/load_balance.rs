@@ -20,7 +20,11 @@ const P: usize = 16;
 const NTASKS: usize = 400;
 
 fn run(mode: ProgressMode) -> (f64, f64, Vec<usize>) {
-    let contexts = if mode == ProgressMode::AsyncThread { 2 } else { 1 };
+    let contexts = if mode == ProgressMode::AsyncThread {
+        2
+    } else {
+        1
+    };
     let sim = Sim::new();
     let machine = Machine::new(
         sim.clone(),
@@ -57,15 +61,17 @@ fn run(mode: ProgressMode) -> (f64, f64, Vec<usize>) {
     let end = sim.run();
     armci.finalize();
     sim.shutdown();
-    let mean_wait =
-        waits.borrow().iter().map(|d| d.as_us()).sum::<f64>() / P as f64;
+    let mean_wait = waits.borrow().iter().map(|d| d.as_us()).sum::<f64>() / P as f64;
     let done = tasks_done.borrow().clone();
     (end.as_us(), mean_wait, done)
 }
 
 fn main() {
     println!("dynamic load balancing: {NTASKS} irregular tasks over {P} ranks");
-    for (label, mode) in [("D ", ProgressMode::Default), ("AT", ProgressMode::AsyncThread)] {
+    for (label, mode) in [
+        ("D ", ProgressMode::Default),
+        ("AT", ProgressMode::AsyncThread),
+    ] {
         let (total, wait, tasks) = run(mode);
         let min = tasks.iter().min().unwrap();
         let max = tasks.iter().max().unwrap();

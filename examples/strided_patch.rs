@@ -19,7 +19,10 @@ const P: usize = 16;
 
 fn main() {
     let sim = Sim::new();
-    let machine = Machine::new(sim.clone(), MachineConfig::new(P).procs_per_node(4).contexts(2));
+    let machine = Machine::new(
+        sim.clone(),
+        MachineConfig::new(P).procs_per_node(4).contexts(2),
+    );
     let armci = Armci::new(machine, ArmciConfig::default());
     let ga = Ga::create(&armci, "field", N, N);
     for i in 0..N {
@@ -48,7 +51,10 @@ fn main() {
             stats.counter("armci.strided_zero_copy"),
         );
         let v = rk.pami().read_f64s(wide, 3);
-        assert_eq!(v, vec![(100 * N) as f64, (100 * N + 1) as f64, (100 * N + 2) as f64]);
+        assert_eq!(
+            v,
+            vec![(100 * N) as f64, (100 * N + 1) as f64, (100 * N + 2) as f64]
+        );
 
         // 2. A tall-skinny patch (one column): 8-byte chunks -> packed path.
         let skinny = rk.malloc(N * 8).await;
@@ -68,7 +74,10 @@ fn main() {
         let t0 = s.now();
         ga2.put_patch(&rk, 64, 80, 64, 80, patch).await;
         rk.fence_all().await;
-        println!("put  16x16 patch: {:>9.2} us  (fenced)", (s.now() - t0).as_us());
+        println!(
+            "put  16x16 patch: {:>9.2} us  (fenced)",
+            (s.now() - t0).as_us()
+        );
     });
     sim.run();
     armci.finalize();

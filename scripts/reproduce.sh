@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Regenerate every table/figure of the paper plus the design ablations.
-# Results land in results/*.txt. Full-scale fig9/fig11 take a few minutes.
+# Results land in results/*.txt, plus machine-readable JSON snapshots
+# (results/*.json) and a Chrome trace (results/fig9_rmw.trace.json) for the
+# observability-instrumented figures. Full-scale fig9/fig11 take a few minutes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release -p bgq-bench --bins
@@ -13,8 +15,8 @@ run fig5_latency_per_byte
 run fig6_efficiency
 run fig7_rank_latency
 run fig8_strided
-run fig9_rmw
-run fig11_nwchem_scf
+run fig9_rmw "--json results/fig9_rmw.json --trace results/fig9_rmw.trace.json"
+run fig11_nwchem_scf "--json results/fig11_nwchem_scf.json"
 run abl_fallback
 run abl_contexts
 run abl_consistency

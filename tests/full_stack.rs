@@ -137,7 +137,7 @@ fn consistency_modes_agree_on_results_differ_on_fences() {
                 for _ in 0..5 {
                     c.acc_patch(&rk, 0, 16, 0, 16, contrib, 1.0).await;
                     a.get_patch(&rk, 0, 16, 0, 16, buf).await; // disjoint read
-                    // The read must see pristine A regardless of mode.
+                                                               // The read must see pristine A regardless of mode.
                     assert_eq!(rk.pami().read_f64s(buf, 1)[0], 3.0);
                 }
                 rk.barrier().await;
@@ -210,6 +210,66 @@ fn scf_scales_down_total_time_with_more_ranks() {
         large.total_us,
         small.total_us
     );
+}
+
+/// One traced rmw workload (a miniature fig9 configuration): returns the
+/// Chrome trace JSON and the metrics-snapshot JSON.
+fn traced_rmw_run(mode: ProgressMode) -> (String, String) {
+    let p = 6;
+    let contexts = if mode == ProgressMode::AsyncThread {
+        2
+    } else {
+        1
+    };
+    let (sim, armci) = fixture(p, contexts, mode);
+    let tracer = sim.tracer();
+    tracer.enable(1 << 16);
+    let owner = armci.machine().rank(0);
+    let counter = owner.alloc(8);
+    owner.write_i64(counter, 0);
+    for r in 1..p {
+        let rk = armci.rank(r);
+        sim.spawn(async move {
+            for _ in 0..4 {
+                rk.rmw_fetch_add(0, counter, 1).await;
+            }
+            rk.barrier().await;
+        });
+    }
+    {
+        let rk = armci.rank(0);
+        sim.spawn(async move {
+            rk.barrier().await;
+        });
+    }
+    finish(&sim, &armci);
+    armci.machine().flush_net_stats();
+    let mut ct = desim::ChromeTrace::new();
+    ct.add_process(1, "rmw", &tracer);
+    (ct.finish(), armci.machine().stats().snapshot().to_json())
+}
+
+#[test]
+fn trace_and_snapshot_are_byte_identical_across_runs() {
+    // The determinism guarantee, end to end: two identical simulations must
+    // serialize to byte-identical Chrome traces and metrics snapshots.
+    for mode in [ProgressMode::Default, ProgressMode::AsyncThread] {
+        let (trace_a, snap_a) = traced_rmw_run(mode);
+        let (trace_b, snap_b) = traced_rmw_run(mode);
+        assert_eq!(trace_a, trace_b, "{mode:?}: trace JSON differs");
+        assert_eq!(snap_a, snap_b, "{mode:?}: snapshot JSON differs");
+        // The trace is non-trivial: it has rmw service spans and per-rank
+        // tracks, and the snapshot carries the rmw wait histogram.
+        assert!(trace_a.contains("\"pami.service.rmw\""), "no rmw spans");
+        assert!(trace_a.contains("\"armci.rmw\""), "no armci rmw spans");
+        assert!(snap_a.contains("\"armci.wait.rmw\""), "no rmw histogram");
+        if mode == ProgressMode::AsyncThread {
+            assert!(
+                trace_a.contains("(at)"),
+                "AT mode: no async-thread track in trace"
+            );
+        }
+    }
 }
 
 #[test]

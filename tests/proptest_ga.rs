@@ -1,14 +1,15 @@
-//! End-to-end property test: arbitrary patches of a block-distributed
+//! End-to-end randomized test: arbitrary patches of a block-distributed
 //! global array round-trip through the full ARMCI/PAMI/network stack.
+//! Driven by the deterministic [`SimRng`].
 
 use armci::{Armci, ArmciConfig};
-use desim::{Sim, SimDuration, SimTime};
+use desim::{Sim, SimDuration, SimRng, SimTime};
 use global_arrays::Ga;
 use pami_sim::{Machine, MachineConfig};
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
+#[allow(clippy::too_many_arguments)]
 fn patch_round_trip(
     rows: usize,
     cols: usize,
@@ -59,24 +60,23 @@ fn patch_round_trip(
     (got, expect)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-    #[test]
-    fn arbitrary_patches_round_trip(
-        rows in 4usize..24,
-        cols in 4usize..24,
-        p in 1usize..7,
-        a in 0usize..24, b in 1usize..24,
-        c in 0usize..24, d in 1usize..24,
-        caller_sel in 0usize..8,
-    ) {
-        let rlo = a % rows;
-        let rhi = (rlo + 1 + b % (rows - rlo)).min(rows);
-        let clo = c % cols;
-        let chi = (clo + 1 + d % (cols - clo)).min(cols);
-        let caller = caller_sel % p;
+#[test]
+fn arbitrary_patches_round_trip() {
+    let mut rng = SimRng::new(31);
+    for case in 0..12 {
+        let rows = rng.range(4, 24) as usize;
+        let cols = rng.range(4, 24) as usize;
+        let p = rng.range(1, 7) as usize;
+        let rlo = rng.next_below(rows as u64) as usize;
+        let rhi = (rlo + 1 + rng.next_below(24) as usize % (rows - rlo)).min(rows);
+        let clo = rng.next_below(cols as u64) as usize;
+        let chi = (clo + 1 + rng.next_below(24) as usize % (cols - clo)).min(cols);
+        let caller = rng.next_below(p as u64) as usize;
         let (got, expect) = patch_round_trip(rows, cols, p, rlo, rhi, clo, chi, caller);
-        prop_assert_eq!(got, expect);
+        assert_eq!(
+            got, expect,
+            "case {case}: {rows}x{cols} p={p} patch [{rlo},{rhi})x[{clo},{chi}) caller {caller}"
+        );
     }
 }
 

@@ -1,9 +1,9 @@
-//! Property-based tests of the network model's global invariants:
-//! bandwidth conservation, pairwise ordering, and control-traffic
-//! non-starvation — for arbitrary interleaved traffic.
+//! Randomized tests of the network model's global invariants: bandwidth
+//! conservation, pairwise ordering, and control-traffic non-starvation —
+//! for arbitrary interleaved traffic. Driven by the deterministic
+//! [`SimRng`].
 
-use desim::{SimDuration, SimTime};
-use proptest::prelude::*;
+use desim::{SimDuration, SimRng, SimTime};
 use torus5d::{BgqParams, MsgClass, NetState, Topology};
 
 #[derive(Debug, Clone)]
@@ -15,19 +15,24 @@ struct Msg {
     class: u8, // 0 ordered, 1 control, 2 unordered
 }
 
-fn arb_traffic() -> impl Strategy<Value = Vec<Msg>> {
-    proptest::collection::vec(
-        (0u64..10_000, 0usize..8, 0usize..8, 1usize..65536, 0u8..3).prop_map(
-            |(inject_ns, src, dst, bytes, class)| Msg {
-                inject_ns,
+/// 1..64 random messages on an 8-rank machine, sorted by injection time.
+fn arb_traffic(rng: &mut SimRng) -> Vec<Msg> {
+    let n = rng.range(1, 64) as usize;
+    let mut traffic: Vec<Msg> = (0..n)
+        .map(|_| {
+            let src = rng.next_below(8) as usize;
+            let dst = rng.next_below(8) as usize;
+            Msg {
+                inject_ns: rng.next_below(10_000),
                 src,
                 dst: if src == dst { (dst + 1) % 8 } else { dst },
-                bytes,
-                class,
-            },
-        ),
-        1..64,
-    )
+                bytes: rng.range(1, 65536) as usize,
+                class: rng.next_below(3) as u8,
+            }
+        })
+        .collect();
+    traffic.sort_by_key(|m| m.inject_ns);
+    traffic
 }
 
 fn class_of(c: u8) -> MsgClass {
@@ -38,13 +43,14 @@ fn class_of(c: u8) -> MsgClass {
     }
 }
 
-proptest! {
-    #[test]
-    fn ordered_bandwidth_is_conserved_per_source(mut traffic in arb_traffic()) {
-        // The total wire time of Ordered messages from one source fits in
-        // the [first injection, last arrival] window: no source exceeds
-        // link bandwidth.
-        traffic.sort_by_key(|m| m.inject_ns);
+#[test]
+fn ordered_bandwidth_is_conserved_per_source() {
+    // The total wire time of Ordered messages from one source fits in the
+    // [first injection, last arrival] window: no source exceeds link
+    // bandwidth.
+    let mut rng = SimRng::new(21);
+    for _ in 0..32 {
+        let traffic = arb_traffic(&mut rng);
         let topo = Topology::for_procs(8, 1);
         let params = BgqParams::default();
         let mut net = NetState::new(topo, params.clone(), false);
@@ -53,7 +59,7 @@ proptest! {
         for m in &traffic {
             let inject = SimTime::ZERO + SimDuration::from_ns(m.inject_ns);
             let arrival = net.deliver(inject, m.src, m.dst, m.bytes, class_of(m.class));
-            prop_assert!(arrival > inject);
+            assert!(arrival > inject);
             if m.class == 0 {
                 let e = per_src.entry(m.src).or_insert((inject, arrival, 0));
                 e.0 = e.0.min(inject);
@@ -63,26 +69,28 @@ proptest! {
         }
         for (src, (first, last, wire_total)) in per_src {
             let window = last.since(first).as_ps();
-            prop_assert!(
+            assert!(
                 wire_total <= window,
                 "src {src}: {wire_total} ps of wire in a {window} ps window"
             );
         }
     }
+}
 
-    #[test]
-    fn pair_arrivals_are_monotone_for_ordered_classes(mut traffic in arb_traffic()) {
-        traffic.sort_by_key(|m| m.inject_ns);
+#[test]
+fn pair_arrivals_are_monotone_for_ordered_classes() {
+    let mut rng = SimRng::new(22);
+    for _ in 0..32 {
+        let traffic = arb_traffic(&mut rng);
         let topo = Topology::for_procs(8, 1);
         let mut net = NetState::new(topo, BgqParams::default(), false);
-        let mut last_pair: std::collections::HashMap<(usize, usize), SimTime> =
-            Default::default();
+        let mut last_pair: std::collections::HashMap<(usize, usize), SimTime> = Default::default();
         for m in &traffic {
             let inject = SimTime::ZERO + SimDuration::from_ns(m.inject_ns);
             let arrival = net.deliver(inject, m.src, m.dst, m.bytes, class_of(m.class));
             if m.class != 2 {
                 if let Some(&prev) = last_pair.get(&(m.src, m.dst)) {
-                    prop_assert!(
+                    assert!(
                         arrival >= prev,
                         "pair ({},{}) reordered: {arrival:?} < {prev:?}",
                         m.src,
@@ -93,11 +101,16 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn unordered_latency_is_load_independent(traffic in arb_traffic(), probe_bytes in 1usize..64) {
-        // An AMO's latency equals the analytic reference no matter what
-        // traffic preceded it on fresh pairs.
+#[test]
+fn unordered_latency_is_load_independent() {
+    // An AMO's latency equals the analytic reference no matter what
+    // traffic preceded it on fresh pairs.
+    let mut rng = SimRng::new(23);
+    for _ in 0..32 {
+        let traffic = arb_traffic(&mut rng);
+        let probe_bytes = rng.range(1, 64) as usize;
         let topo = Topology::for_procs(8, 1);
         let mut net = NetState::new(topo, BgqParams::default(), false);
         for m in &traffic {
@@ -110,12 +123,15 @@ proptest! {
         let t = SimTime::ZERO + SimDuration::from_ms(1);
         let arrival = net.deliver(t, 6, 7, probe_bytes, MsgClass::Unordered);
         let expect = net.analytic(6, 7, probe_bytes);
-        prop_assert_eq!(arrival, t + expect);
+        assert_eq!(arrival, t + expect);
     }
+}
 
-    #[test]
-    fn contended_mode_never_beats_analytic(mut traffic in arb_traffic()) {
-        traffic.sort_by_key(|m| m.inject_ns);
+#[test]
+fn contended_mode_never_beats_analytic() {
+    let mut rng = SimRng::new(24);
+    for _ in 0..32 {
+        let traffic = arb_traffic(&mut rng);
         let topo = Topology::for_procs(8, 1);
         let mut analytic = NetState::new(topo.clone(), BgqParams::default(), false);
         let mut contended = NetState::new(topo, BgqParams::default(), true);
@@ -123,10 +139,7 @@ proptest! {
             let inject = SimTime::ZERO + SimDuration::from_ns(m.inject_ns);
             let a = analytic.deliver(inject, m.src, m.dst, m.bytes, class_of(m.class));
             let c = contended.deliver(inject, m.src, m.dst, m.bytes, class_of(m.class));
-            prop_assert!(
-                c >= a,
-                "contended {c:?} earlier than analytic {a:?}"
-            );
+            assert!(c >= a, "contended {c:?} earlier than analytic {a:?}");
         }
     }
 }

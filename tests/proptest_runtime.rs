@@ -1,45 +1,66 @@
-//! Property-based tests of runtime data structures: the LFU region cache,
-//! the consistency tracker, the block distribution, and deterministic
-//! replay of full simulations.
+//! Randomized tests of runtime data structures: the LFU region cache, the
+//! consistency tracker, the block distribution, and deterministic replay of
+//! full simulations. Driven by the deterministic [`SimRng`].
 
 use armci::region_cache::{RegionCache, RemoteRegion};
 use armci::{ConsistencyMode, ConsistencyTracker};
-use desim::Completion;
+use desim::{Completion, SimRng};
 use global_arrays::BlockDist;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn region_cache_never_exceeds_capacity(cap in 0usize..16, ops in proptest::collection::vec((0usize..8, 0usize..64), 0..200)) {
+#[test]
+fn region_cache_never_exceeds_capacity() {
+    let mut rng = SimRng::new(41);
+    for _ in 0..32 {
+        let cap = rng.next_below(16) as usize;
+        let nops = rng.next_below(200) as usize;
         let mut cache = RegionCache::new(cap);
-        for (target, off) in ops {
-            cache.insert(target, RemoteRegion { off: off * 100, len: 100 });
-            prop_assert!(cache.len() <= cap.max(1) || cap == 0);
-            prop_assert!(cache.len() <= cap);
+        for _ in 0..nops {
+            let target = rng.next_below(8) as usize;
+            let off = rng.next_below(64) as usize;
+            cache.insert(
+                target,
+                RemoteRegion {
+                    off: off * 100,
+                    len: 100,
+                },
+            );
+            assert!(cache.len() <= cap.max(1) || cap == 0);
+            assert!(cache.len() <= cap);
         }
     }
+}
 
-    #[test]
-    fn region_cache_hot_entry_survives(cap in 2usize..8, cold in 1usize..32) {
+#[test]
+fn region_cache_hot_entry_survives() {
+    let mut rng = SimRng::new(42);
+    for _ in 0..32 {
+        let cap = rng.range(2, 8) as usize;
+        let cold = rng.range(1, 32) as usize;
         let mut cache = RegionCache::new(cap);
         cache.insert(0, RemoteRegion { off: 0, len: 64 });
         for _ in 0..100 {
-            prop_assert!(cache.lookup(0, 0, 8).is_some());
+            assert!(cache.lookup(0, 0, 8).is_some());
         }
         // Insert a stream of cold entries; the hot one must survive LFU.
         for t in 1..=cold {
             cache.insert(t, RemoteRegion { off: 0, len: 64 });
         }
-        prop_assert!(cache.lookup(0, 0, 8).is_some(), "hot entry evicted");
+        assert!(cache.lookup(0, 0, 8).is_some(), "hot entry evicted");
     }
+}
 
-    #[test]
-    fn naive_tracker_drains_at_least_as_eagerly(ops in proptest::collection::vec((0usize..4, 0usize..3), 0..64)) {
-        // cs_tgt fences a superset of writes on every read, so its
-        // outstanding set is pointwise a subset of cs_mr's.
+#[test]
+fn naive_tracker_drains_at_least_as_eagerly() {
+    // cs_tgt fences a superset of writes on every read, so its outstanding
+    // set is pointwise a subset of cs_mr's.
+    let mut rng = SimRng::new(43);
+    for _ in 0..32 {
+        let nops = rng.next_below(64) as usize;
         let mut naive = ConsistencyTracker::new(ConsistencyMode::PerTarget);
         let mut mr = ConsistencyTracker::new(ConsistencyMode::PerRegion);
-        for (i, &(target, region)) in ops.iter().enumerate() {
+        for i in 0..nops {
+            let target = rng.next_below(4) as usize;
+            let region = rng.next_below(3) as usize;
             if i % 3 == 2 {
                 let n = naive.conflicts_for_read(target, Some(region));
                 let m = mr.conflicts_for_read(target, Some(region));
@@ -50,17 +71,26 @@ proptest! {
                 naive.record_write(target, Some(region), Completion::new());
                 mr.record_write(target, Some(region), Completion::new());
             }
-            prop_assert!(
+            assert!(
                 naive.outstanding() <= mr.outstanding(),
                 "naive kept more outstanding writes than cs_mr at step {i}"
             );
         }
     }
+}
 
-    #[test]
-    fn first_read_fences_subset_under_cs_mr(writes in proptest::collection::vec((0usize..4, 0usize..3), 1..32), rt in 0usize..4, rr in 0usize..3) {
-        // With identical histories (no prior reads), a read under cs_mr
-        // fences a subset of what cs_tgt fences.
+#[test]
+fn first_read_fences_subset_under_cs_mr() {
+    // With identical histories (no prior reads), a read under cs_mr fences
+    // a subset of what cs_tgt fences.
+    let mut rng = SimRng::new(44);
+    for _ in 0..32 {
+        let nwrites = rng.range(1, 32) as usize;
+        let writes: Vec<(usize, usize)> = (0..nwrites)
+            .map(|_| (rng.next_below(4) as usize, rng.next_below(3) as usize))
+            .collect();
+        let rt = rng.next_below(4) as usize;
+        let rr = rng.next_below(3) as usize;
         let mut naive = ConsistencyTracker::new(ConsistencyMode::PerTarget);
         let mut mr = ConsistencyTracker::new(ConsistencyMode::PerRegion);
         for &(target, region) in &writes {
@@ -69,39 +99,48 @@ proptest! {
         }
         let n = naive.conflicts_for_read(rt, Some(rr)).len();
         let m = mr.conflicts_for_read(rt, Some(rr)).len();
-        prop_assert!(m <= n, "cs_mr fenced {m} > cs_tgt {n}");
+        assert!(m <= n, "cs_mr fenced {m} > cs_tgt {n}");
         // cs_tgt fences exactly the writes to that target.
         let expect = writes.iter().filter(|(t, _)| *t == rt).count();
-        prop_assert_eq!(n, expect);
+        assert_eq!(n, expect);
         // cs_mr fences exactly the same-region writes.
         let expect_mr = writes.iter().filter(|(t, k)| *t == rt && *k == rr).count();
-        prop_assert_eq!(m, expect_mr);
+        assert_eq!(m, expect_mr);
     }
+}
 
-    #[test]
-    fn block_dist_partitions_matrix(rows in 1usize..100, cols in 1usize..100, p in 1usize..32) {
+#[test]
+fn block_dist_partitions_matrix() {
+    let mut rng = SimRng::new(45);
+    for _ in 0..64 {
+        let rows = rng.range(1, 100) as usize;
+        let cols = rng.range(1, 100) as usize;
+        let p = rng.range(1, 32) as usize;
         let d = BlockDist::new(rows, cols, p);
         let total: usize = (0..d.nprocs()).map(|r| d.local_elems(r)).sum();
-        prop_assert_eq!(total, rows * cols);
+        assert_eq!(total, rows * cols);
     }
+}
 
-    #[test]
-    fn block_dist_patch_owners_tile_patch(
-        rows in 4usize..64, cols in 4usize..64, p in 1usize..16,
-        a in 0usize..32, b in 0usize..32, c in 0usize..32, d_ in 0usize..32,
-    ) {
+#[test]
+fn block_dist_patch_owners_tile_patch() {
+    let mut rng = SimRng::new(46);
+    for _ in 0..64 {
+        let rows = rng.range(4, 64) as usize;
+        let cols = rng.range(4, 64) as usize;
+        let p = rng.range(1, 16) as usize;
         let dist = BlockDist::new(rows, cols, p);
-        let rlo = a % rows;
-        let rhi = (rlo + 1 + b % (rows - rlo)).min(rows);
-        let clo = c % cols;
-        let chi = (clo + 1 + d_ % (cols - clo)).min(cols);
+        let rlo = rng.next_below(32) as usize % rows;
+        let rhi = (rlo + 1 + rng.next_below(32) as usize % (rows - rlo)).min(rows);
+        let clo = rng.next_below(32) as usize % cols;
+        let chi = (clo + 1 + rng.next_below(32) as usize % (cols - clo)).min(cols);
         let owners = dist.owners_of_patch(rlo, rhi, clo, chi);
         let mut count = 0usize;
         for (rank, (orlo, orhi), (oclo, ochi)) in owners {
-            prop_assert!(rank < dist.nprocs());
+            assert!(rank < dist.nprocs());
             count += (orhi - orlo) * (ochi - oclo);
         }
-        prop_assert_eq!(count, (rhi - rlo) * (chi - clo));
+        assert_eq!(count, (rhi - rlo) * (chi - clo));
     }
 }
 
