@@ -5,7 +5,7 @@
 //! MPI-style buffer-reuse semantics: a put's handle completes when the local
 //! buffer is reusable, a get's when the data has landed locally.
 
-use desim::Completion;
+use desim::{Completion, OpId};
 
 /// What kind of operation a handle tracks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +30,9 @@ pub struct NbHandle {
     /// Remote (target-side) completion for writes, used by fences; `None`
     /// for gets.
     pub remote: Option<Completion<()>>,
+    /// Flight-recorder operation id, when lifecycle recording was on at
+    /// issue time. The matching `wait` closes the op's lifecycle record.
+    pub op: Option<OpId>,
 }
 
 impl NbHandle {
@@ -50,6 +53,7 @@ mod tests {
             target: 3,
             done: Completion::new(),
             remote: None,
+            op: None,
         };
         assert!(!h.test());
         h.done.complete(());

@@ -10,7 +10,7 @@
 //! (Eq. 9) unless the contiguous chunk is below the pack threshold
 //! (tall-skinny), in which case the packed typed-datatype path is used.
 
-use desim::{Completion, SimDuration, TraceValue, Tracer, TrackId};
+use desim::{Completion, FlightRecorder, OpId, SimDuration, TraceValue, Tracer, TrackId};
 use pami_sim::{PamiRank, RmwOp};
 
 use crate::handle::{NbHandle, OpKind};
@@ -65,6 +65,40 @@ impl ArmciRank {
             tr.track(&format!("rank {}", self.r))
         } else {
             TrackId(0)
+        }
+    }
+
+    fn flight(&self) -> FlightRecorder {
+        self.a.sim().flight()
+    }
+
+    /// Open a flight-recorder lifecycle record for an operation of `kind`
+    /// and mark this rank's subsequent injections with its id. Returns
+    /// `None` (and records nothing) when the recorder is disabled.
+    fn begin_op(&self, kind: &'static str) -> Option<OpId> {
+        let op = self
+            .flight()
+            .begin_op(self.a.sim().now(), self.r as u32, kind);
+        if op.is_some() {
+            self.pami.set_current_op(op);
+        }
+        op
+    }
+
+    /// Detach attribution at the end of a *non-blocking* call: later
+    /// injections by this rank are no longer this op's, but the op record
+    /// stays open until the matching [`ArmciRank::wait`] closes it.
+    fn detach_op(&self, op: Option<OpId>) {
+        if op.is_some() {
+            self.pami.set_current_op(None);
+        }
+    }
+
+    /// Close an operation's lifecycle record (initiator-side completion).
+    fn end_op(&self, op: Option<OpId>) {
+        if let Some(op) = op {
+            self.flight().end_op(op, self.a.sim().now());
+            self.pami.set_current_op(None);
         }
     }
 
@@ -243,6 +277,7 @@ impl ArmciRank {
         remote_off: usize,
         len: usize,
     ) -> NbHandle {
+        let op = self.begin_op("armci.get");
         self.stats().incr("armci.get");
         self.stats().add("armci.get_bytes", len as u64);
         let tr = self.tracer();
@@ -280,11 +315,13 @@ impl ArmciRank {
             self.a.sim().now(),
             &[("path", TraceValue::Str(path))],
         );
+        self.detach_op(op);
         let h = NbHandle {
             kind: OpKind::Get,
             target,
             done,
             remote: None,
+            op,
         };
         self.rt().implicit.borrow_mut().push(h.done.clone());
         h
@@ -304,6 +341,7 @@ impl ArmciRank {
         remote_off: usize,
         len: usize,
     ) -> NbHandle {
+        let op = self.begin_op("armci.put");
         self.stats().incr("armci.put");
         self.stats().add("armci.put_bytes", len as u64);
         let tr = self.tracer();
@@ -344,11 +382,13 @@ impl ArmciRank {
             .consistency
             .borrow_mut()
             .record_write(target, key, handles.remote.clone());
+        self.detach_op(op);
         let h = NbHandle {
             kind: OpKind::Put,
             target,
             done: handles.local.clone(),
             remote: Some(handles.remote),
+            op,
         };
         self.rt().implicit.borrow_mut().push(h.done.clone());
         h
@@ -370,6 +410,7 @@ impl ArmciRank {
         elems: usize,
         scale: f64,
     ) -> NbHandle {
+        let op = self.begin_op("armci.acc");
         self.stats().incr("armci.acc");
         self.stats().add("armci.acc_bytes", (elems * 8) as u64);
         let tr = self.tracer();
@@ -402,11 +443,13 @@ impl ArmciRank {
             .consistency
             .borrow_mut()
             .record_write(target, key, handles.remote.clone());
+        self.detach_op(op);
         let h = NbHandle {
             kind: OpKind::Acc,
             target,
             done: handles.local.clone(),
             remote: Some(handles.remote),
+            op,
         };
         self.rt().implicit.borrow_mut().push(h.done.clone());
         h
@@ -451,6 +494,7 @@ impl ArmciRank {
         remote: &Strided,
     ) -> NbHandle {
         assert!(local.compatible(remote), "incompatible strided descriptors");
+        let op = self.begin_op("armci.get_strided");
         self.stats().incr("armci.get_strided");
         self.stats()
             .add("armci.get_bytes", remote.total_bytes() as u64);
@@ -495,11 +539,13 @@ impl ArmciRank {
                 .await
         };
         tr.span_end(track, "armci.get_strided", self.a.sim().now(), &[]);
+        self.detach_op(op);
         let h = NbHandle {
             kind: OpKind::Get,
             target,
             done,
             remote: None,
+            op,
         };
         self.rt().implicit.borrow_mut().push(h.done.clone());
         h
@@ -519,6 +565,7 @@ impl ArmciRank {
         remote: &Strided,
     ) -> NbHandle {
         assert!(local.compatible(remote), "incompatible strided descriptors");
+        let op = self.begin_op("armci.put_strided");
         self.stats().incr("armci.put_strided");
         self.stats()
             .add("armci.put_bytes", remote.total_bytes() as u64);
@@ -574,11 +621,13 @@ impl ArmciRank {
             .consistency
             .borrow_mut()
             .record_write(target, key, remote_done.clone());
+        self.detach_op(op);
         let h = NbHandle {
             kind: OpKind::Put,
             target,
             done: local_done,
             remote: Some(remote_done),
+            op,
         };
         self.rt().implicit.borrow_mut().push(h.done.clone());
         h
@@ -600,6 +649,7 @@ impl ArmciRank {
         scale: f64,
     ) -> NbHandle {
         assert!(local.compatible(remote), "incompatible strided descriptors");
+        let op = self.begin_op("armci.acc_strided");
         self.stats().incr("armci.acc_strided");
         self.stats()
             .add("armci.acc_bytes", remote.total_bytes() as u64);
@@ -619,11 +669,13 @@ impl ArmciRank {
             .consistency
             .borrow_mut()
             .record_write(target, key, h.remote.clone());
+        self.detach_op(op);
         let handle = NbHandle {
             kind: OpKind::Acc,
             target,
             done: h.local.clone(),
             remote: Some(h.remote),
+            op,
         };
         self.rt().implicit.borrow_mut().push(handle.done.clone());
         handle
@@ -660,6 +712,7 @@ impl ArmciRank {
     /// the compact special case, §III-C2).
     pub async fn nbgetv(&self, target: usize, parts: &[(usize, usize, usize)]) -> NbHandle {
         assert!(!parts.is_empty(), "empty vector request");
+        let op = self.begin_op("armci.getv");
         self.stats().incr("armci.getv");
         self.ensure_endpoint(target).await;
         let total: usize = parts.iter().map(|&(_, _, l)| l).sum();
@@ -701,11 +754,13 @@ impl ArmciRank {
                 .packed_get(target, remote_chunks, local_chunks)
                 .await
         };
+        self.detach_op(op);
         let h = NbHandle {
             kind: OpKind::Get,
             target,
             done,
             remote: None,
+            op,
         };
         self.rt().implicit.borrow_mut().push(h.done.clone());
         h
@@ -720,6 +775,7 @@ impl ArmciRank {
     /// Non-blocking vector put.
     pub async fn nbputv(&self, target: usize, parts: &[(usize, usize, usize)]) -> NbHandle {
         assert!(!parts.is_empty(), "empty vector request");
+        let op = self.begin_op("armci.putv");
         self.stats().incr("armci.putv");
         self.ensure_endpoint(target).await;
         let total: usize = parts.iter().map(|&(_, _, l)| l).sum();
@@ -773,11 +829,13 @@ impl ArmciRank {
             .consistency
             .borrow_mut()
             .record_write(target, key, remote_done.clone());
+        self.detach_op(op);
         let h = NbHandle {
             kind: OpKind::Put,
             target,
             done: local_done,
             remote: Some(remote_done),
+            op,
         };
         self.rt().implicit.borrow_mut().push(h.done.clone());
         h
@@ -806,6 +864,11 @@ impl ArmciRank {
             t0,
             &[("target", TraceValue::U64(h.target as u64))],
         );
+        // Re-attach attribution: progress driven while blocked here (lock
+        // waits, messages injected on the op's behalf) belongs to this op.
+        if h.op.is_some() {
+            self.pami.set_current_op(h.op);
+        }
         self.pami.progress_wait(&h.done).await;
         let p = self.a.inner.machine.params();
         match h.kind {
@@ -823,6 +886,7 @@ impl ArmciRank {
         // Same key in the histogram space: ns-granularity latency buckets.
         self.stats().record_hist(key, waited.as_ps() / 1000);
         tr.span_end(track, "armci.wait", self.a.sim().now(), &[]);
+        self.end_op(h.op);
     }
 
     /// Wait for all outstanding implicit requests of this rank.
@@ -886,6 +950,7 @@ impl ArmciRank {
     /// Blocking fetch-and-add on an i64 at the target; returns the previous
     /// value. This is the load-balance-counter primitive (§III-D).
     pub async fn rmw_fetch_add(&self, target: usize, remote_off: usize, val: i64) -> i64 {
+        let op = self.begin_op("armci.rmw");
         let t0 = self.a.sim().now();
         // The full blocking call is one span: in D mode its length is
         // dominated by waiting for the *target* to enter a blocking call and
@@ -917,11 +982,13 @@ impl ArmciRank {
         self.stats()
             .record_hist("armci.wait.rmw", waited.as_ps() / 1000);
         tr.span_end(track, "armci.rmw", self.a.sim().now(), &[]);
+        self.end_op(op);
         old
     }
 
     /// Blocking atomic swap; returns the previous value.
     pub async fn rmw_swap(&self, target: usize, remote_off: usize, val: i64) -> i64 {
+        let op = self.begin_op("armci.rmw");
         self.ensure_endpoint(target).await;
         self.stats().incr("armci.rmw");
         let done = self.pami.rmw(target, remote_off, RmwOp::Swap(val)).await;
@@ -930,11 +997,13 @@ impl ArmciRank {
             .sim()
             .sleep(self.a.inner.machine.params().o_recv)
             .await;
+        self.end_op(op);
         old
     }
 
     /// Blocking compare-and-swap; returns the previous value.
     pub async fn rmw_cas(&self, target: usize, remote_off: usize, compare: i64, swap: i64) -> i64 {
+        let op = self.begin_op("armci.rmw");
         self.ensure_endpoint(target).await;
         self.stats().incr("armci.rmw");
         let done = self
@@ -946,6 +1015,7 @@ impl ArmciRank {
             .sim()
             .sleep(self.a.inner.machine.params().o_recv)
             .await;
+        self.end_op(op);
         old
     }
 

@@ -7,7 +7,7 @@
 //! accumulates; `cs_mr` recognizes the structures as disjoint.
 
 use armci::{ArmciConfig, ConsistencyMode, ProgressMode};
-use bgq_bench::{arg_usize, Fixture};
+use bgq_bench::{arg_usize, check_args, Fixture};
 use pami_sim::MachineConfig;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -69,6 +69,14 @@ fn run(mode: ConsistencyMode, p: usize, rounds: usize) -> (f64, u64) {
 }
 
 fn main() {
+    check_args(
+        "abl_consistency",
+        "ablation — per-target vs per-memory-region consistency tracking",
+        &[
+            ("--rounds", true, "conflict rounds (default 100)"),
+            ("--procs", true, "processes (default 8)"),
+        ],
+    );
     let rounds = arg_usize("--rounds", 100);
     let p = arg_usize("--procs", 8);
     println!("== Ablation: location-consistency tracking granularity (p={p}) ==");

@@ -7,7 +7,7 @@
 //! slowdown. This quantifies what the simpler model misses.
 
 use armci::{ArmciConfig, ProgressMode};
-use bgq_bench::{arg_usize, Fixture};
+use bgq_bench::{arg_usize, check_args, Fixture};
 use pami_sim::MachineConfig;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -56,6 +56,11 @@ fn run(p: usize, contention: bool, bytes: usize) -> (f64, f64) {
 }
 
 fn main() {
+    check_args(
+        "abl_contention",
+        "ablation — analytic LogGP network vs per-link contention modelling",
+        &[("--bytes", true, "message size in bytes (default 256K)")],
+    );
     let bytes = arg_usize("--bytes", 1 << 18);
     println!("== Ablation: shift-permutation put+fence, analytic vs link contention ==");
     println!(

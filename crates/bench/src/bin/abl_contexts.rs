@@ -7,7 +7,7 @@
 //! ρ=2 each context progresses independently.
 
 use armci::{ArmciConfig, ProgressMode};
-use bgq_bench::{arg_usize, Fixture};
+use bgq_bench::{arg_usize, check_args, Fixture};
 use pami_sim::MachineConfig;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -63,6 +63,11 @@ fn run(contexts: usize, p: usize, rounds: usize) -> f64 {
 }
 
 fn main() {
+    check_args(
+        "abl_contexts",
+        "ablation — 1 vs 2 PAMI contexts under the async-thread design",
+        &[("--rounds", true, "get-loop rounds (default 200)")],
+    );
     let rounds = arg_usize("--rounds", 200);
     println!("== Ablation: rho=1 vs rho=2 contexts under AT (rank-0 get loop, us) ==");
     println!(

@@ -6,7 +6,7 @@
 //! chunks — exposing the fall-back's dependence on remote progress.
 
 use armci::{ArmciConfig, ProgressMode};
-use bgq_bench::{arg_usize, fmt_size, Fixture};
+use bgq_bench::{arg_usize, check_args, fmt_size, Fixture};
 use desim::SimDuration;
 use pami_sim::MachineConfig;
 use std::cell::Cell;
@@ -58,6 +58,11 @@ fn run(bytes: usize, rdma: bool, target_computes: bool, reps: usize) -> f64 {
 }
 
 fn main() {
+    check_args(
+        "abl_fallback",
+        "ablation — RDMA protocol vs active-message fall-back latency",
+        &[("--reps", true, "repetitions per size (default 20)")],
+    );
     let reps = arg_usize("--reps", 20);
     println!("== Ablation: RDMA (Eq.7) vs AM fall-back (Eq.8) blocking get latency (us) ==");
     println!(

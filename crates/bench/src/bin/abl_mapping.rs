@@ -7,7 +7,7 @@
 //! how much nearest-neighbour traffic stays on-node.
 
 use armci::{ArmciConfig, ProgressMode};
-use bgq_bench::{arg_usize, Fixture};
+use bgq_bench::{arg_usize, check_args, Fixture};
 use pami_sim::MachineConfig;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -85,6 +85,14 @@ fn neighbour_exchange_time(p: usize, c: usize, mapping: Mapping) -> f64 {
 }
 
 fn main() {
+    check_args(
+        "abl_mapping",
+        "ablation — ABCDET vs TABCDE process-to-torus mapping",
+        &[
+            ("--procs", true, "processes (default 256)"),
+            ("--ppn", true, "processes per node (default 16)"),
+        ],
+    );
     let p = arg_usize("--procs", 256);
     let c = arg_usize("--ppn", 16);
     println!("== Ablation: ABCDET vs TABCDE mapping (p={p}, c={c}) ==");

@@ -3,7 +3,7 @@
 //! query round trips to the owner).
 
 use armci::{ArmciConfig, ProgressMode};
-use bgq_bench::{arg_usize, Fixture};
+use bgq_bench::{arg_usize, check_args, Fixture};
 use pami_sim::MachineConfig;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -51,6 +51,14 @@ fn run(capacity: usize, p: usize, rounds: usize) -> (f64, u64, u64, u64) {
 }
 
 fn main() {
+    check_args(
+        "abl_region_cache",
+        "ablation — remote memory-region cache capacity / replacement",
+        &[
+            ("--procs", true, "processes (default 64)"),
+            ("--rounds", true, "access rounds (default 1000)"),
+        ],
+    );
     let p = arg_usize("--procs", 64);
     let rounds = arg_usize("--rounds", 1000);
     println!("== Ablation: remote region cache capacity (p={p}, {rounds} gets, LFU) ==");

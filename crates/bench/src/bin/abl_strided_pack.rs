@@ -3,7 +3,7 @@
 //! contiguous chunk size l₀ (§III-C2, "tall-skinny" transfers).
 
 use armci::{ArmciConfig, ProgressMode, Strided};
-use bgq_bench::{arg_usize, fmt_size, Fixture};
+use bgq_bench::{arg_usize, check_args, fmt_size, Fixture};
 use pami_sim::MachineConfig;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -41,6 +41,14 @@ fn run(total: usize, l0: usize, force_packed: bool, reps: usize) -> f64 {
 }
 
 fn main() {
+    check_args(
+        "abl_strided_pack",
+        "ablation — chunk-list RDMA vs packed strided protocol crossover",
+        &[
+            ("--total", true, "total transfer bytes (default 256K)"),
+            ("--reps", true, "repetitions (default 4)"),
+        ],
+    );
     let total = arg_usize("--total", 1 << 18); // 256 KB
     let reps = arg_usize("--reps", 4);
     println!(

@@ -3,12 +3,31 @@
 //!
 //! Paper: AT reduces total execution time by up to 30 %; the time spent in
 //! the load-balance counter collapses under AT.
+//!
+//! `--breakdown <path>` enables the message-lifecycle flight recorder at the
+//! smallest process count, prints the critical-path decomposition of the D
+//! and AT runs, and writes the machine-readable form as JSON.
 
 use armci::ProgressMode;
-use bgq_bench::{arg_flag, arg_list, arg_str, arg_usize, write_text};
-use nwchem_scf::{run_scf, ScfConfig};
+use bgq_bench::{arg_flag, arg_list, arg_str, arg_usize, check_args, write_text};
+use nwchem_scf::{run_scf, run_scf_flight, ScfConfig};
 
 fn main() {
+    check_args(
+        "fig11_nwchem_scf",
+        "Fig 11 — NWChem SCF mini-app, Default vs AsyncThread progress",
+        &[
+            ("--quick", false, "small CI-sized workload"),
+            ("--procs", true, "comma-separated process counts"),
+            ("--iters", true, "SCF iterations (default 3, quick 2)"),
+            ("--json", true, "write per-run report rows as JSON"),
+            (
+                "--breakdown",
+                true,
+                "write critical-path breakdown JSON (smallest p)",
+            ),
+        ],
+    );
     let quick = arg_flag("--quick");
     let procs = arg_list(
         "--procs",
@@ -19,17 +38,32 @@ fn main() {
         },
     );
     let iters = arg_usize("--iters", if quick { 2 } else { 3 });
+    let breakdown_path = arg_str("--breakdown");
 
     println!("== Fig 11: NWChem SCF, 6 waters / 644 basis functions ==");
     let mut rows = Vec::new();
-    for &p in &procs {
+    let mut crits: Vec<(&str, String, String)> = Vec::new();
+    for (pi, &p) in procs.iter().enumerate() {
         for mode in [ProgressMode::Default, ProgressMode::AsyncThread] {
             let mut cfg = ScfConfig::paper(mode);
             cfg.iterations = iters;
             if quick {
                 cfg.repeat_factor = 8; // ~1.6k tasks/iter
             }
-            let report = run_scf(p, &cfg);
+            let report = if breakdown_path.is_some() && pi == 0 {
+                let (report, crit) = run_scf_flight(p, &cfg, 1 << 22);
+                if let Some(cp) = crit {
+                    let key = if mode == ProgressMode::Default {
+                        "D"
+                    } else {
+                        "AT"
+                    };
+                    crits.push((key, cp.report(), cp.to_json()));
+                }
+                report
+            } else {
+                run_scf(p, &cfg)
+            };
             println!("{}", report.row());
             rows.push(report);
         }
@@ -44,6 +78,26 @@ fn main() {
     }
     println!("paper: AT reduces execution time by up to 30%;");
     println!("       load-balance-counter time drops sharply with AT");
+    if !crits.is_empty() {
+        let p0 = procs.first().copied().unwrap_or(0);
+        println!("\n== message-lifecycle critical path at p={p0} ==");
+        for (key, report, _) in &crits {
+            println!("[{key}]");
+            print!("{report}");
+        }
+    }
+    if let Some(path) = breakdown_path {
+        let p0 = procs.first().copied().unwrap_or(0);
+        let mut body = format!("{{\"bench\":\"fig11_nwchem_scf\",\"p\":{p0},\"configs\":{{");
+        for (i, (key, _, json)) in crits.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("\"{key}\":{json}"));
+        }
+        body.push_str("}}\n");
+        write_text(&path, &body);
+    }
     if let Some(path) = arg_str("--json") {
         let body = rows
             .iter()

@@ -3,9 +3,14 @@
 //! Paper headline numbers: 2.89 µs get @ 16 B, 2.70 µs put @ 16 B, and a
 //! latency drop at the 256 B cache-alignment boundary.
 
-use bgq_bench::{arg_usize, fmt_size, get_latency, put_latency, size_sweep};
+use bgq_bench::{arg_usize, check_args, fmt_size, get_latency, put_latency, size_sweep};
 
 fn main() {
+    check_args(
+        "fig3_latency",
+        "Fig 3 — contiguous get/put latency vs message size",
+        &[("--reps", true, "repetitions per size (default 50)")],
+    );
     let reps = arg_usize("--reps", 50);
     println!("== Fig 3: contiguous get/put latency (2 procs, adjacent nodes) ==");
     println!("{:>8} {:>12} {:>12}", "size", "get (us)", "put (us)");

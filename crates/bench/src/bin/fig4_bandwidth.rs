@@ -3,9 +3,17 @@
 //! Paper: peak ≈ 1775 MB/s of the 1.8 GB/s available; the get curve trails
 //! the put curve until ≈ 8 KB because of the request round trip.
 
-use bgq_bench::{arg_usize, bandwidth, fmt_size, size_sweep};
+use bgq_bench::{arg_usize, bandwidth, check_args, fmt_size, size_sweep};
 
 fn main() {
+    check_args(
+        "fig4_bandwidth",
+        "Fig 4 — contiguous get/put bandwidth vs message size",
+        &[
+            ("--window", true, "outstanding operations (default 2)"),
+            ("--reps", true, "messages per size (default 32)"),
+        ],
+    );
     let window = arg_usize("--window", 2);
     let reps = arg_usize("--reps", 32);
     println!("== Fig 4: get/put bandwidth, 2 procs, window = {window} ==");

@@ -3,9 +3,14 @@
 //! Used to find the message-aggregation inflection point: beyond 4 KB the
 //! latency/byte settles to ≈ 1 ns.
 
-use bgq_bench::{arg_usize, fmt_size, get_latency, size_sweep};
+use bgq_bench::{arg_usize, check_args, fmt_size, get_latency, size_sweep};
 
 fn main() {
+    check_args(
+        "fig5_latency_per_byte",
+        "Fig 5 — effective get latency per byte vs message size",
+        &[("--reps", true, "repetitions per size (default 50)")],
+    );
     let reps = arg_usize("--reps", 50);
     println!("== Fig 5: effective get latency per byte (2 procs) ==");
     println!(

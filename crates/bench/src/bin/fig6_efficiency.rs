@@ -2,9 +2,17 @@
 //!
 //! Paper: N½ ≈ 2 KB, efficiency ≥ 90 % beyond 16 KB.
 
-use bgq_bench::{arg_usize, bandwidth, fmt_size, size_sweep};
+use bgq_bench::{arg_usize, bandwidth, check_args, fmt_size, size_sweep};
 
 fn main() {
+    check_args(
+        "fig6_efficiency",
+        "Fig 6 — bandwidth efficiency and N-half",
+        &[
+            ("--window", true, "outstanding operations (default 2)"),
+            ("--reps", true, "messages per size (default 32)"),
+        ],
+    );
     let window = arg_usize("--window", 2);
     let reps = arg_usize("--reps", 32);
     let peak = 1800.0;

@@ -5,11 +5,20 @@
 //! ≈ 35 ns per hop.
 
 use armci::ArmciConfig;
-use bgq_bench::{arg_usize, Fixture};
+use bgq_bench::{arg_usize, check_args, Fixture};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 fn main() {
+    check_args(
+        "fig7_rank_latency",
+        "Fig 7 — get latency vs process rank under ABCDET",
+        &[
+            ("--procs", true, "processes (default 2048)"),
+            ("--ppn", true, "processes per node (default 16)"),
+            ("--reps", true, "repetitions per rank (default 3)"),
+        ],
+    );
     let p = arg_usize("--procs", 2048);
     let c = arg_usize("--ppn", 16);
     let reps = arg_usize("--reps", 3);

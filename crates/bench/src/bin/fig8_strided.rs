@@ -5,7 +5,7 @@
 //! (Eq. 9) dominates for small chunks, the wire for large ones.
 
 use armci::{ArmciConfig, Strided};
-use bgq_bench::{arg_usize, fmt_size, Fixture};
+use bgq_bench::{arg_usize, check_args, fmt_size, Fixture};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -42,6 +42,14 @@ fn run(total: usize, l0: usize, is_get: bool, reps: usize) -> f64 {
 }
 
 fn main() {
+    check_args(
+        "fig8_strided",
+        "Fig 8 — strided get/put bandwidth vs contiguous chunk size",
+        &[
+            ("--total", true, "total transfer bytes (default 1M)"),
+            ("--reps", true, "repetitions (default 4)"),
+        ],
+    );
     let total = arg_usize("--total", 1 << 20);
     let reps = arg_usize("--reps", 4);
     println!(

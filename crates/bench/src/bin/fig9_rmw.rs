@@ -11,17 +11,22 @@
 //! (protocol-path counters, wait-time histograms) over the whole sweep;
 //! `--trace <path>` writes a Chrome trace-event file (one process per
 //! configuration, traced at the smallest process count) loadable in
-//! Perfetto / `chrome://tracing`.
+//! Perfetto / `chrome://tracing`; `--breakdown <path>` enables the
+//! message-lifecycle flight recorder at the smallest process count, prints
+//! the critical-path decomposition of each configuration (compute /
+//! queueing / wire / contention / progress-starvation, tiling the whole
+//! run), and writes the machine-readable form as JSON.
 
 use armci::{ArmciConfig, ProgressMode};
-use bgq_bench::{arg_list, arg_str, arg_usize, write_text, Fixture};
-use desim::{ChromeTrace, MetricsSnapshot, SimDuration, Stats};
+use bgq_bench::{arg_list, arg_str, arg_usize, check_args, write_text, Fixture};
+use desim::{analyze, ChromeTrace, CritPath, MetricsSnapshot, SimDuration, Stats};
 use std::cell::Cell;
 use std::rc::Rc;
 
 struct RunOut {
     latency_us: f64,
     snapshot: MetricsSnapshot,
+    crit: Option<CritPath>,
 }
 
 fn run(
@@ -30,6 +35,7 @@ fn run(
     rank0_computes: bool,
     k: usize,
     trace: Option<(&mut ChromeTrace, u64, &str)>,
+    breakdown: bool,
 ) -> RunOut {
     let contexts = if progress == ProgressMode::AsyncThread {
         2
@@ -45,6 +51,9 @@ fn run(
     let tracer = f.sim.tracer();
     if trace.is_some() {
         tracer.enable(1 << 20);
+    }
+    if breakdown {
+        f.armci.machine().enable_flight(1 << 20);
     }
     let owner = f.armci.machine().rank(0);
     let counter = owner.alloc(8);
@@ -93,13 +102,34 @@ fn run(
         ct.add_process(pid, name, &tracer);
         tracer.disable();
     }
+    let crit = breakdown.then(|| analyze(&f.armci.machine().flight(), f.sim.now()));
     RunOut {
         latency_us: total_wait.get().as_us() / ops as f64,
         snapshot,
+        crit,
     }
 }
 
 fn main() {
+    check_args(
+        "fig9_rmw",
+        "Fig 9 — fetch-and-add latency vs process count (D/AT × idle/compute)",
+        &[
+            ("--procs", true, "comma-separated process counts"),
+            ("--ops", true, "fetch-and-adds per requester (default 10)"),
+            ("--json", true, "write the merged metrics snapshot JSON"),
+            (
+                "--trace",
+                true,
+                "write a Chrome trace of the smallest-p runs",
+            ),
+            (
+                "--breakdown",
+                true,
+                "write critical-path breakdown JSON (smallest p)",
+            ),
+        ],
+    );
     let procs = arg_list(
         "--procs",
         &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096],
@@ -107,9 +137,13 @@ fn main() {
     let k = arg_usize("--ops", 10);
     let json_path = arg_str("--json");
     let trace_path = arg_str("--trace");
+    let breakdown_path = arg_str("--breakdown");
     let mut chrome = trace_path.as_ref().map(|_| ChromeTrace::new());
     // Merge vehicle for the sweep-wide metrics snapshot.
     let merged = Stats::new();
+    // (config key, critical-path report, critical-path JSON) triples from
+    // the flight-recorded runs at the smallest process count.
+    let mut crits: Vec<(&str, String, String)> = Vec::new();
 
     println!("== Fig 9: fetch-and-add latency on a counter at rank 0 (us/op) ==");
     println!(
@@ -130,9 +164,14 @@ fn main() {
                 (Some(ct), 0) => Some((&mut *ct, ci as u64 + 1, name)),
                 _ => None,
             };
-            let out = run(p, mode, compute, k, trace);
+            let breakdown = breakdown_path.is_some() && pi == 0;
+            let out = run(p, mode, compute, k, trace, breakdown);
             lat[ci] = out.latency_us;
             merged.absorb(&out.snapshot);
+            if let Some(cp) = out.crit {
+                let key = name.trim_start_matches("fig9 ");
+                crits.push((key, cp.report(), cp.to_json()));
+            }
         }
         println!(
             "{p:>6} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
@@ -141,6 +180,26 @@ fn main() {
     }
     println!("paper: D+compute >> others (grain ~300us); AT immune to rank-0 compute;");
     println!("       AT latency grows ~linearly with p (software AMOs, no NIC support)");
+    if !crits.is_empty() {
+        let p0 = procs.first().copied().unwrap_or(0);
+        println!("\n== message-lifecycle critical path at p={p0} ==");
+        for (key, report, _) in &crits {
+            println!("[{key}]");
+            print!("{report}");
+        }
+    }
+    if let Some(path) = breakdown_path {
+        let p0 = procs.first().copied().unwrap_or(0);
+        let mut body = format!("{{\"bench\":\"fig9_rmw\",\"p\":{p0},\"configs\":{{");
+        for (i, (key, _, json)) in crits.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("\"{key}\":{json}"));
+        }
+        body.push_str("}}\n");
+        write_text(&path, &body);
+    }
     if let Some(path) = json_path {
         write_text(&path, &merged.snapshot().to_json());
     }

@@ -1,0 +1,109 @@
+//! perfdiff — the perf-regression gate: diff two metrics / breakdown JSONs.
+//!
+//! Compares every leaf of a baseline JSON document (committed golden) against
+//! a freshly generated candidate, within a relative + absolute tolerance
+//! (see [`bgq_bench::perfdiff`] for the exact semantics). Used by
+//! `scripts/reproduce.sh` and CI against the `results/BENCH_*.json` goldens.
+//!
+//! Exit status: 0 = within tolerance, 1 = drift / missing leaves / type
+//! changes, 2 = usage or I/O error.
+
+use bgq_bench::perfdiff::{diff, Tolerance};
+use bgq_bench::{usage_text, FlagSpec};
+
+const BIN: &str = "perfdiff <baseline.json> <candidate.json>";
+const ABOUT: &str = "compare two metrics JSON documents within tolerances";
+const FLAGS: &[FlagSpec] = &[
+    ("--tol", true, "relative tolerance, fraction (default 0.05)"),
+    (
+        "--abs",
+        true,
+        "absolute slack per comparison (default 1e-9)",
+    ),
+    ("--check", false, "quiet gate mode: print violations only"),
+];
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("perfdiff: {msg}");
+    eprint!("{}", usage_text(BIN, ABOUT, FLAGS));
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> desim::json::JsonValue {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perfdiff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    if src.trim().is_empty() {
+        eprintln!("perfdiff: {path} is empty");
+        std::process::exit(2);
+    }
+    desim::json::parse(&src).unwrap_or_else(|e| {
+        eprintln!("perfdiff: {path}: invalid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut tol = 0.05f64;
+    let mut abs = 1e-9f64;
+    let mut check = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage_text(BIN, ABOUT, FLAGS));
+                return;
+            }
+            "--check" => check = true,
+            name @ ("--tol" | "--abs") => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    fail_usage(&format!("{name} needs a numeric value"));
+                };
+                if name == "--tol" {
+                    tol = v;
+                } else {
+                    abs = v;
+                }
+                i += 1;
+            }
+            a if a.starts_with('-') => fail_usage(&format!("unknown option '{a}'")),
+            a => files.push(a.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline, candidate] = files.as_slice() else {
+        fail_usage("expected exactly two JSON files");
+    };
+
+    let res = diff(
+        &load(baseline),
+        &load(candidate),
+        Tolerance { rel: tol, abs },
+    );
+    if !check {
+        println!(
+            "perfdiff: {baseline} vs {candidate}: {} leaves compared (tol {tol}, abs {abs})",
+            res.checked
+        );
+        for k in &res.extra {
+            println!("  note: candidate-only leaf {k}");
+        }
+    }
+    for v in &res.violations {
+        eprintln!("  DRIFT {v}");
+    }
+    if res.ok() {
+        if !check {
+            println!("OK: {candidate} within tolerance of {baseline}");
+        }
+    } else {
+        eprintln!(
+            "perfdiff: {candidate} drifted from {baseline}: {} violation(s)",
+            res.violations.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -4,12 +4,17 @@
 //! them next to the paper's reported values.
 
 use armci::model;
-use bgq_bench::Fixture;
+use bgq_bench::{check_args, Fixture};
 use desim::SimDuration;
 use std::cell::RefCell;
 use std::rc::Rc;
 
 fn main() {
+    check_args(
+        "table2_attributes",
+        "Table II — empirical time/space attribute values",
+        &[],
+    );
     let f = Fixture::new(4, 1, armci::ArmciConfig::default());
     let r0 = f.armci.machine().rank(0);
     let params = f.armci.machine().params().clone();

@@ -21,6 +21,67 @@ use armci::{Armci, ArmciConfig, ArmciRank};
 use desim::{Sim, SimDuration, SimTime};
 use pami_sim::{Machine, MachineConfig};
 
+pub mod perfdiff;
+
+/// One CLI option specification: `(name, takes_value, help)`.
+pub type FlagSpec = (&'static str, bool, &'static str);
+
+/// Render the `--help` text for a benchmark binary.
+pub fn usage_text(bin: &str, about: &str, flags: &[FlagSpec]) -> String {
+    let mut s = format!("{bin} — {about}\n\nusage: {bin}");
+    for (name, takes, _) in flags {
+        s.push_str(&format!(" [{name}{}]", if *takes { " <v>" } else { "" }));
+    }
+    s.push_str("\n\noptions:\n");
+    for (name, takes, help) in flags {
+        let lhs = format!("{name}{}", if *takes { " <v>" } else { "" });
+        s.push_str(&format!("  {lhs:<18} {help}\n"));
+    }
+    s.push_str("  -h, --help         print this help\n");
+    s
+}
+
+/// Scan an argument slice (program name excluded) against a flag table:
+/// `Ok(true)` when help was requested, `Err(token)` on the first unknown
+/// option. Value tokens following a value-taking flag are skipped, so
+/// negative numbers and file paths never trip the check (testable core).
+pub fn scan_args(args: &[String], flags: &[FlagSpec]) -> Result<bool, String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--help" || a == "-h" {
+            return Ok(true);
+        }
+        match flags.iter().find(|(n, _, _)| n == a) {
+            Some((_, true, _)) => i += 1, // skip the flag's value token
+            Some(_) => {}
+            None if a.starts_with('-') => return Err(a.clone()),
+            None => {}
+        }
+        i += 1;
+    }
+    Ok(false)
+}
+
+/// Enforce the CLI contract shared by every bench binary: `--help`/`-h`
+/// prints the usage text and exits 0; an unknown option prints an error plus
+/// the usage text to stderr and exits 2.
+pub fn check_args(bin: &str, about: &str, flags: &[FlagSpec]) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match scan_args(&args, flags) {
+        Ok(false) => {}
+        Ok(true) => {
+            print!("{}", usage_text(bin, about, flags));
+            std::process::exit(0);
+        }
+        Err(tok) => {
+            eprintln!("{bin}: unknown option '{tok}'");
+            eprint!("{}", usage_text(bin, about, flags));
+            std::process::exit(2);
+        }
+    }
+}
+
 /// A microbenchmark fixture: a simulated machine with an ARMCI runtime.
 pub struct Fixture {
     /// The simulation.
@@ -267,6 +328,26 @@ mod tests {
         // value missing after the flag -> default
         let tail: Vec<String> = ["prog", "--procs"].iter().map(|s| s.to_string()).collect();
         assert_eq!(parse_usize(&tail, "--procs", 7), 7);
+    }
+
+    #[test]
+    fn arg_scanning_accepts_known_rejects_unknown() {
+        let flags: &[FlagSpec] = &[("--procs", true, "process counts"), ("--quick", false, "")];
+        let ok: Vec<String> = ["--procs", "2,8", "--quick"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(scan_args(&ok, flags), Ok(false));
+        // A value token that looks like a flag is skipped, not rejected.
+        let neg: Vec<String> = ["--procs", "-3"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(scan_args(&neg, flags), Ok(false));
+        let help: Vec<String> = ["--quick", "-h"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(scan_args(&help, flags), Ok(true));
+        let bad: Vec<String> = ["--procz", "2"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(scan_args(&bad, flags), Err("--procz".to_string()));
+        let usage = usage_text("demo", "a demo", flags);
+        assert!(usage.contains("usage: demo [--procs <v>] [--quick]"));
+        assert!(usage.contains("--help"));
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Critical-path analysis over [`crate::flight`] recordings.
+//!
+//! [`analyze`] replays a [`FlightRecorder`]'s segment log and answers "where
+//! did the time of this run actually go": it finds the *terminal rank* (the
+//! rank whose operation completed last — the end of the run's critical path),
+//! lays that rank's attributed segments on the `[0, total)` timeline, and
+//! decomposes the whole interval into the five [`SegCategory`] buckets.
+//!
+//! When several segments cover the same instant (an initiator's completion
+//! wait overlaps the wire flight and the target-side starvation of the same
+//! operation), the instant is charged to the most *actionable* cause:
+//! starvation over contention over queueing over wire; anything uncovered is
+//! compute. The decomposition therefore always sums **exactly** (in integer
+//! picoseconds) to the total, and — because the recorder's content is a pure
+//! function of the deterministic simulation — serializes to byte-identical
+//! JSON across same-seed runs.
+//!
+//! The per-link contention heatmap aggregates the recorder's
+//! [`crate::flight::LinkUse`] intervals: a message whose request interval
+//! overlaps another message's occupancy of the same link waited, and that
+//! wait is the link's contention.
+
+use crate::flight::{FlightRecorder, SegCategory};
+use crate::json;
+use crate::time::{SimDuration, SimTime};
+
+/// Per-category time totals of one critical-path decomposition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// CPU work plus any time not covered by an attributed segment.
+    pub compute: SimDuration,
+    /// FIFO waits (injection FIFO, pair ordering, active service batches).
+    pub queueing: SimDuration,
+    /// Header flight and payload serialization.
+    pub wire: SimDuration,
+    /// Waits on busy shared resources (links, context locks).
+    pub contention: SimDuration,
+    /// Unserviced time at the target with nobody driving progress.
+    pub starvation: SimDuration,
+}
+
+impl Breakdown {
+    /// The total for one category.
+    pub fn get(&self, cat: SegCategory) -> SimDuration {
+        match cat {
+            SegCategory::Compute => self.compute,
+            SegCategory::Queueing => self.queueing,
+            SegCategory::Wire => self.wire,
+            SegCategory::Contention => self.contention,
+            SegCategory::Starvation => self.starvation,
+        }
+    }
+
+    fn add(&mut self, cat: SegCategory, d: SimDuration) {
+        match cat {
+            SegCategory::Compute => self.compute += d,
+            SegCategory::Queueing => self.queueing += d,
+            SegCategory::Wire => self.wire += d,
+            SegCategory::Contention => self.contention += d,
+            SegCategory::Starvation => self.starvation += d,
+        }
+    }
+
+    /// Sum across all categories; equals the analyzed total by construction.
+    pub fn total(&self) -> SimDuration {
+        self.compute + self.queueing + self.wire + self.contention + self.starvation
+    }
+
+    /// Category with the largest share (ties resolve in [`SegCategory::ALL`]
+    /// order).
+    pub fn dominant(&self) -> SegCategory {
+        let mut best = SegCategory::Compute;
+        for cat in SegCategory::ALL {
+            if self.get(cat) > self.get(best) {
+                best = cat;
+            }
+        }
+        best
+    }
+}
+
+/// Aggregated traffic through one directed link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkStat {
+    /// Link name (source coordinate, dimension, direction).
+    pub name: String,
+    /// Total occupancy (grant → release).
+    pub busy: SimDuration,
+    /// Total contention wait (request → grant) of messages that found the
+    /// link busy — i.e. whose request overlapped another occupancy interval.
+    pub wait: SimDuration,
+    /// Messages that crossed the link.
+    pub messages: u64,
+}
+
+/// Result of [`analyze`]: the run's critical-path decomposition.
+#[derive(Debug, Clone)]
+pub struct CritPath {
+    /// Length of the analyzed timeline `[0, total)`.
+    pub total: SimDuration,
+    /// Rank whose last operation completed latest.
+    pub terminal_rank: u32,
+    /// Operations issued by the terminal rank.
+    pub ops_on_path: u64,
+    /// Per-category decomposition; sums exactly to `total`.
+    pub breakdown: Breakdown,
+    /// Per-link contention heatmap, sorted by link name.
+    pub links: Vec<LinkStat>,
+}
+
+/// Priority when several categories cover the same instant: charge the most
+/// actionable cause first.
+const BLAME_ORDER: [SegCategory; 4] = [
+    SegCategory::Starvation,
+    SegCategory::Contention,
+    SegCategory::Queueing,
+    SegCategory::Wire,
+];
+
+/// Decompose the timeline `[0, end)` of the run recorded in `fr`.
+pub fn analyze(fr: &FlightRecorder, end: SimTime) -> CritPath {
+    let ops = fr.ops();
+    let total = end.since(SimTime::ZERO);
+
+    // Terminal rank: owner of the operation that completed last. Ties break
+    // toward the later op id (the later issue), which is deterministic.
+    let terminal_rank = ops
+        .iter()
+        .max_by_key(|o| (o.end, o.op))
+        .map(|o| o.rank)
+        .unwrap_or(0);
+    let ops_on_path = ops.iter().filter(|o| o.rank == terminal_rank).count() as u64;
+
+    // Sweep the terminal rank's segments. Each boundary toggles a per-category
+    // active count; between boundaries the interval is charged to the highest
+    // priority active category, or compute when uncovered.
+    let mut events: Vec<(u64, usize, i64)> = Vec::new();
+    for seg in fr.segments() {
+        let owner = ops.get(seg.op.0 as usize).map(|o| o.rank);
+        if owner != Some(terminal_rank) {
+            continue;
+        }
+        let s = seg.start.min(end);
+        let e = seg.end.min(end);
+        if e <= s {
+            continue;
+        }
+        events.push((s.as_ps(), seg.cat.index(), 1));
+        events.push((e.as_ps(), seg.cat.index(), -1));
+    }
+    events.sort_unstable();
+
+    let mut breakdown = Breakdown::default();
+    let mut active = [0i64; 5];
+    let mut prev: u64 = 0;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        if t > prev {
+            breakdown.add(pick(&active), SimDuration::from_ps(t - prev));
+            prev = t;
+        }
+        while i < events.len() && events[i].0 == t {
+            active[events[i].1] += events[i].2;
+            i += 1;
+        }
+    }
+    if end.as_ps() > prev {
+        breakdown.add(
+            SegCategory::Compute,
+            SimDuration::from_ps(end.as_ps() - prev),
+        );
+    }
+    debug_assert_eq!(breakdown.total(), total, "decomposition must tile [0, end)");
+
+    // Per-link heatmap: aggregate every message's wait and occupancy.
+    let mut by_link: Vec<(u32, LinkStat)> = Vec::new();
+    for u in fr.link_uses() {
+        let idx = match by_link.iter().position(|(id, _)| *id == u.link) {
+            Some(i) => i,
+            None => {
+                by_link.push((
+                    u.link,
+                    LinkStat {
+                        name: fr.link_name(u.link),
+                        busy: SimDuration::ZERO,
+                        wait: SimDuration::ZERO,
+                        messages: 0,
+                    },
+                ));
+                by_link.len() - 1
+            }
+        };
+        let stat = &mut by_link[idx].1;
+        stat.busy += u.release.since(u.grant);
+        stat.wait += u.grant.since(u.request);
+        stat.messages += 1;
+    }
+    let mut links: Vec<LinkStat> = by_link.into_iter().map(|(_, s)| s).collect();
+    links.sort_by(|a, b| a.name.cmp(&b.name));
+
+    CritPath {
+        total,
+        terminal_rank,
+        ops_on_path,
+        breakdown,
+        links,
+    }
+}
+
+fn pick(active: &[i64; 5]) -> SegCategory {
+    for cat in BLAME_ORDER {
+        if active[cat.index()] > 0 {
+            return cat;
+        }
+    }
+    SegCategory::Compute
+}
+
+impl CritPath {
+    /// Deterministic JSON rendering (integer picoseconds throughout).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"total_ps\":");
+        json::push_u64(&mut out, self.total.as_ps());
+        out.push_str(",\"terminal_rank\":");
+        json::push_u64(&mut out, self.terminal_rank as u64);
+        out.push_str(",\"ops_on_path\":");
+        json::push_u64(&mut out, self.ops_on_path);
+        out.push_str(",\"breakdown_ps\":{");
+        for (i, cat) in SegCategory::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str(&mut out, cat.name());
+            out.push(':');
+            json::push_u64(&mut out, self.breakdown.get(*cat).as_ps());
+        }
+        out.push_str("},\"links\":[");
+        for (i, l) in self.links.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"link\":");
+            json::push_str(&mut out, &l.name);
+            out.push_str(",\"busy_ps\":");
+            json::push_u64(&mut out, l.busy.as_ps());
+            out.push_str(",\"wait_ps\":");
+            json::push_u64(&mut out, l.wait.as_ps());
+            out.push_str(",\"messages\":");
+            json::push_u64(&mut out, l.messages);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Small human-readable table of the decomposition.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "critical path: total {} on rank {} ({} ops), dominated by {}\n",
+            self.total,
+            self.terminal_rank,
+            self.ops_on_path,
+            self.breakdown.dominant().name()
+        ));
+        for cat in SegCategory::ALL {
+            let d = self.breakdown.get(cat);
+            let pct = if self.total.as_ps() == 0 {
+                0.0
+            } else {
+                100.0 * d.as_ps() as f64 / self.total.as_ps() as f64
+            };
+            s.push_str(&format!(
+                "  {:<11} {:>12}  {:5.1}%\n",
+                cat.name(),
+                format!("{d}"),
+                pct
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_us(us)
+    }
+
+    #[test]
+    fn empty_recorder_is_all_compute() {
+        let fr = FlightRecorder::new();
+        fr.enable(8);
+        let cp = analyze(&fr, t(10));
+        assert_eq!(cp.breakdown.compute, SimDuration::from_us(10));
+        assert_eq!(cp.breakdown.total(), cp.total);
+        assert!(cp.links.is_empty());
+    }
+
+    #[test]
+    fn segments_tile_and_gaps_are_compute() {
+        let fr = FlightRecorder::new();
+        fr.enable(32);
+        let op = fr.begin_op(t(0), 2, "armci.rmw").unwrap();
+        fr.segment(op, SegCategory::Wire, "net.header", t(1), t(3));
+        fr.segment(op, SegCategory::Starvation, "pami.starved", t(4), t(9));
+        fr.end_op(op, t(9));
+        let cp = analyze(&fr, t(10));
+        assert_eq!(cp.terminal_rank, 2);
+        assert_eq!(cp.ops_on_path, 1);
+        assert_eq!(cp.breakdown.wire, SimDuration::from_us(2));
+        assert_eq!(cp.breakdown.starvation, SimDuration::from_us(5));
+        assert_eq!(cp.breakdown.compute, SimDuration::from_us(3));
+        assert_eq!(cp.breakdown.total(), cp.total);
+        assert_eq!(cp.breakdown.dominant(), SegCategory::Starvation);
+    }
+
+    #[test]
+    fn overlaps_charge_the_higher_priority_cause() {
+        let fr = FlightRecorder::new();
+        fr.enable(32);
+        let op = fr.begin_op(t(0), 0, "armci.get").unwrap();
+        // Wire covers [0,8); starvation covers [2,5): the overlap goes to
+        // starvation, the rest of the wire interval stays wire.
+        fr.segment(op, SegCategory::Wire, "w", t(0), t(8));
+        fr.segment(op, SegCategory::Starvation, "s", t(2), t(5));
+        fr.end_op(op, t(8));
+        let cp = analyze(&fr, t(8));
+        assert_eq!(cp.breakdown.starvation, SimDuration::from_us(3));
+        assert_eq!(cp.breakdown.wire, SimDuration::from_us(5));
+        assert_eq!(cp.breakdown.total(), cp.total);
+    }
+
+    #[test]
+    fn only_terminal_rank_segments_count() {
+        let fr = FlightRecorder::new();
+        fr.enable(32);
+        let a = fr.begin_op(t(0), 0, "armci.get").unwrap();
+        let b = fr.begin_op(t(0), 1, "armci.get").unwrap();
+        fr.segment(a, SegCategory::Wire, "w", t(0), t(2));
+        fr.segment(b, SegCategory::Contention, "c", t(0), t(4));
+        fr.end_op(a, t(2));
+        fr.end_op(b, t(6)); // rank 1 finishes last -> terminal
+        let cp = analyze(&fr, t(6));
+        assert_eq!(cp.terminal_rank, 1);
+        assert_eq!(cp.breakdown.wire, SimDuration::ZERO);
+        assert_eq!(cp.breakdown.contention, SimDuration::from_us(4));
+        assert_eq!(cp.breakdown.compute, SimDuration::from_us(2));
+    }
+
+    #[test]
+    fn segments_clip_to_the_analyzed_end() {
+        let fr = FlightRecorder::new();
+        fr.enable(8);
+        let op = fr.begin_op(t(0), 0, "x").unwrap();
+        fr.segment(op, SegCategory::Wire, "w", t(2), t(20));
+        let cp = analyze(&fr, t(5));
+        assert_eq!(cp.breakdown.wire, SimDuration::from_us(3));
+        assert_eq!(cp.breakdown.total(), SimDuration::from_us(5));
+    }
+
+    #[test]
+    fn link_heatmap_aggregates_and_sorts() {
+        let fr = FlightRecorder::new();
+        fr.enable(16);
+        let b = fr.link_id("b-link");
+        let a = fr.link_id("a-link");
+        fr.link_use(b, t(0), t(0), t(2), None);
+        fr.link_use(b, t(1), t(2), t(4), None); // waited 1us behind the first
+        fr.link_use(a, t(0), t(0), t(1), None);
+        let cp = analyze(&fr, t(4));
+        assert_eq!(cp.links.len(), 2);
+        assert_eq!(cp.links[0].name, "a-link");
+        assert_eq!(cp.links[1].name, "b-link");
+        assert_eq!(cp.links[1].messages, 2);
+        assert_eq!(cp.links[1].busy, SimDuration::from_us(4));
+        assert_eq!(cp.links[1].wait, SimDuration::from_us(1));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sums() {
+        let build = || {
+            let fr = FlightRecorder::new();
+            fr.enable(16);
+            let op = fr.begin_op(t(0), 0, "armci.put").unwrap();
+            fr.segment(op, SegCategory::Queueing, "q", t(0), t(1));
+            fr.segment(op, SegCategory::Wire, "w", t(1), t(3));
+            fr.end_op(op, t(3));
+            analyze(&fr, t(4)).to_json()
+        };
+        let j = build();
+        assert_eq!(j, build());
+        assert!(j.contains("\"total_ps\":4000000"));
+        assert!(j.contains("\"queueing\":1000000"));
+        assert!(j.contains("\"compute\":1000000"));
+    }
+}

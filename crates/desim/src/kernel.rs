@@ -14,6 +14,7 @@ use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
 use crate::event::Completion;
+use crate::flight::FlightRecorder;
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Tracer;
@@ -90,6 +91,7 @@ pub(crate) struct Kernel {
     events_processed: Cell<u64>,
     stats: Stats,
     tracer: Tracer,
+    flight: FlightRecorder,
 }
 
 impl Kernel {
@@ -107,6 +109,7 @@ impl Kernel {
             events_processed: Cell::new(0),
             stats: Stats::new(),
             tracer: Tracer::new(),
+            flight: FlightRecorder::new(),
         })
     }
 
@@ -268,6 +271,12 @@ impl Sim {
     /// [`Tracer::enable`] is called.
     pub fn tracer(&self) -> Tracer {
         self.k.tracer.clone()
+    }
+
+    /// Shared message-lifecycle flight recorder for this simulation. Disabled
+    /// (and free) unless [`FlightRecorder::enable`] is called.
+    pub fn flight(&self) -> FlightRecorder {
+        self.k.flight.clone()
     }
 
     /// Number of events (task polls + timer firings) processed so far.

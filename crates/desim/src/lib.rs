@@ -31,7 +31,9 @@
 //! ```
 
 pub mod channel;
+pub mod critpath;
 pub mod event;
+pub mod flight;
 pub mod futures;
 pub mod json;
 pub mod kernel;
@@ -42,7 +44,9 @@ pub mod time;
 pub mod trace;
 pub mod waker_set;
 
+pub use critpath::{analyze, Breakdown, CritPath, LinkStat};
 pub use event::Completion;
+pub use flight::{FlightRecorder, OpId, SegCategory};
 pub use futures::{race, Either};
 pub use kernel::{JoinHandle, Sim, TaskId};
 pub use rng::SimRng;

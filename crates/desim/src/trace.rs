@@ -297,10 +297,22 @@ impl ChromeTrace {
     }
 
     /// Serialize `tracer`'s buffered events as process `pid` named `name`.
+    /// When the tracer's ring buffer overflowed, the evicted-event count is
+    /// surfaced as a `trace_dropped_events` metadata record so truncated
+    /// traces are distinguishable from complete ones.
     pub fn add_process(&mut self, pid: u64, name: &str, tracer: &Tracer) {
         self.meta(pid, 0, "process_name", name);
         for (tid, track) in tracer.inner.tracks.borrow().iter().enumerate() {
             self.meta(pid, tid as u64, "thread_name", track);
+        }
+        if tracer.dropped() > 0 {
+            self.sep();
+            self.out.push_str("{\"ph\":\"M\",\"pid\":");
+            json::push_u64(&mut self.out, pid);
+            self.out
+                .push_str(",\"tid\":0,\"name\":\"trace_dropped_events\",\"args\":{\"dropped\":");
+            json::push_u64(&mut self.out, tracer.dropped());
+            self.out.push_str("}}");
         }
         for ev in tracer.inner.events.borrow().iter() {
             self.sep();
@@ -423,6 +435,82 @@ mod tests {
         let opens = out.matches('{').count();
         let closes = out.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn chrome_export_escapes_hostile_names() {
+        let tr = Tracer::new();
+        tr.enable(16);
+        // Track and process names with quotes, backslashes and control chars
+        // must produce parseable JSON with the exact strings round-tripped.
+        let track = tr.track("rank \"0\" \\ tab\there\nnewline\u{1}");
+        tr.span_begin(
+            track,
+            "op \"quoted\" \\ end",
+            t(1),
+            &[("k\"ey\\", TraceValue::Str("v\"al\\ue\n"))],
+        );
+        tr.span_end(track, "op \"quoted\" \\ end", t(2), &[]);
+        let mut ct = ChromeTrace::new();
+        ct.add_process(1, "proc \"x\" \\ y\r\n", &tr);
+        let out = ct.finish();
+        let doc = crate::json::parse(&out).expect("export must stay valid JSON");
+        let evs = doc.get("traceEvents").expect("traceEvents");
+        let crate::json::JsonValue::Arr(evs) = evs else {
+            panic!("traceEvents must be an array")
+        };
+        let names: Vec<&str> = evs
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.contains(&"op \"quoted\" \\ end"));
+        let tracks: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(tracks, ["rank \"0\" \\ tab\there\nnewline\u{1}"]);
+        let args: Vec<&crate::json::JsonValue> = evs
+            .iter()
+            .filter_map(|e| e.get("args")?.get("k\"ey\\"))
+            .collect();
+        assert_eq!(args.len(), 1);
+        assert_eq!(args[0].as_str(), Some("v\"al\\ue\n"));
+    }
+
+    #[test]
+    fn overflow_is_surfaced_in_export_metadata() {
+        let tr = Tracer::new();
+        tr.enable(2);
+        let track = tr.track("x");
+        for i in 0..7u64 {
+            tr.instant(track, "e", t(i), &[]);
+        }
+        assert_eq!(tr.dropped(), 5);
+        let mut ct = ChromeTrace::new();
+        ct.add_process(1, "run", &tr);
+        let out = ct.finish();
+        let doc = crate::json::parse(&out).expect("valid JSON");
+        let crate::json::JsonValue::Arr(evs) = doc.get("traceEvents").unwrap() else {
+            panic!("array")
+        };
+        let dropped: Vec<f64> = evs
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("trace_dropped_events"))
+            .filter_map(|e| e.get("args")?.get("dropped")?.as_f64())
+            .collect();
+        assert_eq!(dropped, [5.0]);
+    }
+
+    #[test]
+    fn no_overflow_means_no_dropped_metadata() {
+        let tr = Tracer::new();
+        tr.enable(16);
+        let track = tr.track("x");
+        tr.instant(track, "e", t(1), &[]);
+        let mut ct = ChromeTrace::new();
+        ct.add_process(1, "run", &tr);
+        assert!(!ct.finish().contains("trace_dropped_events"));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use armci::{Armci, ArmciConfig, ProgressMode};
-use desim::{Sim, SimDuration, SimRng};
+use desim::{CritPath, Sim, SimDuration, SimRng};
 use global_arrays::{Ga, SharedCounter};
 use pami_sim::{Machine, MachineConfig};
 
@@ -122,6 +122,18 @@ struct RankTally {
 /// Run one SCF calculation on a fresh simulated machine and report the
 /// timing breakdown. Deterministic for a given configuration.
 pub fn run_scf(nprocs: usize, cfg: &ScfConfig) -> ScfReport {
+    run_scf_flight(nprocs, cfg, 0).0
+}
+
+/// Like [`run_scf`], but with the message-lifecycle flight recorder enabled
+/// when `flight_capacity > 0`: additionally returns the critical-path
+/// decomposition of the whole run (compute / queueing / wire / contention /
+/// progress-starvation), or `None` when recording was off.
+pub fn run_scf_flight(
+    nprocs: usize,
+    cfg: &ScfConfig,
+    flight_capacity: usize,
+) -> (ScfReport, Option<CritPath>) {
     let sim = Sim::new();
     let machine = Machine::new(
         sim.clone(),
@@ -129,6 +141,9 @@ pub fn run_scf(nprocs: usize, cfg: &ScfConfig) -> ScfReport {
             .procs_per_node(cfg.procs_per_node)
             .contexts(cfg.contexts),
     );
+    if flight_capacity > 0 {
+        machine.enable_flight(flight_capacity);
+    }
     let armci = Armci::new(machine, ArmciConfig::default().progress(cfg.progress));
     let density = Ga::create(&armci, "density", cfg.nbf, cfg.nbf);
     let fock = Ga::create(&armci, "fock", cfg.nbf, cfg.nbf);
@@ -268,6 +283,7 @@ pub fn run_scf(nprocs: usize, cfg: &ScfConfig) -> ScfReport {
     }
 
     let end = sim.run();
+    let crit = (flight_capacity > 0).then(|| desim::analyze(&armci.machine().flight(), end));
     let stats = armci.machine().stats();
     let rmw_count = stats.counter("armci.rmw");
     armci.finalize();
@@ -279,7 +295,7 @@ pub fn run_scf(nprocs: usize, cfg: &ScfConfig) -> ScfReport {
     let accs: Vec<SimDuration> = tallies.iter().map(|t| t.acc_time).collect();
     let computes: Vec<SimDuration> = tallies.iter().map(|t| t.compute_time).collect();
     let syncs: Vec<SimDuration> = tallies.iter().map(|t| t.sync_time).collect();
-    ScfReport {
+    let report = ScfReport {
         nprocs,
         mode: match cfg.progress {
             ProgressMode::Default => "D".to_string(),
@@ -297,7 +313,8 @@ pub fn run_scf(nprocs: usize, cfg: &ScfConfig) -> ScfReport {
         tasks_min: tallies.iter().map(|t| t.tasks).min().unwrap_or(0),
         tasks_max: tallies.iter().map(|t| t.tasks).max().unwrap_or(0),
         rmw_count,
-    }
+    };
+    (report, crit)
 }
 
 #[cfg(test)]
@@ -347,6 +364,22 @@ mod tests {
             at.total_us,
             d.total_us
         );
+    }
+
+    #[test]
+    fn flight_breakdown_tiles_total_time_deterministically() {
+        let cfg = ScfConfig::tiny(ProgressMode::AsyncThread);
+        let (report, crit) = run_scf_flight(4, &cfg, 1 << 16);
+        let cp = crit.expect("flight enabled");
+        // The five categories tile the whole run exactly.
+        assert_eq!(cp.breakdown.total(), cp.total);
+        assert!((cp.total.as_us() - report.total_us).abs() < 1e-9);
+        // Byte-identical across same-seed runs.
+        let (_, crit2) = run_scf_flight(4, &cfg, 1 << 16);
+        assert_eq!(cp.to_json(), crit2.unwrap().to_json());
+        // Plain run_scf keeps recording off and matches the recorded run.
+        let plain = run_scf(4, &cfg);
+        assert_eq!(plain.total_us, report.total_us);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use desim::sync::{Notify, SimMutex};
-use desim::Completion;
+use desim::{Completion, OpId, SimTime};
 
 /// Atomic read-modify-write operations (paper §III-D).
 ///
@@ -190,10 +190,23 @@ impl WorkItem {
     }
 }
 
+/// A [`WorkItem`] sitting in a context queue, together with the lifecycle
+/// metadata the flight recorder needs: the originating [`OpId`] (if the
+/// issuing rank was attributing) and the arrival time, from which the
+/// queueing / progress-starvation split is computed at service time.
+pub struct Queued {
+    /// The work itself.
+    pub item: WorkItem,
+    /// Operation this work belongs to, when flight recording is on.
+    pub op: Option<OpId>,
+    /// When the request arrived at the target context.
+    pub enqueued: SimTime,
+}
+
 /// State of one communication context.
 pub struct CtxState {
     /// Arrived-but-unserviced work.
-    pub queue: RefCell<VecDeque<WorkItem>>,
+    pub queue: RefCell<VecDeque<Queued>>,
     /// Signalled whenever work arrives (wakes the async progress thread).
     pub arrived: Notify,
     /// The progress-engine lock guarding `advance`.
@@ -204,6 +217,12 @@ pub struct CtxState {
     pub serviced: Cell<u64>,
     /// High-water mark of the queue depth.
     pub max_depth: Cell<usize>,
+    /// Since when *someone* (a blocking call or the async progress thread)
+    /// has been continuously driving this context's progress engine; `None`
+    /// while nobody is. Queue time before this instant is **progress
+    /// starvation** (§III-D); queue time after it is ordinary queueing behind
+    /// the active service batch.
+    pub progress_since: Cell<Option<SimTime>>,
 }
 
 impl CtxState {
@@ -216,14 +235,15 @@ impl CtxState {
             dispatch: RefCell::new(HashMap::new()),
             serviced: Cell::new(0),
             max_depth: Cell::new(0),
+            progress_since: Cell::new(None),
         }
     }
 
     /// Enqueue arrived work and signal the progress thread.
-    pub fn push(&self, item: WorkItem) {
+    pub fn push(&self, item: WorkItem, op: Option<OpId>, enqueued: SimTime) {
         let depth = {
             let mut q = self.queue.borrow_mut();
-            q.push_back(item);
+            q.push_back(Queued { item, op, enqueued });
             q.len()
         };
         if depth > self.max_depth.get() {
@@ -253,12 +273,16 @@ mod tests {
         let c = CtxState::new();
         assert_eq!(c.depth(), 0);
         for i in 0..3 {
-            c.push(WorkItem::Rmw {
-                src: 0,
-                offset: 0,
-                op: RmwOp::FetchAdd(1),
-                done: Completion::new(),
-            });
+            c.push(
+                WorkItem::Rmw {
+                    src: 0,
+                    offset: 0,
+                    op: RmwOp::FetchAdd(1),
+                    done: Completion::new(),
+                },
+                None,
+                SimTime::ZERO,
+            );
             assert_eq!(c.depth(), i + 1);
         }
         assert_eq!(c.max_depth.get(), 3);

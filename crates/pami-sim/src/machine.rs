@@ -4,7 +4,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::rc::Rc;
 
-use desim::{Sim, Stats};
+use desim::{FlightRecorder, OpId, Sim, Stats};
 use torus5d::{BgqParams, Mapping, NetState, Topology};
 
 use crate::context::CtxState;
@@ -138,6 +138,10 @@ pub(crate) struct RankState {
     pub contexts: Vec<Rc<CtxState>>,
     pub endpoints: RefCell<HashSet<(u32, u8)>>,
     pub space: SpaceAccount,
+    /// The operation this rank is currently issuing/completing, threaded
+    /// down into every message the rank injects while set. `None` when no
+    /// attribution is active (flight recorder off, or between operations).
+    pub cur_op: Cell<Option<OpId>>,
 }
 
 impl RankState {
@@ -150,6 +154,7 @@ impl RankState {
             contexts: (0..contexts).map(|_| Rc::new(CtxState::new())).collect(),
             endpoints: RefCell::new(HashSet::new()),
             space: SpaceAccount::default(),
+            cur_op: Cell::new(None),
         }
     }
 
@@ -224,6 +229,7 @@ impl Machine {
         if cfg.track_links {
             net.set_link_tracking(true);
         }
+        net.set_flight(sim.flight());
         let ranks = (0..cfg.nprocs)
             .map(|_| Rc::new(RankState::new(cfg.contexts_per_rank)))
             .collect();
@@ -268,6 +274,19 @@ impl Machine {
     /// Shared statistics registry (same as the simulation's).
     pub fn stats(&self) -> Stats {
         self.inner.stats.clone()
+    }
+
+    /// The simulation's shared message-lifecycle flight recorder (disabled
+    /// unless [`Machine::enable_flight`] or `Sim::flight().enable(..)` was
+    /// called).
+    pub fn flight(&self) -> FlightRecorder {
+        self.inner.sim.flight()
+    }
+
+    /// Turn on message-lifecycle recording with the given per-kind record
+    /// budget. Convenience for `self.flight().enable(capacity)`.
+    pub fn enable_flight(&self, capacity: usize) {
+        self.inner.sim.flight().enable(capacity);
     }
 
     /// Handle for one rank.

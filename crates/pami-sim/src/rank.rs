@@ -4,7 +4,7 @@
 use std::rc::Rc;
 
 use desim::futures::{race, Either};
-use desim::{Completion, SimDuration};
+use desim::{Completion, OpId, SegCategory, SimDuration};
 use torus5d::MsgClass;
 
 use crate::context::{AmEnv, AmHandler, AmMsg, CtxState, RmwOp, WorkItem};
@@ -64,6 +64,19 @@ impl PamiRank {
 
     fn ctx(&self, idx: usize) -> Rc<CtxState> {
         Rc::clone(&self.state().contexts[idx])
+    }
+
+    /// The operation id messages injected by this rank are currently
+    /// attributed to (set by the ARMCI layer around each operation; `None`
+    /// when the flight recorder is off or no operation is in flight).
+    pub fn current_op(&self) -> Option<OpId> {
+        self.state().cur_op.get()
+    }
+
+    /// Set (or clear) the operation id subsequent injections by this rank
+    /// are attributed to.
+    pub fn set_current_op(&self, op: Option<OpId>) {
+        self.state().cur_op.set(op);
     }
 
     // ------------------------------------------------------------------
@@ -268,6 +281,7 @@ impl PamiRank {
         let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim().clone();
         let p = self.m.params().clone();
+        let op = self.current_op();
         self.m.stats().incr("pami.rdma_put");
         sim.sleep(p.o_send).await;
         let data = self.read_bytes(local_off, len);
@@ -276,7 +290,7 @@ impl PamiRank {
             inner
                 .net
                 .borrow_mut()
-                .deliver(inject, self.r, target, len, MsgClass::Ordered)
+                .deliver_op(inject, self.r, target, len, MsgClass::Ordered, op)
                 + p.align_penalty(len);
         let handles = PutHandles {
             local: Completion::new(),
@@ -308,6 +322,7 @@ impl PamiRank {
         let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim().clone();
         let p = self.m.params().clone();
+        let op = self.current_op();
         self.m.stats().incr("pami.rdma_get");
         sim.sleep(p.o_send).await;
         let inject = sim.now() + p.rdma_engine;
@@ -315,19 +330,21 @@ impl PamiRank {
             inner
                 .net
                 .borrow_mut()
-                .deliver(inject, self.r, target, 0, MsgClass::Control);
+                .deliver_op(inject, self.r, target, 0, MsgClass::Control, op);
         let done = Completion::new();
         let done2 = done.clone();
         let src = self.r;
         let sim2 = sim.clone();
         sim.schedule(req_arrival, move || {
             let data = inner.ranks[target].read(remote_off, len);
-            let resp_arrival =
-                inner
-                    .net
-                    .borrow_mut()
-                    .deliver(req_arrival, target, src, len, MsgClass::Ordered)
-                    + p.align_penalty(len);
+            let resp_arrival = inner.net.borrow_mut().deliver_op(
+                req_arrival,
+                target,
+                src,
+                len,
+                MsgClass::Ordered,
+                op,
+            ) + p.align_penalty(len);
             let src_state = Rc::clone(&inner.ranks[src]);
             sim2.schedule(resp_arrival, move || {
                 src_state.write(local_off, &data);
@@ -341,11 +358,17 @@ impl PamiRank {
     // Software path (target CPU required)
     // ------------------------------------------------------------------
 
-    fn push_to_target(&self, target: usize, arrival: desim::SimTime, item: WorkItem) {
+    fn push_to_target(
+        &self,
+        target: usize,
+        arrival: desim::SimTime,
+        item: WorkItem,
+        op: Option<OpId>,
+    ) {
         let inner = Rc::clone(&self.m.inner);
         let ctx_idx = self.m.target_ctx();
         self.m.sim().schedule(arrival, move || {
-            inner.ranks[target].contexts[ctx_idx].push(item);
+            inner.ranks[target].contexts[ctx_idx].push(item, op, arrival);
         });
     }
 
@@ -361,15 +384,17 @@ impl PamiRank {
         let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim().clone();
         let p = self.m.params().clone();
+        let op = self.current_op();
         self.m.stats().incr("pami.sw_put");
         sim.sleep(p.o_send).await;
         let data = self.read_bytes(local_off, len);
-        let arrival = inner.net.borrow_mut().deliver(
+        let arrival = inner.net.borrow_mut().deliver_op(
             sim.now(),
             self.r,
             target,
             len + p.am_header_bytes,
             MsgClass::Ordered,
+            op,
         );
         let handles = PutHandles {
             local: Completion::new(),
@@ -385,6 +410,7 @@ impl PamiRank {
                 data,
                 remote_done: handles.remote.clone(),
             },
+            op,
         );
         handles
     }
@@ -401,14 +427,16 @@ impl PamiRank {
         let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim().clone();
         let p = self.m.params().clone();
+        let op = self.current_op();
         self.m.stats().incr("pami.sw_get");
         sim.sleep(p.o_send).await;
-        let arrival = inner.net.borrow_mut().deliver(
+        let arrival = inner.net.borrow_mut().deliver_op(
             sim.now(),
             self.r,
             target,
             p.am_header_bytes,
             MsgClass::Control,
+            op,
         );
         let done = Completion::new();
         self.push_to_target(
@@ -421,6 +449,7 @@ impl PamiRank {
                 local_off,
                 done: done.clone(),
             },
+            op,
         );
         done
     }
@@ -439,15 +468,17 @@ impl PamiRank {
         let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim().clone();
         let p = self.m.params().clone();
+        let op = self.current_op();
         self.m.stats().incr("pami.acc");
         sim.sleep(p.o_send).await;
         let data = self.read_bytes(local_off, elems * 8);
-        let arrival = inner.net.borrow_mut().deliver(
+        let arrival = inner.net.borrow_mut().deliver_op(
             sim.now(),
             self.r,
             target,
             elems * 8 + p.am_header_bytes,
             MsgClass::Ordered,
+            op,
         );
         let handles = PutHandles {
             local: Completion::new(),
@@ -464,6 +495,7 @@ impl PamiRank {
                 data,
                 remote_done: handles.remote.clone(),
             },
+            op,
         );
         handles
     }
@@ -475,13 +507,17 @@ impl PamiRank {
         let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim().clone();
         let p = self.m.params().clone();
+        let flight_op = self.current_op();
         self.m.stats().incr("pami.rmw");
         sim.sleep(p.o_send).await;
-        let arrival =
-            inner
-                .net
-                .borrow_mut()
-                .deliver(sim.now(), self.r, target, 16, MsgClass::Unordered);
+        let arrival = inner.net.borrow_mut().deliver_op(
+            sim.now(),
+            self.r,
+            target,
+            16,
+            MsgClass::Unordered,
+            flight_op,
+        );
         let done = Completion::new();
         self.push_to_target(
             target,
@@ -492,6 +528,7 @@ impl PamiRank {
                 op,
                 done: done.clone(),
             },
+            flight_op,
         );
         done
     }
@@ -509,15 +546,17 @@ impl PamiRank {
         let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim().clone();
         let p = self.m.params().clone();
+        let op = self.current_op();
         self.m.stats().incr("pami.packed_get");
         sim.sleep(p.o_send).await;
         let desc_bytes = p.am_header_bytes + chunks.len() * 16;
-        let arrival = inner.net.borrow_mut().deliver(
+        let arrival = inner.net.borrow_mut().deliver_op(
             sim.now(),
             self.r,
             target,
             desc_bytes,
             MsgClass::Control,
+            op,
         );
         let done = Completion::new();
         self.push_to_target(
@@ -529,6 +568,7 @@ impl PamiRank {
                 local_chunks,
                 done: done.clone(),
             },
+            op,
         );
         done
     }
@@ -544,6 +584,7 @@ impl PamiRank {
         let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim().clone();
         let p = self.m.params().clone();
+        let op = self.current_op();
         self.m.stats().incr("pami.packed_put");
         sim.sleep(p.o_send).await;
         let total: usize = local_chunks.iter().map(|&(_, l)| l).sum();
@@ -553,12 +594,13 @@ impl PamiRank {
         for &(off, len) in &local_chunks {
             data.extend_from_slice(&self.read_bytes(off, len));
         }
-        let arrival = inner.net.borrow_mut().deliver(
+        let arrival = inner.net.borrow_mut().deliver_op(
             sim.now(),
             self.r,
             target,
             total + p.am_header_bytes + remote_chunks.len() * 16,
             MsgClass::Ordered,
+            op,
         );
         let handles = PutHandles {
             local: Completion::new(),
@@ -574,6 +616,7 @@ impl PamiRank {
                 chunks: remote_chunks,
                 remote_done: handles.remote.clone(),
             },
+            op,
         );
         handles
     }
@@ -591,6 +634,7 @@ impl PamiRank {
         let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim().clone();
         let p = self.m.params().clone();
+        let op = self.current_op();
         self.m.stats().incr("pami.acc_strided");
         sim.sleep(p.o_send).await;
         let total: usize = local_chunks.iter().map(|&(_, l)| l).sum();
@@ -600,12 +644,13 @@ impl PamiRank {
         for &(off, len) in &local_chunks {
             data.extend_from_slice(&self.read_bytes(off, len));
         }
-        let arrival = inner.net.borrow_mut().deliver(
+        let arrival = inner.net.borrow_mut().deliver_op(
             sim.now(),
             self.r,
             target,
             total + p.am_header_bytes + remote_chunks.len() * 16,
             MsgClass::Ordered,
+            op,
         );
         let handles = PutHandles {
             local: Completion::new(),
@@ -622,6 +667,7 @@ impl PamiRank {
                 scale,
                 remote_done: handles.remote.clone(),
             },
+            op,
         );
         handles
     }
@@ -638,14 +684,16 @@ impl PamiRank {
         let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim().clone();
         let p = self.m.params().clone();
+        let op = self.current_op();
         self.m.stats().incr("pami.am");
         sim.sleep(p.o_send).await;
-        let arrival = inner.net.borrow_mut().deliver(
+        let arrival = inner.net.borrow_mut().deliver_op(
             sim.now(),
             self.r,
             target,
             header.len() + payload.len() + p.am_header_bytes,
             MsgClass::Control,
+            op,
         );
         let done = Completion::new();
         done.complete(());
@@ -658,6 +706,7 @@ impl PamiRank {
                 header,
                 payload,
             },
+            op,
         );
         done
     }
@@ -673,14 +722,16 @@ impl PamiRank {
         let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim().clone();
         let p = self.m.params().clone();
+        let op = self.current_op();
         self.m.stats().incr("pami.am_immediate");
         sim.sleep(p.o_send).await;
-        let arrival = inner.net.borrow_mut().deliver(
+        let arrival = inner.net.borrow_mut().deliver_op(
             sim.now(),
             self.r,
             target,
             header.len() + p.am_header_bytes,
             MsgClass::Control,
+            op,
         );
         self.push_to_target(
             target,
@@ -691,6 +742,7 @@ impl PamiRank {
                 header,
                 payload: Vec::new(),
             },
+            op,
         );
         // Blocking completion: occupied until the NIC accepts the packet.
         sim.sleep(p.rdma_engine).await;
@@ -713,14 +765,27 @@ impl PamiRank {
     async fn advance_on(&self, ctx_idx: usize, max_items: usize, from_at: bool) -> usize {
         let sim = self.m.sim().clone();
         let stats = self.m.stats();
+        let fl = sim.flight();
         let ctx = self.ctx(ctx_idx);
         let t_req = sim.now();
+        // The op the *driver* of this advance is working on: lock-wait time
+        // is charged to it as contention. The AT drives on its own behalf.
+        let driver_op = if from_at { None } else { self.current_op() };
         let _guard = ctx.lock.lock().await;
         let lock_wait = sim.now().since(t_req);
         if !lock_wait.is_zero() {
             // Someone else held the progress lock: the ρ=1 contention.
             stats.record_time("pami.ctx.lock_wait", lock_wait);
             stats.incr("pami.ctx.lock_contended");
+            if let Some(op) = driver_op {
+                fl.segment(
+                    op,
+                    SegCategory::Contention,
+                    "pami.lock_wait",
+                    t_req,
+                    sim.now(),
+                );
+            }
         }
         let t_hold = sim.now();
         let tracer = sim.tracer();
@@ -731,8 +796,27 @@ impl PamiRank {
         };
         let mut n = 0;
         while n < max_items {
-            let item = ctx.queue.borrow_mut().pop_front();
-            let Some(item) = item else { break };
+            let queued = ctx.queue.borrow_mut().pop_front();
+            let Some(queued) = queued else { break };
+            let item = queued.item;
+            let item_op = queued.op;
+            let svc_start = sim.now();
+            if let Some(op) = item_op {
+                // Split the item's queue time at the instant the servicing
+                // rank started continuously driving progress: before that,
+                // nobody was listening (§III-D progress starvation); after
+                // it, the item merely waited its turn behind the batch.
+                let since = ctx.progress_since.get().unwrap_or(t_req);
+                let boundary = since.max(queued.enqueued).min(svc_start);
+                fl.segment(
+                    op,
+                    SegCategory::Starvation,
+                    "pami.starved",
+                    queued.enqueued,
+                    boundary,
+                );
+                fl.segment(op, SegCategory::Queueing, "pami.queue", boundary, svc_start);
+            }
             if let Some(track) = track {
                 let name = item.kind_name();
                 tracer.span_begin(
@@ -741,10 +825,19 @@ impl PamiRank {
                     sim.now(),
                     &[("src", desim::TraceValue::U64(item.src() as u64))],
                 );
-                self.service_item(item).await;
+                self.service_item(item, item_op).await;
                 tracer.span_end(track, name, sim.now(), &[]);
             } else {
-                self.service_item(item).await;
+                self.service_item(item, item_op).await;
+            }
+            if let Some(op) = item_op {
+                fl.segment(
+                    op,
+                    SegCategory::Compute,
+                    "pami.service",
+                    svc_start,
+                    sim.now(),
+                );
             }
             ctx.serviced.set(ctx.serviced.get() + 1);
             n += 1;
@@ -766,8 +859,10 @@ impl PamiRank {
         }
     }
 
-    /// Execute one work item (context lock held by the caller).
-    async fn service_item(&self, item: WorkItem) {
+    /// Execute one work item (context lock held by the caller). Reply
+    /// messages it injects are attributed to `flight_op`, the operation the
+    /// item belongs to.
+    async fn service_item(&self, item: WorkItem, flight_op: Option<OpId>) {
         let sim = self.m.sim().clone();
         let p = self.m.params().clone();
         let inner = Rc::clone(&self.m.inner);
@@ -791,12 +886,14 @@ impl PamiRank {
             } => {
                 sim.sleep(p.am_dispatch).await;
                 let data = self.state().read(offset, len);
-                let resp =
-                    inner
-                        .net
-                        .borrow_mut()
-                        .deliver(sim.now(), self.r, src, len, MsgClass::Ordered)
-                        + p.align_penalty(len);
+                let resp = inner.net.borrow_mut().deliver_op(
+                    sim.now(),
+                    self.r,
+                    src,
+                    len,
+                    MsgClass::Ordered,
+                    flight_op,
+                ) + p.align_penalty(len);
                 let src_state = Rc::clone(&inner.ranks[src]);
                 sim.schedule(resp, move || {
                     src_state.write(local_off, &data);
@@ -825,11 +922,14 @@ impl PamiRank {
                 if let Some(new) = new {
                     self.state().write_i64(offset, new);
                 }
-                let resp =
-                    inner
-                        .net
-                        .borrow_mut()
-                        .deliver(sim.now(), self.r, src, 8, MsgClass::Unordered);
+                let resp = inner.net.borrow_mut().deliver_op(
+                    sim.now(),
+                    self.r,
+                    src,
+                    8,
+                    MsgClass::Unordered,
+                    flight_op,
+                );
                 sim.schedule(resp, move || done.complete(old));
             }
             WorkItem::AccF64 {
@@ -866,12 +966,13 @@ impl PamiRank {
                 for &(off, len) in &chunks {
                     data.extend_from_slice(&self.state().read(off, len));
                 }
-                let resp = inner.net.borrow_mut().deliver(
+                let resp = inner.net.borrow_mut().deliver_op(
                     sim.now(),
                     self.r,
                     src,
                     total,
                     MsgClass::Ordered,
+                    flight_op,
                 ) + pack; // unpack (scatter) cost at the requester
                 let src_state = Rc::clone(&inner.ranks[src]);
                 sim.schedule(resp, move || {
@@ -958,14 +1059,22 @@ impl PamiRank {
     /// communication call (paper §IV-B3).
     pub async fn progress_wait<T: Clone + 'static>(&self, done: &Completion<T>) -> T {
         let main_ctx = self.ctx(0);
-        loop {
+        // While blocked here the rank *is* continuously driving the main
+        // context's progress engine: work arriving from now on is queueing,
+        // not progress starvation. Restore on exit so compute phases between
+        // blocking calls count as starvation again.
+        let mark_progress = main_ctx.progress_since.get().is_none();
+        if mark_progress {
+            main_ctx.progress_since.set(Some(self.m.sim().now()));
+        }
+        let v = loop {
             if let Some(v) = done.peek() {
                 // Completions are reaped by advancing the context, which
                 // requires the progress-engine lock — with ρ=1 this is where
                 // the main thread contends with the asynchronous progress
                 // thread (§III-D).
                 let _reap = main_ctx.lock.lock().await;
-                return v;
+                break v;
             }
             if main_ctx.depth() > 0 {
                 self.advance(0, 1).await;
@@ -974,11 +1083,15 @@ impl PamiRank {
             match race(done.wait(), main_ctx.arrived.wait()).await {
                 Either::Left(v) => {
                     let _reap = main_ctx.lock.lock().await;
-                    return v;
+                    break v;
                 }
                 Either::Right(()) => {}
             }
+        };
+        if mark_progress {
+            main_ctx.progress_since.set(None);
         }
+        v
     }
 
     /// Start an asynchronous progress thread (the paper's "AT" design): a
@@ -996,6 +1109,8 @@ impl PamiRank {
                 }
                 let ctx = this.ctx(ctx_idx);
                 if ctx.depth() == 0 {
+                    // Idle: until re-awoken, freshly arriving work starves.
+                    ctx.progress_since.set(None);
                     match race(ctx.arrived.wait(), stop2.wait()).await {
                         Either::Left(()) => {}
                         Either::Right(()) => break,
@@ -1003,6 +1118,11 @@ impl PamiRank {
                     continue;
                 }
                 sim.sleep(this.m.params().at_wakeup).await;
+                // Awake and about to service: the wake-up delay itself counts
+                // as starvation, everything after as batch queueing.
+                if ctx.progress_since.get().is_none() {
+                    ctx.progress_since.set(Some(sim.now()));
+                }
                 let n = this.advance_on(ctx_idx, usize::MAX, true).await;
                 this.m.stats().add("pami.at_serviced", n as u64);
             }

@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use desim::{SimDuration, SimTime};
+use desim::{FlightRecorder, OpId, SegCategory, SimDuration, SimTime};
 
 use crate::cost::BgqParams;
 use crate::routing::{route, Link};
@@ -52,6 +52,12 @@ pub struct NetState {
     track_links: bool,
     messages: u64,
     bytes: u64,
+    /// Lifecycle recorder for per-operation attribution (disabled by
+    /// default; shared with the owning `Sim` via [`NetState::set_flight`]).
+    flight: FlightRecorder,
+    /// Cache of interned flight-recorder ids per link, so the formatted link
+    /// name is built once per link rather than once per message.
+    link_ids: HashMap<Link, u32>,
 }
 
 impl NetState {
@@ -70,6 +76,8 @@ impl NetState {
             track_links: false,
             messages: 0,
             bytes: 0,
+            flight: FlightRecorder::new(),
+            link_ids: HashMap::new(),
         }
     }
 
@@ -77,6 +85,33 @@ impl NetState {
     /// Costs one route computation per internode message, so it is opt-in.
     pub fn set_link_tracking(&mut self, on: bool) {
         self.track_links = on;
+    }
+
+    /// Attach the simulation's shared [`FlightRecorder`] so deliveries can
+    /// record per-message lifecycle segments and link occupancy. When the
+    /// recorder is disabled (the default) delivery costs are unchanged.
+    pub fn set_flight(&mut self, flight: FlightRecorder) {
+        self.flight = flight;
+        self.link_ids.clear();
+    }
+
+    /// Interned flight-recorder id for `link`, formatting the stable name
+    /// `(a,b,c,d,e)±X` (source coordinate, direction, dimension letter) at
+    /// most once per link.
+    fn flight_link_id(&mut self, link: Link) -> u32 {
+        if let Some(&id) = self.link_ids.get(&link) {
+            return id;
+        }
+        let c = link.from.0;
+        let dim = [b'A', b'B', b'C', b'D', b'E'][link.dim as usize] as char;
+        let sign = if link.plus { '+' } else { '-' };
+        let name = format!(
+            "({},{},{},{},{}){}{}",
+            c[0], c[1], c[2], c[3], c[4], sign, dim
+        );
+        let id = self.flight.link_id(&name);
+        self.link_ids.insert(link, id);
+        id
     }
 
     /// The topology this network spans.
@@ -109,6 +144,24 @@ impl NetState {
         payload: usize,
         class: MsgClass,
     ) -> SimTime {
+        self.deliver_op(inject, src, dst, payload, class, None)
+    }
+
+    /// Like [`NetState::deliver`], additionally attributing the message's
+    /// lifecycle to `op` in the flight recorder: injection-FIFO wait
+    /// (queueing), header flight and payload serialization (wire), per-link
+    /// waits (contention, plus a [`desim::flight::LinkUse`] occupancy record)
+    /// and the pair-order clamp (queueing). Timing is identical to
+    /// [`NetState::deliver`]; with the recorder disabled so is the cost.
+    pub fn deliver_op(
+        &mut self,
+        inject: SimTime,
+        src: usize,
+        dst: usize,
+        payload: usize,
+        class: MsgClass,
+        op: Option<OpId>,
+    ) -> SimTime {
         self.messages += 1;
         self.bytes += payload as u64;
         let same_node = self.topo.same_node(src, dst);
@@ -133,23 +186,45 @@ impl NetState {
         } else {
             inject
         };
+        if let Some(op) = op {
+            self.flight
+                .segment(op, SegCategory::Queueing, "net.tx_fifo", inject, start);
+        }
         // Head-of-packet flight time.
         let head = if same_node {
-            start + self.params.intranode_latency
+            let head = start + self.params.intranode_latency;
+            if let Some(op) = op {
+                self.flight
+                    .segment(op, SegCategory::Wire, "net.intranode", start, head);
+            }
+            head
         } else if self.contention {
-            self.deliver_contended_head(start, src, dst, payload)
+            self.deliver_contended_head(start, src, dst, payload, op)
         } else {
             if self.track_links {
                 self.account_links(src, dst, payload);
             }
-            start + self.params.oneway_header(self.topo.hops(src, dst))
+            let head = start + self.params.oneway_header(self.topo.hops(src, dst));
+            if let Some(op) = op {
+                self.flight
+                    .segment(op, SegCategory::Wire, "net.header", start, head);
+            }
+            head
         };
         let mut arrival = head + wire;
+        if let Some(op) = op {
+            self.flight
+                .segment(op, SegCategory::Wire, "net.serialize", head, arrival);
+        }
         if class != MsgClass::Unordered {
             // Deterministic dimension-ordered routing: everything between a
             // pair except AMOs stays in order.
             let key = (src as u32, dst as u32);
             let last = self.pair_last.get(&key).copied().unwrap_or(SimTime::ZERO);
+            if let (Some(op), true) = (op, last > arrival) {
+                self.flight
+                    .segment(op, SegCategory::Queueing, "net.pair_order", arrival, last);
+            }
             arrival = arrival.max(last);
             self.pair_last.insert(key, arrival);
         }
@@ -166,17 +241,40 @@ impl NetState {
         src: usize,
         dst: usize,
         payload: usize,
+        op: Option<OpId>,
     ) -> SimTime {
         let ca = self.topo.coord_of(src);
         let cb = self.topo.coord_of(dst);
         let path = route(&self.topo.shape, ca, cb);
         let wire = self.params.wire_time(payload);
+        let record = self.flight.on();
         let mut t = inject + self.params.base_latency;
+        if let (Some(op), true) = (op, record) {
+            self.flight
+                .segment(op, SegCategory::Wire, "net.header", inject, t);
+        }
         for link in path {
             let busy = self.link_busy.get(&link).copied().unwrap_or(SimTime::ZERO);
-            t = t.max(busy) + self.params.hop_latency;
+            let request = t;
+            let granted = t.max(busy);
+            t = granted + self.params.hop_latency;
             self.link_busy.insert(link, t + wire);
             *self.link_util.entry(link).or_default() += self.params.hop_latency + wire;
+            if record {
+                let id = self.flight_link_id(link);
+                self.flight.link_use(id, request, granted, t + wire, op);
+                if let Some(op) = op {
+                    self.flight.segment(
+                        op,
+                        SegCategory::Contention,
+                        "net.link_wait",
+                        request,
+                        granted,
+                    );
+                    self.flight
+                        .segment(op, SegCategory::Wire, "net.hop", granted, t);
+                }
+            }
         }
         t
     }
@@ -193,12 +291,12 @@ impl NetState {
     }
 
     /// Accumulated busy time per directed link, sorted deterministically by
-    /// (source coordinate, dimension, direction). Suitable for emitting a
-    /// link-utilization heatmap.
+    /// the full link identity (source coordinate, dimension, direction).
+    /// Suitable for emitting a link-utilization heatmap.
     pub fn link_utilization(&self) -> Vec<(Link, SimDuration)> {
         let mut v: Vec<(Link, SimDuration)> =
             self.link_util.iter().map(|(l, d)| (*l, *d)).collect();
-        v.sort_by_key(|(l, _)| (l.from.0, l.dim, l.plus));
+        v.sort_by_key(|(l, _)| *l);
         v
     }
 
@@ -352,6 +450,66 @@ mod tests {
         let util = n.link_utilization();
         let hops = n.topology().hops(0, 1) as usize;
         assert_eq!(util.len(), hops);
+    }
+
+    #[test]
+    fn deliver_op_attributes_lifecycle_segments() {
+        use desim::SegCategory;
+        let mut n = net(true);
+        let fr = FlightRecorder::new();
+        fr.enable(1 << 12);
+        n.set_flight(fr.clone());
+        let t0 = SimTime::ZERO;
+        let op = fr.begin_op(t0, 0, "test.op").unwrap();
+        // First message (unattributed) loads the link; second (attributed)
+        // waits behind it.
+        let a = n.deliver(t0, 0, 1, 1 << 16, MsgClass::Ordered);
+        let b = n.deliver_op(t0, 0, 1, 1 << 16, MsgClass::Ordered, Some(op));
+        assert!(b > a);
+        let segs = fr.segments();
+        let cats: Vec<SegCategory> = segs.iter().map(|s| s.cat).collect();
+        // Attributed message: tx-FIFO wait, header flight, link hop(s),
+        // payload serialization; the link itself was free by grant time so
+        // there may or may not be a link_wait, but the wire parts must exist.
+        assert!(cats.contains(&SegCategory::Queueing), "tx fifo wait");
+        assert!(cats.contains(&SegCategory::Wire));
+        assert!(segs.iter().any(|s| s.label == "net.header"));
+        assert!(segs.iter().any(|s| s.label == "net.serialize"));
+        assert!(segs.iter().all(|s| s.op == op));
+        // Both messages produced link-occupancy records; only the second is
+        // attributed.
+        let uses = fr.link_uses();
+        assert_eq!(uses.len(), 2);
+        assert_eq!(uses[0].op, None);
+        assert_eq!(uses[1].op, Some(op));
+        assert!(uses[1].release > uses[1].grant);
+        assert!(!fr.link_name(uses[1].link).is_empty());
+        // Segment timing tiles the delivery exactly: the op's segments all
+        // fall within [t0, b].
+        assert!(segs.iter().all(|s| s.start >= t0 && s.end <= b));
+    }
+
+    #[test]
+    fn deliver_op_records_pair_order_clamp() {
+        let mut n = net(false);
+        let fr = FlightRecorder::new();
+        fr.enable(64);
+        n.set_flight(fr.clone());
+        let t0 = SimTime::ZERO;
+        let op = fr.begin_op(t0, 0, "test.op").unwrap();
+        let big = n.deliver(t0, 0, 5, 1 << 20, MsgClass::Ordered);
+        // Control message bypasses the tx FIFO but must not overtake the
+        // pair front: the clamp shows up as a pair-order queueing segment.
+        let small = n.deliver_op(t0, 0, 5, 8, MsgClass::Control, Some(op));
+        assert_eq!(small, big);
+        let clamp = fr
+            .segments()
+            .iter()
+            .find(|s| s.label == "net.pair_order")
+            .copied()
+            .expect("pair-order clamp recorded");
+        assert_eq!(clamp.cat, SegCategory::Queueing);
+        assert_eq!(clamp.end, big);
     }
 
     #[test]

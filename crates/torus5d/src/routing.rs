@@ -10,7 +10,7 @@ use crate::shape::TorusShape;
 
 /// A directed physical link: from node `from`, along `dim`, in `dir`
 /// (+1 or −1). Used as the contention-tracking key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Link {
     /// Source node of the link.
     pub from: Coord,

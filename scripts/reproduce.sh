@@ -1,13 +1,25 @@
 #!/usr/bin/env bash
 # Regenerate every table/figure of the paper plus the design ablations.
 # Results land in results/*.txt, plus machine-readable JSON snapshots
-# (results/*.json) and a Chrome trace (results/fig9_rmw.trace.json) for the
-# observability-instrumented figures. Full-scale fig9/fig11 take a few minutes.
+# (results/*.json), a Chrome trace (results/fig9_rmw.trace.json), and
+# critical-path breakdowns (results/*.breakdown.json) for the
+# observability-instrumented figures. Full-scale fig9/fig11 take a few
+# minutes. Finishes with the perf-regression gate: quick-config reruns
+# diffed against the committed results/BENCH_*.json goldens via perfdiff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release -p bgq-bench --bins
 mkdir -p results
-run() { echo "== $1"; ./target/release/"$1" ${2-} > "results/$1.txt" 2>&1; }
+# Binary stdout goes to the results file; stderr stays on the console so
+# failures are visible instead of buried in the result file.
+run() { echo "== $1"; ./target/release/"$1" ${2-} > "results/$1.txt"; }
+# Any machine-readable artifact a binary was asked to write must exist and
+# be non-empty, or the reproduction is broken — fail loudly.
+check_json() {
+  for f in "$@"; do
+    [[ -s "$f" ]] || { echo "error: expected JSON output $f is missing or empty" >&2; exit 1; }
+  done
+}
 run table2_attributes
 run fig3_latency
 run fig4_bandwidth
@@ -15,8 +27,10 @@ run fig5_latency_per_byte
 run fig6_efficiency
 run fig7_rank_latency
 run fig8_strided
-run fig9_rmw "--json results/fig9_rmw.json --trace results/fig9_rmw.trace.json"
-run fig11_nwchem_scf "--json results/fig11_nwchem_scf.json"
+run fig9_rmw "--json results/fig9_rmw.json --trace results/fig9_rmw.trace.json --breakdown results/fig9_rmw.breakdown.json"
+check_json results/fig9_rmw.json results/fig9_rmw.trace.json results/fig9_rmw.breakdown.json
+run fig11_nwchem_scf "--json results/fig11_nwchem_scf.json --breakdown results/fig11_nwchem_scf.breakdown.json"
+check_json results/fig11_nwchem_scf.json results/fig11_nwchem_scf.breakdown.json
 run abl_fallback
 run abl_contexts
 run abl_consistency
@@ -24,4 +38,17 @@ run abl_region_cache
 run abl_strided_pack
 run abl_contention
 run abl_mapping
-echo "all results in results/"
+echo "== perf-regression gate (quick configs vs results/BENCH_* goldens)"
+./target/release/fig9_rmw --procs 2,8,32 --ops 5 \
+  --json results/gate_fig9_rmw.json \
+  --breakdown results/gate_fig9_rmw.breakdown.json > /dev/null
+./target/release/fig11_nwchem_scf --quick --procs 32 \
+  --json results/gate_fig11_nwchem_scf.json \
+  --breakdown results/gate_fig11_nwchem_scf.breakdown.json > /dev/null
+check_json results/gate_fig9_rmw.json results/gate_fig9_rmw.breakdown.json \
+  results/gate_fig11_nwchem_scf.json results/gate_fig11_nwchem_scf.breakdown.json
+./target/release/perfdiff results/BENCH_fig9_rmw.json results/gate_fig9_rmw.json --check
+./target/release/perfdiff results/BENCH_fig9_rmw.breakdown.json results/gate_fig9_rmw.breakdown.json --check
+./target/release/perfdiff results/BENCH_fig11_nwchem_scf.json results/gate_fig11_nwchem_scf.json --check
+./target/release/perfdiff results/BENCH_fig11_nwchem_scf.breakdown.json results/gate_fig11_nwchem_scf.breakdown.json --check
+echo "perf gate passed; all results in results/"
