@@ -7,7 +7,7 @@
 //! accumulates; `cs_mr` recognizes the structures as disjoint.
 
 use armci::{ArmciConfig, ConsistencyMode, ProgressMode};
-use bgq_bench::{arg_usize, check_args, Fixture};
+use bgq_bench::{arg_jobs, arg_usize, check_args, sweep, Fixture, JOBS_FLAG};
 use pami_sim::MachineConfig;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -75,18 +75,22 @@ fn main() {
         &[
             ("--rounds", true, "conflict rounds (default 100)"),
             ("--procs", true, "processes (default 8)"),
+            JOBS_FLAG,
         ],
     );
     let rounds = arg_usize("--rounds", 100);
     let p = arg_usize("--procs", 8);
+    let jobs = arg_jobs();
     println!("== Ablation: location-consistency tracking granularity (p={p}) ==");
     println!(
         "{:>10} {:>16} {:>16}",
         "mode", "rank0 time (us)", "induced fences"
     );
-    let (t_naive, f_naive) = run(ConsistencyMode::PerTarget, p, rounds);
+    let modes = [ConsistencyMode::PerTarget, ConsistencyMode::PerRegion];
+    let rows = sweep::run_parallel(modes.len(), jobs, |i| run(modes[i], p, rounds));
+    let (t_naive, f_naive) = rows[0];
     println!("{:>10} {:>16.1} {:>16}", "cs_tgt", t_naive, f_naive);
-    let (t_mr, f_mr) = run(ConsistencyMode::PerRegion, p, rounds);
+    let (t_mr, f_mr) = rows[1];
     println!("{:>10} {:>16.1} {:>16}", "cs_mr", t_mr, f_mr);
     println!(
         "cs_mr removes {} false-positive fences ({:.1}% faster) at Theta(sigma*zeta) space",

@@ -7,7 +7,7 @@
 //! slowdown. This quantifies what the simpler model misses.
 
 use armci::{ArmciConfig, ProgressMode};
-use bgq_bench::{arg_usize, check_args, Fixture};
+use bgq_bench::{arg_jobs, arg_usize, check_args, sweep, Fixture, JOBS_FLAG};
 use pami_sim::MachineConfig;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -59,17 +59,23 @@ fn main() {
     check_args(
         "abl_contention",
         "ablation — analytic LogGP network vs per-link contention modelling",
-        &[("--bytes", true, "message size in bytes (default 256K)")],
+        &[
+            ("--bytes", true, "message size in bytes (default 256K)"),
+            JOBS_FLAG,
+        ],
     );
     let bytes = arg_usize("--bytes", 1 << 18);
+    let jobs = arg_jobs();
     println!("== Ablation: shift-permutation put+fence, analytic vs link contention ==");
     println!(
         "{:>6} {:>14} {:>14} {:>14} {:>14} {:>8}",
         "p", "analytic mean", "analytic max", "contended mean", "contended max", "slowdown"
     );
-    for p in [4usize, 8, 16, 32, 64, 128] {
-        let (am, ax) = run(p, false, bytes);
-        let (cm, cx) = run(p, true, bytes);
+    let procs = [4usize, 8, 16, 32, 64, 128];
+    let rows = sweep::run_parallel(procs.len(), jobs, |i| {
+        (run(procs[i], false, bytes), run(procs[i], true, bytes))
+    });
+    for (p, ((am, ax), (cm, cx))) in procs.iter().zip(&rows) {
         println!(
             "{p:>6} {am:>14.1} {ax:>14.1} {cm:>14.1} {cx:>14.1} {:>7.2}x",
             cm / am

@@ -7,7 +7,7 @@
 //! ρ=2 each context progresses independently.
 
 use armci::{ArmciConfig, ProgressMode};
-use bgq_bench::{arg_usize, check_args, Fixture};
+use bgq_bench::{arg_jobs, arg_usize, check_args, sweep, Fixture, JOBS_FLAG};
 use pami_sim::MachineConfig;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -66,17 +66,23 @@ fn main() {
     check_args(
         "abl_contexts",
         "ablation — 1 vs 2 PAMI contexts under the async-thread design",
-        &[("--rounds", true, "get-loop rounds (default 200)")],
+        &[
+            ("--rounds", true, "get-loop rounds (default 200)"),
+            JOBS_FLAG,
+        ],
     );
     let rounds = arg_usize("--rounds", 200);
+    let jobs = arg_jobs();
     println!("== Ablation: rho=1 vs rho=2 contexts under AT (rank-0 get loop, us) ==");
     println!(
         "{:>4} {:>14} {:>14} {:>10}",
         "p", "rho=1", "rho=2", "speedup"
     );
-    for p in [2usize, 4, 8, 16] {
-        let one = run(1, p, rounds);
-        let two = run(2, p, rounds);
+    let procs = [2usize, 4, 8, 16];
+    let rows = sweep::run_parallel(procs.len(), jobs, |i| {
+        (run(1, procs[i], rounds), run(2, procs[i], rounds))
+    });
+    for (p, (one, two)) in procs.iter().zip(&rows) {
         println!("{:>4} {:>14.1} {:>14.1} {:>9.2}x", p, one, two, one / two);
     }
     println!("paper: multiple contexts improve the progress schedule of each thread");

@@ -6,7 +6,7 @@
 //! chunks — exposing the fall-back's dependence on remote progress.
 
 use armci::{ArmciConfig, ProgressMode};
-use bgq_bench::{arg_usize, check_args, fmt_size, Fixture};
+use bgq_bench::{arg_jobs, arg_usize, check_args, fmt_size, sweep, Fixture, JOBS_FLAG};
 use desim::SimDuration;
 use pami_sim::MachineConfig;
 use std::cell::Cell;
@@ -61,21 +61,31 @@ fn main() {
     check_args(
         "abl_fallback",
         "ablation — RDMA protocol vs active-message fall-back latency",
-        &[("--reps", true, "repetitions per size (default 20)")],
+        &[
+            ("--reps", true, "repetitions per size (default 20)"),
+            JOBS_FLAG,
+        ],
     );
     let reps = arg_usize("--reps", 20);
+    let jobs = arg_jobs();
     println!("== Ablation: RDMA (Eq.7) vs AM fall-back (Eq.8) blocking get latency (us) ==");
     println!(
         "{:>8} {:>10} {:>12} {:>22}",
         "size", "RDMA", "fallback", "fallback+busy-target"
     );
-    for m in [16usize, 256, 1024, 8192, 65536] {
-        let rdma = run(m, true, false, reps);
-        let fb = run(m, false, false, reps);
-        let fb_busy = run(m, false, true, 3);
+    let sizes = [16usize, 256, 1024, 8192, 65536];
+    let rows = sweep::run_parallel(sizes.len(), jobs, |i| {
+        let m = sizes[i];
+        (
+            run(m, true, false, reps),
+            run(m, false, false, reps),
+            run(m, false, true, 3),
+        )
+    });
+    for (m, (rdma, fb, fb_busy)) in sizes.iter().zip(&rows) {
         println!(
             "{:>8} {:>10.2} {:>12.2} {:>22.2}",
-            fmt_size(m),
+            fmt_size(*m),
             rdma,
             fb,
             fb_busy

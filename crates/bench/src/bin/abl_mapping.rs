@@ -7,7 +7,7 @@
 //! how much nearest-neighbour traffic stays on-node.
 
 use armci::{ArmciConfig, ProgressMode};
-use bgq_bench::{arg_usize, check_args, Fixture};
+use bgq_bench::{arg_jobs, arg_usize, check_args, sweep, Fixture, JOBS_FLAG};
 use pami_sim::MachineConfig;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -91,20 +91,28 @@ fn main() {
         &[
             ("--procs", true, "processes (default 256)"),
             ("--ppn", true, "processes per node (default 16)"),
+            JOBS_FLAG,
         ],
     );
     let p = arg_usize("--procs", 256);
     let c = arg_usize("--ppn", 16);
+    let jobs = arg_jobs();
     println!("== Ablation: ABCDET vs TABCDE mapping (p={p}, c={c}) ==");
-    for (label, mapping) in [("ABCDET", Mapping::abcdet()), ("TABCDE", Mapping::tabcde())] {
-        let lat = rank_latencies(p, c, mapping.clone());
+    let mappings = [("ABCDET", Mapping::abcdet()), ("TABCDE", Mapping::tabcde())];
+    let rows = sweep::run_parallel(mappings.len(), jobs, |i| {
+        let mapping = &mappings[i].1;
+        (
+            rank_latencies(p, c, mapping.clone()),
+            neighbour_exchange_time(p, c, mapping.clone()),
+        )
+    });
+    for ((label, _), (lat, halo)) in mappings.iter().zip(&rows) {
         let inter: Vec<f64> = lat[1..].iter().copied().filter(|&l| l > 0.0).collect();
         let min = inter.iter().copied().fold(f64::MAX, f64::min);
         let max = inter.iter().copied().fold(0.0f64, f64::max);
         // How many of the first c-1 peers are intra-node (cheap)?
         // Intra-node gets are ~2.15 us vs >=2.89 us inter-node.
         let near = lat[1..c.min(p)].iter().filter(|&&l| l < 2.5).count();
-        let halo = neighbour_exchange_time(p, c, mapping);
         println!(
             "  {label}: rank-latency min {min:.3} / max {max:.3} us; \
              {near}/{} nearest peers on-node; halo put+fence {halo:.1} us",

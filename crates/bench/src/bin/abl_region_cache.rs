@@ -3,7 +3,7 @@
 //! query round trips to the owner).
 
 use armci::{ArmciConfig, ProgressMode};
-use bgq_bench::{arg_usize, check_args, Fixture};
+use bgq_bench::{arg_jobs, arg_usize, check_args, sweep, Fixture, JOBS_FLAG};
 use pami_sim::MachineConfig;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -57,17 +57,20 @@ fn main() {
         &[
             ("--procs", true, "processes (default 64)"),
             ("--rounds", true, "access rounds (default 1000)"),
+            JOBS_FLAG,
         ],
     );
     let p = arg_usize("--procs", 64);
     let rounds = arg_usize("--rounds", 1000);
+    let jobs = arg_jobs();
     println!("== Ablation: remote region cache capacity (p={p}, {rounds} gets, LFU) ==");
     println!(
         "{:>9} {:>14} {:>8} {:>8} {:>9} {:>10}",
         "capacity", "time (us)", "hits", "misses", "queries", "us/get"
     );
-    for cap in [0usize, 4, 8, 16, 32, 64, 1 << 16] {
-        let (t, h, m, q) = run(cap, p, rounds);
+    let caps = [0usize, 4, 8, 16, 32, 64, 1 << 16];
+    let rows = sweep::run_parallel(caps.len(), jobs, |i| run(caps[i], p, rounds));
+    for (cap, (t, h, m, q)) in caps.iter().zip(&rows) {
         println!(
             "{:>9} {:>14.1} {:>8} {:>8} {:>9} {:>10.2}",
             cap,

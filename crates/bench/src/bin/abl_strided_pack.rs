@@ -3,7 +3,7 @@
 //! contiguous chunk size l₀ (§III-C2, "tall-skinny" transfers).
 
 use armci::{ArmciConfig, ProgressMode, Strided};
-use bgq_bench::{arg_usize, check_args, fmt_size, Fixture};
+use bgq_bench::{arg_jobs, arg_usize, check_args, fmt_size, sweep, Fixture, JOBS_FLAG};
 use pami_sim::MachineConfig;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -47,10 +47,12 @@ fn main() {
         &[
             ("--total", true, "total transfer bytes (default 256K)"),
             ("--reps", true, "repetitions (default 4)"),
+            JOBS_FLAG,
         ],
     );
     let total = arg_usize("--total", 1 << 18); // 256 KB
     let reps = arg_usize("--reps", 4);
+    let jobs = arg_jobs();
     println!(
         "== Ablation: strided get, zero-copy vs packed (total {}) ==",
         fmt_size(total)
@@ -59,19 +61,27 @@ fn main() {
         "{:>8} {:>8} {:>16} {:>16} {:>8}",
         "l0", "chunks", "zero-copy (us)", "packed (us)", "winner"
     );
+    let mut chunk_sizes = Vec::new();
     let mut l0 = 16usize;
     while l0 <= total {
-        let zc = run(total, l0, false, reps);
-        let pk = run(total, l0, true, reps);
+        chunk_sizes.push(l0);
+        l0 *= 4;
+    }
+    let rows = sweep::run_parallel(chunk_sizes.len(), jobs, |i| {
+        (
+            run(total, chunk_sizes[i], false, reps),
+            run(total, chunk_sizes[i], true, reps),
+        )
+    });
+    for (l0, (zc, pk)) in chunk_sizes.iter().zip(&rows) {
         println!(
             "{:>8} {:>8} {:>16.1} {:>16.1} {:>8}",
-            fmt_size(l0),
+            fmt_size(*l0),
             total / l0,
             zc,
             pk,
             if zc <= pk { "zc" } else { "packed" }
         );
-        l0 *= 4;
     }
     println!("tall-skinny (small l0): per-chunk 'o' dominates Eq.9 -> packed path wins;");
     println!("large l0: zero-copy avoids the pack/unpack copies and target CPU");

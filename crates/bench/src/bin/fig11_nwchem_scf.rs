@@ -9,7 +9,9 @@
 //! and AT runs, and writes the machine-readable form as JSON.
 
 use armci::ProgressMode;
-use bgq_bench::{arg_flag, arg_list, arg_str, arg_usize, check_args, write_text};
+use bgq_bench::{
+    arg_flag, arg_jobs, arg_list, arg_str, arg_usize, check_args, sweep, write_text, JOBS_FLAG,
+};
 use nwchem_scf::{run_scf, run_scf_flight, ScfConfig};
 
 fn main() {
@@ -26,6 +28,7 @@ fn main() {
                 true,
                 "write critical-path breakdown JSON (smallest p)",
             ),
+            JOBS_FLAG,
         ],
     );
     let quick = arg_flag("--quick");
@@ -38,32 +41,42 @@ fn main() {
         },
     );
     let iters = arg_usize("--iters", if quick { 2 } else { 3 });
+    let jobs = arg_jobs();
     let breakdown_path = arg_str("--breakdown");
+    let wants_breakdown = breakdown_path.is_some();
 
     println!("== Fig 11: NWChem SCF, 6 waters / 644 basis functions ==");
+    const MODES: [ProgressMode; 2] = [ProgressMode::Default, ProgressMode::AsyncThread];
+    // One sweep point per (process count, progress mode); results collected
+    // by input index so reporting below matches the old serial loop exactly.
+    let outs = sweep::run_parallel(procs.len() * MODES.len(), jobs, |idx| {
+        let (pi, mi) = (idx / MODES.len(), idx % MODES.len());
+        let mode = MODES[mi];
+        let mut cfg = ScfConfig::paper(mode);
+        cfg.iterations = iters;
+        if quick {
+            cfg.repeat_factor = 8; // ~1.6k tasks/iter
+        }
+        if wants_breakdown && pi == 0 {
+            let (report, crit) = run_scf_flight(procs[pi], &cfg, 1 << 22);
+            (report, crit)
+        } else {
+            (run_scf(procs[pi], &cfg), None)
+        }
+    });
     let mut rows = Vec::new();
     let mut crits: Vec<(&str, String, String)> = Vec::new();
     for (pi, &p) in procs.iter().enumerate() {
-        for mode in [ProgressMode::Default, ProgressMode::AsyncThread] {
-            let mut cfg = ScfConfig::paper(mode);
-            cfg.iterations = iters;
-            if quick {
-                cfg.repeat_factor = 8; // ~1.6k tasks/iter
+        for (mi, &mode) in MODES.iter().enumerate() {
+            let (report, crit) = &outs[pi * MODES.len() + mi];
+            if let Some(cp) = crit {
+                let key = if mode == ProgressMode::Default {
+                    "D"
+                } else {
+                    "AT"
+                };
+                crits.push((key, cp.report(), cp.to_json()));
             }
-            let report = if breakdown_path.is_some() && pi == 0 {
-                let (report, crit) = run_scf_flight(p, &cfg, 1 << 22);
-                if let Some(cp) = crit {
-                    let key = if mode == ProgressMode::Default {
-                        "D"
-                    } else {
-                        "AT"
-                    };
-                    crits.push((key, cp.report(), cp.to_json()));
-                }
-                report
-            } else {
-                run_scf(p, &cfg)
-            };
             println!("{}", report.row());
             rows.push(report);
         }

@@ -3,27 +3,40 @@
 //! Paper headline numbers: 2.89 µs get @ 16 B, 2.70 µs put @ 16 B, and a
 //! latency drop at the 256 B cache-alignment boundary.
 
-use bgq_bench::{arg_usize, check_args, fmt_size, get_latency, put_latency, size_sweep};
+use bgq_bench::{
+    arg_jobs, arg_usize, check_args, fmt_size, get_latency, put_latency, size_sweep, sweep,
+    JOBS_FLAG,
+};
 
 fn main() {
     check_args(
         "fig3_latency",
         "Fig 3 — contiguous get/put latency vs message size",
-        &[("--reps", true, "repetitions per size (default 50)")],
+        &[
+            ("--reps", true, "repetitions per size (default 50)"),
+            JOBS_FLAG,
+        ],
     );
     let reps = arg_usize("--reps", 50);
+    let jobs = arg_jobs();
     println!("== Fig 3: contiguous get/put latency (2 procs, adjacent nodes) ==");
     println!("{:>8} {:>12} {:>12}", "size", "get (us)", "put (us)");
-    for m in size_sweep(16, 8192) {
-        let g = get_latency(2, 1, 1, m, reps);
-        let p = put_latency(2, 1, 1, m, reps);
-        println!("{:>8} {:>12.3} {:>12.3}", fmt_size(m), g, p);
+    let sizes = size_sweep(16, 8192);
+    let rows = sweep::run_parallel(sizes.len(), jobs, |i| {
+        let m = sizes[i];
+        (get_latency(2, 1, 1, m, reps), put_latency(2, 1, 1, m, reps))
+    });
+    for (m, (g, p)) in sizes.iter().zip(&rows) {
+        println!("{:>8} {:>12.3} {:>12.3}", fmt_size(*m), g, p);
     }
     // Extra resolution around the 256 B alignment boundary.
     println!("-- alignment boundary detail --");
-    for m in [192usize, 224, 240, 256, 288, 320] {
-        let g = get_latency(2, 1, 1, m, reps);
-        println!("{:>8} {:>12.3}", fmt_size(m), g);
+    let detail = [192usize, 224, 240, 256, 288, 320];
+    let rows = sweep::run_parallel(detail.len(), jobs, |i| {
+        get_latency(2, 1, 1, detail[i], reps)
+    });
+    for (m, g) in detail.iter().zip(&rows) {
+        println!("{:>8} {:>12.3}", fmt_size(*m), g);
     }
     println!("paper: get(16B) = 2.89 us, put(16B) = 2.7 us, drop at 256 B");
 }

@@ -3,7 +3,11 @@
 //! Paper: peak ≈ 1775 MB/s of the 1.8 GB/s available; the get curve trails
 //! the put curve until ≈ 8 KB because of the request round trip.
 
-use bgq_bench::{arg_usize, bandwidth, check_args, fmt_size, size_sweep};
+use bgq_bench::{
+    arg_jobs, arg_str, arg_usize, bandwidth, check_args, fmt_size, size_sweep, sweep, write_text,
+    JOBS_FLAG,
+};
+use desim::json::{push_f64, push_u64};
 
 fn main() {
     check_args(
@@ -12,16 +16,47 @@ fn main() {
         &[
             ("--window", true, "outstanding operations (default 2)"),
             ("--reps", true, "messages per size (default 32)"),
+            ("--json", true, "write bandwidth rows as JSON"),
+            JOBS_FLAG,
         ],
     );
     let window = arg_usize("--window", 2);
     let reps = arg_usize("--reps", 32);
+    let jobs = arg_jobs();
+    let sizes = size_sweep(16, 1 << 20);
     println!("== Fig 4: get/put bandwidth, 2 procs, window = {window} ==");
     println!("{:>8} {:>14} {:>14}", "size", "get (MB/s)", "put (MB/s)");
-    for m in size_sweep(16, 1 << 20) {
-        let g = bandwidth(2, m, window, reps, true);
-        let p = bandwidth(2, m, window, reps, false);
-        println!("{:>8} {:>14.1} {:>14.1}", fmt_size(m), g, p);
+    let rows = sweep::run_parallel(sizes.len(), jobs, |i| {
+        let m = sizes[i];
+        (
+            bandwidth(2, m, window, reps, true),
+            bandwidth(2, m, window, reps, false),
+        )
+    });
+    for (m, (g, p)) in sizes.iter().zip(&rows) {
+        println!("{:>8} {:>14.1} {:>14.1}", fmt_size(*m), g, p);
     }
     println!("paper: peak 1775 MB/s; get round-trip overhead visible till 8K");
+
+    if let Some(path) = arg_str("--json") {
+        let mut o = String::from("{\"schema\":\"fig4-v1\",\"window\":");
+        push_u64(&mut o, window as u64);
+        o.push_str(",\"reps\":");
+        push_u64(&mut o, reps as u64);
+        o.push_str(",\"rows\":[");
+        for (i, (m, (g, p))) in sizes.iter().zip(&rows).enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"bytes\":");
+            push_u64(&mut o, *m as u64);
+            o.push_str(",\"get_mbs\":");
+            push_f64(&mut o, *g);
+            o.push_str(",\"put_mbs\":");
+            push_f64(&mut o, *p);
+            o.push('}');
+        }
+        o.push_str("]}\n");
+        write_text(&path, &o);
+    }
 }

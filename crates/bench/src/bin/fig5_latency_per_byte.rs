@@ -3,27 +3,34 @@
 //! Used to find the message-aggregation inflection point: beyond 4 KB the
 //! latency/byte settles to ≈ 1 ns.
 
-use bgq_bench::{arg_usize, check_args, fmt_size, get_latency, size_sweep};
+use bgq_bench::{
+    arg_jobs, arg_usize, check_args, fmt_size, get_latency, size_sweep, sweep, JOBS_FLAG,
+};
 
 fn main() {
     check_args(
         "fig5_latency_per_byte",
         "Fig 5 — effective get latency per byte vs message size",
-        &[("--reps", true, "repetitions per size (default 50)")],
+        &[
+            ("--reps", true, "repetitions per size (default 50)"),
+            JOBS_FLAG,
+        ],
     );
     let reps = arg_usize("--reps", 50);
+    let jobs = arg_jobs();
     println!("== Fig 5: effective get latency per byte (2 procs) ==");
     println!(
         "{:>8} {:>12} {:>16}",
         "size", "get (us)", "latency/byte (ns)"
     );
-    for m in size_sweep(16, 1 << 20) {
-        let g = get_latency(2, 1, 1, m, reps);
+    let sizes = size_sweep(16, 1 << 20);
+    let rows = sweep::run_parallel(sizes.len(), jobs, |i| get_latency(2, 1, 1, sizes[i], reps));
+    for (m, g) in sizes.iter().zip(&rows) {
         println!(
             "{:>8} {:>12.3} {:>16.3}",
-            fmt_size(m),
+            fmt_size(*m),
             g,
-            g * 1000.0 / m as f64
+            g * 1000.0 / *m as f64
         );
     }
     println!("paper: latency/byte ~ 1 ns beyond 4 KB");

@@ -2,7 +2,9 @@
 //!
 //! Paper: N½ ≈ 2 KB, efficiency ≥ 90 % beyond 16 KB.
 
-use bgq_bench::{arg_usize, bandwidth, check_args, fmt_size, size_sweep};
+use bgq_bench::{
+    arg_jobs, arg_usize, bandwidth, check_args, fmt_size, size_sweep, sweep, JOBS_FLAG,
+};
 
 fn main() {
     check_args(
@@ -11,25 +13,30 @@ fn main() {
         &[
             ("--window", true, "outstanding operations (default 2)"),
             ("--reps", true, "messages per size (default 32)"),
+            JOBS_FLAG,
         ],
     );
     let window = arg_usize("--window", 2);
     let reps = arg_usize("--reps", 32);
+    let jobs = arg_jobs();
     let peak = 1800.0;
     println!("== Fig 6: bandwidth efficiency (put, window = {window}) ==");
     println!("{:>8} {:>14} {:>12}", "size", "bw (MB/s)", "efficiency");
+    let sizes = size_sweep(16, 1 << 20);
+    let rows = sweep::run_parallel(sizes.len(), jobs, |i| {
+        bandwidth(2, sizes[i], window, reps, false)
+    });
     let mut n_half: Option<usize> = None;
     let mut eff90: Option<usize> = None;
-    for m in size_sweep(16, 1 << 20) {
-        let bw = bandwidth(2, m, window, reps, false);
+    for (m, bw) in sizes.iter().zip(&rows) {
         let eff = bw / peak;
         if n_half.is_none() && eff >= 0.5 {
-            n_half = Some(m);
+            n_half = Some(*m);
         }
         if eff90.is_none() && eff >= 0.9 {
-            eff90 = Some(m);
+            eff90 = Some(*m);
         }
-        println!("{:>8} {:>14.1} {:>11.1}%", fmt_size(m), bw, eff * 100.0);
+        println!("{:>8} {:>14.1} {:>11.1}%", fmt_size(*m), bw, eff * 100.0);
     }
     println!(
         "measured: N1/2 = {} ; >=90% efficiency from {}",

@@ -5,7 +5,7 @@
 //! ≈ 35 ns per hop.
 
 use armci::ArmciConfig;
-use bgq_bench::{arg_usize, check_args, Fixture};
+use bgq_bench::{arg_jobs, arg_usize, check_args, Fixture, JOBS_FLAG};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -17,8 +17,13 @@ fn main() {
             ("--procs", true, "processes (default 2048)"),
             ("--ppn", true, "processes per node (default 16)"),
             ("--reps", true, "repetitions per rank (default 3)"),
+            JOBS_FLAG,
         ],
     );
+    // This figure is one big simulation (all ranks share a machine), so the
+    // sweep harness has nothing to fan out; the flag is accepted for CLI
+    // uniformity across the bench binaries.
+    let _jobs = arg_jobs();
     let p = arg_usize("--procs", 2048);
     let c = arg_usize("--ppn", 16);
     let reps = arg_usize("--reps", 3);

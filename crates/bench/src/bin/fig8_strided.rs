@@ -5,7 +5,7 @@
 //! (Eq. 9) dominates for small chunks, the wire for large ones.
 
 use armci::{ArmciConfig, Strided};
-use bgq_bench::{arg_usize, check_args, fmt_size, Fixture};
+use bgq_bench::{arg_jobs, arg_usize, check_args, fmt_size, sweep, Fixture, JOBS_FLAG};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -48,10 +48,12 @@ fn main() {
         &[
             ("--total", true, "total transfer bytes (default 1M)"),
             ("--reps", true, "repetitions (default 4)"),
+            JOBS_FLAG,
         ],
     );
     let total = arg_usize("--total", 1 << 20);
     let reps = arg_usize("--reps", 4);
+    let jobs = arg_jobs();
     println!(
         "== Fig 8: strided bandwidth vs l0 (total {} transfer) ==",
         fmt_size(total)
@@ -60,18 +62,24 @@ fn main() {
         "{:>8} {:>8} {:>14} {:>14}",
         "l0", "chunks", "get (MB/s)", "put (MB/s)"
     );
+    let mut chunk_sizes = Vec::new();
     let mut l0 = 128usize;
     while l0 <= total {
-        let g = run(total, l0, true, reps);
-        let p = run(total, l0, false, reps);
+        chunk_sizes.push(l0);
+        l0 *= 4;
+    }
+    let rows = sweep::run_parallel(chunk_sizes.len(), jobs, |i| {
+        let l0 = chunk_sizes[i];
+        (run(total, l0, true, reps), run(total, l0, false, reps))
+    });
+    for (l0, (g, p)) in chunk_sizes.iter().zip(&rows) {
         println!(
             "{:>8} {:>8} {:>14.1} {:>14.1}",
-            fmt_size(l0),
+            fmt_size(*l0),
             total / l0,
             g,
             p
         );
-        l0 *= 4;
     }
     println!("paper: approaches the Fig 4 contiguous curve as l0 grows");
 }

@@ -18,7 +18,9 @@
 //! run), and writes the machine-readable form as JSON.
 
 use armci::{ArmciConfig, ProgressMode};
-use bgq_bench::{arg_list, arg_str, arg_usize, check_args, write_text, Fixture};
+use bgq_bench::{
+    arg_jobs, arg_list, arg_str, arg_usize, check_args, sweep, write_text, Fixture, JOBS_FLAG,
+};
 use desim::{analyze, ChromeTrace, CritPath, MetricsSnapshot, SimDuration, Stats};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -27,6 +29,9 @@ struct RunOut {
     latency_us: f64,
     snapshot: MetricsSnapshot,
     crit: Option<CritPath>,
+    /// Chrome-trace fragment recorded in-run (worker thread local), merged
+    /// into the sweep-wide trace afterwards in input order.
+    chrome: Option<ChromeTrace>,
 }
 
 fn run(
@@ -34,7 +39,7 @@ fn run(
     progress: ProgressMode,
     rank0_computes: bool,
     k: usize,
-    trace: Option<(&mut ChromeTrace, u64, &str)>,
+    trace: Option<(u64, &str)>,
     breakdown: bool,
 ) -> RunOut {
     let contexts = if progress == ProgressMode::AsyncThread {
@@ -98,15 +103,18 @@ fn run(
     f.finish();
     f.armci.machine().flush_net_stats();
     let snapshot = f.armci.machine().stats().snapshot();
-    if let Some((ct, pid, name)) = trace {
+    let chrome = trace.map(|(pid, name)| {
+        let mut ct = ChromeTrace::new();
         ct.add_process(pid, name, &tracer);
         tracer.disable();
-    }
+        ct
+    });
     let crit = breakdown.then(|| analyze(&f.armci.machine().flight(), f.sim.now()));
     RunOut {
         latency_us: total_wait.get().as_us() / ops as f64,
         snapshot,
         crit,
+        chrome,
     }
 }
 
@@ -128,6 +136,7 @@ fn main() {
                 true,
                 "write critical-path breakdown JSON (smallest p)",
             ),
+            JOBS_FLAG,
         ],
     );
     let procs = arg_list(
@@ -135,6 +144,7 @@ fn main() {
         &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096],
     );
     let k = arg_usize("--ops", 10);
+    let jobs = arg_jobs();
     let json_path = arg_str("--json");
     let trace_path = arg_str("--trace");
     let breakdown_path = arg_str("--breakdown");
@@ -156,19 +166,26 @@ fn main() {
         (ProgressMode::Default, true, "fig9 D+compute"),
         (ProgressMode::AsyncThread, true, "fig9 AT+compute"),
     ];
+    // One sweep point per (process count, configuration) pair; results are
+    // collected by input index, so the merge below runs in the same order as
+    // the old serial loop regardless of worker count.
+    let wants_trace = chrome.is_some();
+    let wants_breakdown = breakdown_path.is_some();
+    let outs = sweep::run_parallel(procs.len() * CONFIGS.len(), jobs, |idx| {
+        let (pi, ci) = (idx / CONFIGS.len(), idx % CONFIGS.len());
+        let (mode, compute, name) = CONFIGS[ci];
+        // Trace/record only the smallest process count: one pid per config.
+        let trace = (wants_trace && pi == 0).then_some((ci as u64 + 1, name));
+        let breakdown = wants_breakdown && pi == 0;
+        run(procs[pi], mode, compute, k, trace, breakdown)
+    });
     for (pi, &p) in procs.iter().enumerate() {
         let mut lat = [0.0f64; 4];
-        for (ci, &(mode, compute, name)) in CONFIGS.iter().enumerate() {
-            // Trace only the smallest process count: one pid per config.
-            let trace = match (&mut chrome, pi) {
-                (Some(ct), 0) => Some((&mut *ct, ci as u64 + 1, name)),
-                _ => None,
-            };
-            let breakdown = breakdown_path.is_some() && pi == 0;
-            let out = run(p, mode, compute, k, trace, breakdown);
+        for (ci, &(_, _, name)) in CONFIGS.iter().enumerate() {
+            let out = &outs[pi * CONFIGS.len() + ci];
             lat[ci] = out.latency_us;
             merged.absorb(&out.snapshot);
-            if let Some(cp) = out.crit {
+            if let Some(cp) = &out.crit {
                 let key = name.trim_start_matches("fig9 ");
                 crits.push((key, cp.report(), cp.to_json()));
             }
@@ -177,6 +194,13 @@ fn main() {
             "{p:>6} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
             lat[0], lat[1], lat[2], lat[3]
         );
+    }
+    if let Some(ct) = &mut chrome {
+        for out in outs {
+            if let Some(fragment) = out.chrome {
+                ct.absorb(fragment);
+            }
+        }
     }
     println!("paper: D+compute >> others (grain ~300us); AT immune to rank-0 compute;");
     println!("       AT latency grows ~linearly with p (software AMOs, no NIC support)");

@@ -4,7 +4,7 @@
 //! them next to the paper's reported values.
 
 use armci::model;
-use bgq_bench::{check_args, Fixture};
+use bgq_bench::{arg_jobs, check_args, Fixture, JOBS_FLAG};
 use desim::SimDuration;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -13,8 +13,11 @@ fn main() {
     check_args(
         "table2_attributes",
         "Table II — empirical time/space attribute values",
-        &[],
+        &[JOBS_FLAG],
     );
+    // Single measurement simulation; the flag is accepted for CLI uniformity
+    // across the bench binaries.
+    let _jobs = arg_jobs();
     let f = Fixture::new(4, 1, armci::ArmciConfig::default());
     let r0 = f.armci.machine().rank(0);
     let params = f.armci.machine().params().clone();

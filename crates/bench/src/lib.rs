@@ -22,6 +22,22 @@ use desim::{Sim, SimDuration, SimTime};
 use pami_sim::{Machine, MachineConfig};
 
 pub mod perfdiff;
+pub mod simbench;
+pub mod sweep;
+
+/// The `--jobs` CLI option shared by every bench binary: parallel sweep
+/// workers. Sweep points are whole independent simulations, so worker count
+/// never changes results (see [`sweep::run_parallel`]).
+pub const JOBS_FLAG: FlagSpec = (
+    "--jobs",
+    true,
+    "parallel sweep workers (default: available cores)",
+);
+
+/// Parse the `--jobs` option (default: available parallelism).
+pub fn arg_jobs() -> usize {
+    arg_usize("--jobs", sweep::default_jobs()).max(1)
+}
 
 /// One CLI option specification: `(name, takes_value, help)`.
 pub type FlagSpec = (&'static str, bool, &'static str);

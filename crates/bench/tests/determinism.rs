@@ -1,0 +1,107 @@
+//! End-to-end determinism gate for the parallel sweep harness.
+//!
+//! Every bench binary must produce byte-identical stdout and JSON artifacts
+//! regardless of `--jobs`: the harness parallelizes across *whole*
+//! simulations and reassembles results by input index, so worker count can
+//! never leak into the output. These tests run real binaries (quick
+//! configurations) at `--jobs 1` and `--jobs 4` and diff everything.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Run `bin` with `args` plus `--jobs <jobs>`, capturing stdout. When
+/// `json` is set, a `--json <tmp>` flag is appended and the file contents
+/// are returned alongside stdout.
+fn run(bin: &str, args: &[&str], jobs: usize, json: Option<&str>) -> (String, Option<String>) {
+    let mut cmd = Command::new(bin);
+    cmd.args(args);
+    cmd.arg("--jobs").arg(jobs.to_string());
+    let json_path = json.map(|tag| {
+        let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+        p.push(format!("det_{tag}_j{jobs}.json"));
+        p
+    });
+    if let Some(p) = &json_path {
+        cmd.arg("--json").arg(p);
+    }
+    let out = cmd.output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let json_body = json_path.map(|p| {
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+    });
+    (stdout, json_body)
+}
+
+/// Strip lines that legitimately differ between invocations (the `wrote
+/// <path>` echo names the per-jobs temp file).
+fn stable_stdout(s: &str) -> String {
+    s.lines()
+        .filter(|l| !l.starts_with("wrote "))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn fig4_bandwidth_is_jobs_invariant() {
+    let bin = env!("CARGO_BIN_EXE_fig4_bandwidth");
+    let args = ["--window", "1", "--reps", "1"];
+    let (out1, json1) = run(bin, &args, 1, Some("fig4"));
+    let (out4, json4) = run(bin, &args, 4, Some("fig4"));
+    assert_eq!(
+        stable_stdout(&out1),
+        stable_stdout(&out4),
+        "fig4 stdout must not depend on --jobs"
+    );
+    assert_eq!(json1, json4, "fig4 --json must not depend on --jobs");
+    assert!(
+        json1
+            .expect("json written")
+            .contains("\"schema\":\"fig4-v1\""),
+        "fig4 JSON schema tag missing"
+    );
+}
+
+#[test]
+fn fig9_rmw_is_jobs_invariant() {
+    let bin = env!("CARGO_BIN_EXE_fig9_rmw");
+    let args = ["--procs", "2,8", "--ops", "3"];
+    let (out1, json1) = run(bin, &args, 1, Some("fig9"));
+    let (out4, json4) = run(bin, &args, 4, Some("fig9"));
+    assert_eq!(
+        stable_stdout(&out1),
+        stable_stdout(&out4),
+        "fig9 stdout must not depend on --jobs"
+    );
+    assert_eq!(json1, json4, "fig9 --json must not depend on --jobs");
+}
+
+#[test]
+fn simbench_event_counts_are_deterministic() {
+    // Two runs of the same workload must count the same events and reach
+    // the same simulated time — wall-clock varies, virtual time never does.
+    let bin = env!("CARGO_BIN_EXE_simbench");
+    let args = [
+        "--tasks", "32", "--steps", "100", "--pairs", "16", "--rounds", "100",
+    ];
+    let (_, json_a) = run(bin, &args, 2, Some("simbench_a"));
+    let (_, json_b) = run(bin, &args, 2, Some("simbench_b"));
+    let pick = |body: &str| -> Vec<String> {
+        body.split(',')
+            .filter(|f| f.contains("\"events\"") || f.contains("\"sim_time_ps\""))
+            .map(str::to_owned)
+            .collect()
+    };
+    let a = pick(&json_a.expect("json written"));
+    let b = pick(&json_b.expect("json written"));
+    assert!(
+        !a.is_empty(),
+        "no deterministic fields found in simbench JSON"
+    );
+    assert_eq!(a, b, "simbench event counts / sim times must be stable");
+}

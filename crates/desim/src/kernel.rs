@@ -3,21 +3,40 @@
 //! [`Sim`] is a cheaply cloneable handle to the kernel. Simulated entities are
 //! spawned as futures with [`Sim::spawn`]; [`Sim::run`] then executes events
 //! in deterministic `(time, sequence)` order until no work remains.
+//!
+//! # Hot-path internals
+//!
+//! The kernel is single-threaded by construction (`Sim` is `!Send`), and its
+//! hot paths are built around that fact:
+//!
+//! * Timers live in a hierarchical **timer wheel** (`wheel::TimerWheel`) with
+//!   a far-future fallback heap — `O(1)` inserts for the dominant near-term
+//!   deadlines while preserving exact `(time, seq)` pop order.
+//! * The ready queue is a plain `RefCell<VecDeque>` behind a hand-rolled
+//!   `RawWaker` over `Rc` — no atomics, no mutex, non-atomic refcounts.
+//! * Each task id has a persistent [`TaskHook`] carrying a `queued` flag:
+//!   multiple wakes before the next poll collapse into **one** queue entry,
+//!   so `events_processed` counts real polls, not wake multiplicity.
+//! * Task slots and their hooks/wakers are recycled across spawns, and the
+//!   `DESIM_TRACE` environment probe happens once at kernel construction,
+//!   not per drain.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::future::Future;
+use std::mem::ManuallyDrop;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::{Arc, Mutex};
-use std::task::{Context, Poll, Wake, Waker};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 
 use crate::event::Completion;
 use crate::flight::FlightRecorder;
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Tracer;
+use crate::wheel::TimerWheel;
 
 /// Identifier of a spawned task within a [`Sim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,65 +49,99 @@ enum TimerKind {
     Callback(Box<dyn FnOnce()>),
 }
 
-struct TimerEntry {
-    at: SimTime,
-    seq: u64,
-    kind: TimerKind,
+/// Ready-queue of task ids with a pending wake, in FIFO order. The executor
+/// is single-threaded and `Sim` is `!Send`, so a `RefCell` suffices — the
+/// previous `Arc<Mutex<..>>` existed only to satisfy `Waker: Send + Sync`,
+/// which the custom `RawWaker` below sidesteps (see its safety argument).
+struct ReadyQueue {
+    q: RefCell<VecDeque<usize>>,
 }
 
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Per-task-slot waker state, shared between the task table and every
+/// `Waker` clone handed out to futures. Hooks persist across task-slot
+/// reuse, so spawning recycles the allocation and the `Waker`.
+struct TaskHook {
+    id: usize,
+    /// True iff `id` currently sits in the ready queue. Set on the first
+    /// wake, cleared when the entry is popped for polling; further wakes in
+    /// between are coalesced instead of queueing duplicate polls.
+    queued: Cell<bool>,
+    ready: Rc<ReadyQueue>,
 }
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+impl TaskHook {
+    #[inline]
+    fn enqueue(&self) {
+        if !self.queued.replace(true) {
+            self.ready.q.borrow_mut().push_back(self.id);
+        }
     }
 }
 
+// SAFETY argument for the `Rc`-based waker: `Waker` is nominally
+// `Send + Sync`, but every structure reachable from it here (`Rc<TaskHook>`,
+// `RefCell` ready queue) belongs to a `Sim`, and `Sim` is `!Send`/`!Sync`
+// (it is `Rc`-based itself). Futures, their wakers and all kernel state
+// therefore live and die on the one thread that created the simulation —
+// the parallel sweep harness parallelizes across whole simulations, never
+// within one. Under that invariant the vtable below upholds the `RawWaker`
+// contract: clone/drop manage the `Rc` strong count, wake consumes (or
+// borrows, for `wake_by_ref`) one reference.
+const HOOK_VTABLE: RawWakerVTable =
+    RawWakerVTable::new(hook_clone, hook_wake, hook_wake_by_ref, hook_drop);
+
+fn hook_waker(hook: &Rc<TaskHook>) -> Waker {
+    let raw = RawWaker::new(Rc::into_raw(Rc::clone(hook)) as *const (), &HOOK_VTABLE);
+    // SAFETY: see the vtable comment above.
+    unsafe { Waker::from_raw(raw) }
+}
+
+unsafe fn hook_clone(p: *const ()) -> RawWaker {
+    // SAFETY: `p` came from `Rc::into_raw`; bump the count for the new handle.
+    unsafe { Rc::increment_strong_count(p as *const TaskHook) };
+    RawWaker::new(p, &HOOK_VTABLE)
+}
+
+unsafe fn hook_wake(p: *const ()) {
+    // SAFETY: by-value wake consumes the handle's reference.
+    let hook = unsafe { Rc::from_raw(p as *const TaskHook) };
+    hook.enqueue();
+}
+
+unsafe fn hook_wake_by_ref(p: *const ()) {
+    // SAFETY: borrow the handle without consuming its reference.
+    let hook = unsafe { ManuallyDrop::new(Rc::from_raw(p as *const TaskHook)) };
+    hook.enqueue();
+}
+
+unsafe fn hook_drop(p: *const ()) {
+    // SAFETY: consumes the handle's reference.
+    drop(unsafe { Rc::from_raw(p as *const TaskHook) });
+}
+
+/// One entry of the task table. Slots are allocated once and recycled: when
+/// a task completes, its id goes on the free list but the slot — hook and
+/// prebuilt waker included — stays, so respawning costs no allocation.
 struct TaskSlot {
     future: Option<BoxFuture>,
+    /// False once the task completed or was shut down; guards against a
+    /// poll-in-flight future being written back into a reaped slot.
+    live: bool,
+    hook: Rc<TaskHook>,
     waker: Waker,
-}
-
-/// Shared ready-queue fed by wakers. `Waker` must be `Send + Sync`, hence the
-/// `Arc<Mutex<..>>` even though the executor itself is single-threaded; the
-/// mutex is never contended.
-struct ReadyQueue {
-    queue: Mutex<VecDeque<usize>>,
-}
-
-struct TaskWaker {
-    id: usize,
-    ready: Arc<ReadyQueue>,
-}
-
-impl Wake for TaskWaker {
-    fn wake(self: Arc<Self>) {
-        self.ready.queue.lock().unwrap().push_back(self.id);
-    }
-    fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.queue.lock().unwrap().push_back(self.id);
-    }
 }
 
 pub(crate) struct Kernel {
     now: Cell<SimTime>,
     next_seq: Cell<u64>,
-    timers: RefCell<BinaryHeap<TimerEntry>>,
-    ready: Arc<ReadyQueue>,
-    tasks: RefCell<Vec<Option<TaskSlot>>>,
+    timers: RefCell<TimerWheel<TimerKind>>,
+    ready: Rc<ReadyQueue>,
+    tasks: RefCell<Vec<TaskSlot>>,
     free: RefCell<Vec<usize>>,
     live_tasks: Cell<usize>,
     events_processed: Cell<u64>,
+    /// `DESIM_TRACE` heartbeat, probed once here rather than per drain.
+    trace_beat: bool,
     stats: Stats,
     tracer: Tracer,
     flight: FlightRecorder,
@@ -99,14 +152,15 @@ impl Kernel {
         Rc::new(Kernel {
             now: Cell::new(SimTime::ZERO),
             next_seq: Cell::new(0),
-            timers: RefCell::new(BinaryHeap::new()),
-            ready: Arc::new(ReadyQueue {
-                queue: Mutex::new(VecDeque::new()),
+            timers: RefCell::new(TimerWheel::new()),
+            ready: Rc::new(ReadyQueue {
+                q: RefCell::new(VecDeque::new()),
             }),
             tasks: RefCell::new(Vec::new()),
             free: RefCell::new(Vec::new()),
             live_tasks: Cell::new(0),
             events_processed: Cell::new(0),
+            trace_beat: std::env::var_os("DESIM_TRACE").is_some(),
             stats: Stats::new(),
             tracer: Tracer::new(),
             flight: FlightRecorder::new(),
@@ -125,41 +179,55 @@ impl Kernel {
 
     pub(crate) fn add_timer_waker(&self, at: SimTime, waker: Waker) {
         debug_assert!(at >= self.now.get(), "timer scheduled in the past");
-        self.timers.borrow_mut().push(TimerEntry {
-            at,
-            seq: self.bump_seq(),
-            kind: TimerKind::Waker(waker),
-        });
+        self.timers
+            .borrow_mut()
+            .insert(at.as_ps(), self.bump_seq(), TimerKind::Waker(waker));
     }
 
     pub(crate) fn add_timer_callback(&self, at: SimTime, cb: Box<dyn FnOnce()>) {
         debug_assert!(at >= self.now.get(), "callback scheduled in the past");
-        self.timers.borrow_mut().push(TimerEntry {
-            at,
-            seq: self.bump_seq(),
-            kind: TimerKind::Callback(cb),
-        });
+        self.timers
+            .borrow_mut()
+            .insert(at.as_ps(), self.bump_seq(), TimerKind::Callback(cb));
     }
 
     fn alloc_task(&self, future: BoxFuture) -> usize {
-        let id = match self.free.borrow_mut().pop() {
-            Some(id) => id,
+        let reused = self.free.borrow_mut().pop();
+        let id = match reused {
+            Some(id) => {
+                let mut tasks = self.tasks.borrow_mut();
+                let slot = &mut tasks[id];
+                debug_assert!(slot.future.is_none() && !slot.live);
+                // Note: `hook.queued` is deliberately left alone — it tracks
+                // ready-queue membership, which survives slot reuse.
+                slot.future = Some(future);
+                slot.live = true;
+                id
+            }
             None => {
                 let mut tasks = self.tasks.borrow_mut();
-                tasks.push(None);
-                tasks.len() - 1
+                let id = tasks.len();
+                let hook = Rc::new(TaskHook {
+                    id,
+                    queued: Cell::new(false),
+                    ready: Rc::clone(&self.ready),
+                });
+                let waker = hook_waker(&hook);
+                tasks.push(TaskSlot {
+                    future: Some(future),
+                    live: true,
+                    hook,
+                    waker,
+                });
+                id
             }
         };
-        let waker = Waker::from(Arc::new(TaskWaker {
-            id,
-            ready: Arc::clone(&self.ready),
-        }));
-        self.tasks.borrow_mut()[id] = Some(TaskSlot {
-            future: Some(future),
-            waker,
-        });
         self.live_tasks.set(self.live_tasks.get() + 1);
         id
+    }
+
+    fn enqueue_task(&self, id: usize) {
+        self.tasks.borrow()[id].hook.enqueue();
     }
 
     /// Poll one task. The future is removed from its slot for the duration of
@@ -168,53 +236,57 @@ impl Kernel {
     fn poll_task(&self, id: usize) {
         let (mut future, waker) = {
             let mut tasks = self.tasks.borrow_mut();
-            let Some(slot) = tasks.get_mut(id).and_then(|s| s.as_mut()) else {
-                return; // task already finished; spurious wake
+            let Some(slot) = tasks.get_mut(id) else {
+                return;
             };
+            // The queue entry is consumed: clear before polling, so a wake
+            // *during* the poll re-queues the task as it must.
+            slot.hook.queued.set(false);
             let Some(future) = slot.future.take() else {
-                return; // re-entrant wake during poll; the poll result governs
+                return; // finished task (stale wake) or re-entrant poll
             };
             (future, slot.waker.clone())
         };
         let mut cx = Context::from_waker(&waker);
         match future.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
-                self.tasks.borrow_mut()[id] = None;
+                {
+                    let mut tasks = self.tasks.borrow_mut();
+                    tasks[id].live = false;
+                }
                 self.free.borrow_mut().push(id);
                 self.live_tasks.set(self.live_tasks.get() - 1);
+                // `future` drops here, outside the task-table borrow.
             }
             Poll::Pending => {
                 let mut tasks = self.tasks.borrow_mut();
-                if let Some(slot) = tasks.get_mut(id).and_then(|s| s.as_mut()) {
+                let slot = &mut tasks[id];
+                if slot.live {
                     slot.future = Some(future);
                 }
+                // else: the task was shut down mid-poll; drop the future.
             }
         }
     }
 
     /// Drain the ready queue, polling tasks in FIFO order at the current time.
     fn drain_ready(&self) {
-        let trace = std::env::var_os("DESIM_TRACE").is_some();
         loop {
-            let id = self.ready.queue.lock().unwrap().pop_front();
-            match id {
-                Some(id) => {
-                    let n = self.events_processed.get() + 1;
-                    self.events_processed.set(n);
-                    if trace && n & ((1 << 22) - 1) == 0 {
-                        eprintln!(
-                            "[desim] {} events, t={}, live_tasks={}, timers={}, ready={}",
-                            n,
-                            self.now.get(),
-                            self.live_tasks.get(),
-                            self.timers.borrow().len(),
-                            self.ready.queue.lock().unwrap().len()
-                        );
-                    }
-                    self.poll_task(id);
-                }
-                None => break,
+            let id = self.ready.q.borrow_mut().pop_front();
+            let Some(id) = id else { break };
+            let n = self.events_processed.get() + 1;
+            self.events_processed.set(n);
+            if self.trace_beat && n & ((1 << 22) - 1) == 0 {
+                eprintln!(
+                    "[desim] {} events, t={}, live_tasks={}, timers={}, ready={}",
+                    n,
+                    self.now.get(),
+                    self.live_tasks.get(),
+                    self.timers.borrow().len(),
+                    self.ready.q.borrow().len()
+                );
             }
+            self.poll_task(id);
         }
     }
 
@@ -224,10 +296,10 @@ impl Kernel {
         let entry = self.timers.borrow_mut().pop();
         match entry {
             Some(entry) => {
-                debug_assert!(entry.at >= self.now.get());
-                self.now.set(entry.at);
+                debug_assert!(entry.at >= self.now.get().as_ps());
+                self.now.set(SimTime(entry.at));
                 self.events_processed.set(self.events_processed.get() + 1);
-                match entry.kind {
+                match entry.payload {
                     TimerKind::Waker(w) => w.wake(),
                     TimerKind::Callback(cb) => cb(),
                 }
@@ -301,7 +373,7 @@ impl Sim {
             let out = future.await;
             done2.complete(out);
         }));
-        self.k.ready.queue.lock().unwrap().push_back(id);
+        self.k.enqueue_task(id);
         JoinHandle {
             task: TaskId(id),
             done,
@@ -357,9 +429,9 @@ impl Sim {
     pub fn run_until(&self, deadline: SimTime) -> SimTime {
         loop {
             self.k.drain_ready();
-            let next = self.k.timers.borrow().peek().map(|e| e.at);
+            let next = self.k.timers.borrow_mut().peek().map(|(at, _)| at);
             match next {
-                Some(at) if at <= deadline => {
+                Some(at) if at <= deadline.as_ps() => {
                     self.k.fire_next_timer();
                 }
                 _ => break,
@@ -373,16 +445,27 @@ impl Sim {
     /// with daemon tasks is finished.
     pub fn shutdown(&self) {
         self.k.timers.borrow_mut().clear();
-        self.k.ready.queue.lock().unwrap().clear();
+        self.k.ready.q.borrow_mut().clear();
         // Futures may own JoinHandles/Completions; dropping them can run Drop
         // impls that call back into the kernel, so take them out first.
-        let taken: Vec<Option<TaskSlot>> = {
+        let futures: Vec<Option<BoxFuture>> = {
             let mut tasks = self.k.tasks.borrow_mut();
-            let len = tasks.len();
-            std::mem::replace(&mut *tasks, Vec::with_capacity(len))
+            tasks
+                .iter_mut()
+                .map(|slot| {
+                    slot.live = false;
+                    slot.hook.queued.set(false);
+                    slot.future.take()
+                })
+                .collect()
         };
-        drop(taken);
-        self.k.free.borrow_mut().clear();
+        drop(futures);
+        let len = self.k.tasks.borrow().len();
+        let mut free = self.k.free.borrow_mut();
+        free.clear();
+        // Reversed so the next allocations hand out ids 0, 1, 2, … exactly
+        // like a fresh kernel would.
+        free.extend((0..len).rev());
         self.k.live_tasks.set(0);
     }
 }
@@ -677,5 +760,105 @@ mod tests {
         });
         sim.run();
         assert!(sim.events_processed() >= 2);
+    }
+
+    /// A future that parks until an external callback flips `ready`, exposing
+    /// its waker so tests can wake it an arbitrary number of times.
+    struct ManualGate {
+        ready: Rc<Cell<bool>>,
+        waker_out: Rc<StdRefCell<Option<Waker>>>,
+    }
+
+    impl Future for ManualGate {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.ready.get() {
+                Poll::Ready(())
+            } else {
+                *self.waker_out.borrow_mut() = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+
+    fn run_gate(wakes: usize) -> u64 {
+        let sim = Sim::new();
+        let ready = Rc::new(Cell::new(false));
+        let waker_out: Rc<StdRefCell<Option<Waker>>> = Rc::new(StdRefCell::new(None));
+        sim.spawn(ManualGate {
+            ready: Rc::clone(&ready),
+            waker_out: Rc::clone(&waker_out),
+        });
+        {
+            let ready = Rc::clone(&ready);
+            let waker_out = Rc::clone(&waker_out);
+            sim.schedule_in(SimDuration::from_us(1), move || {
+                ready.set(true);
+                if let Some(w) = waker_out.borrow().as_ref() {
+                    for _ in 0..wakes {
+                        w.wake_by_ref();
+                    }
+                }
+            });
+        }
+        sim.run();
+        sim.events_processed()
+    }
+
+    #[test]
+    fn duplicate_wakes_coalesce_into_one_poll() {
+        // Regression test for double-poll inflation: N wakes of one task
+        // before its next poll must queue exactly one poll, so the event
+        // count cannot depend on wake multiplicity.
+        let once = run_gate(1);
+        let thrice = run_gate(3);
+        assert_eq!(thrice, once);
+    }
+
+    #[test]
+    fn sleeps_across_all_wheel_levels() {
+        // Deadlines landing in the finest wheel level, the coarser levels,
+        // and past the whole hierarchy (far-future heap + rebase).
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let mut hits = Vec::new();
+            for d in [
+                SimDuration::from_ns(1),
+                SimDuration::from_us(100),
+                SimDuration::from_ms(50),
+                SimDuration::from_secs(2),
+                SimDuration::from_ns(3),
+            ] {
+                s.sleep(d).await;
+                hits.push(s.now().as_ps());
+            }
+            hits
+        });
+        sim.run();
+        assert_eq!(
+            h.try_result().unwrap(),
+            vec![
+                1_000,
+                100_001_000,
+                50_100_001_000,
+                2_050_100_001_000,
+                2_050_100_004_000,
+            ]
+        );
+    }
+
+    #[test]
+    fn task_slots_are_recycled() {
+        // Sequentially spawn-and-finish many tasks: ids (and thus slots,
+        // hooks, wakers) must be reused rather than growing the table.
+        let sim = Sim::new();
+        let first = sim.spawn(async {}).task_id();
+        sim.run();
+        for _ in 0..100 {
+            let h = sim.spawn(async {});
+            sim.run();
+            assert_eq!(h.task_id(), first, "slot not recycled");
+        }
     }
 }

@@ -43,6 +43,7 @@ pub mod sync;
 pub mod time;
 pub mod trace;
 pub mod waker_set;
+mod wheel;
 
 pub use critpath::{analyze, Breakdown, CritPath, LinkStat};
 pub use event::Completion;

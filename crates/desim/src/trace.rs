@@ -344,6 +344,25 @@ impl ChromeTrace {
         }
     }
 
+    /// Merge the events of `other` — built independently, e.g. on a sweep
+    /// worker thread — into this trace, preserving their order. Byte-wise
+    /// equivalent to having issued `other`'s `add_process` calls on `self`
+    /// directly.
+    pub fn absorb(&mut self, other: ChromeTrace) {
+        const HEADER: &str = "{\"traceEvents\":[";
+        debug_assert!(other.out.starts_with(HEADER));
+        if other.first {
+            return; // nothing recorded
+        }
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+        // The fragment body already starts with the '\n' its first sep wrote.
+        self.out.push_str(&other.out[HEADER.len()..]);
+    }
+
     /// Finish the document, returning the complete JSON string.
     pub fn finish(mut self) -> String {
         self.out.push_str("\n]}\n");

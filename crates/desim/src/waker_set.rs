@@ -28,7 +28,13 @@ impl WakerSet {
     pub fn register(&mut self, slot: &mut Option<u64>, waker: &Waker) {
         match *slot {
             Some(id) => match self.entries.iter_mut().find(|(eid, _)| *eid == id) {
-                Some(e) => e.1 = waker.clone(),
+                // Kernel task wakers are stable across polls, so refreshing
+                // an existing entry is usually a no-op — skip the clone.
+                Some(e) => {
+                    if !e.1.will_wake(waker) {
+                        e.1 = waker.clone();
+                    }
+                }
                 None => self.entries.push((id, waker.clone())),
             },
             None => {

@@ -1,0 +1,430 @@
+//! Hierarchical timer wheel with a far-future fallback heap.
+//!
+//! The kernel's timer queue was originally a single `BinaryHeap`; every
+//! insert and pop paid `O(log n)` comparisons on the full timer population.
+//! This wheel exploits the structure of simulation time instead: deadlines
+//! overwhelmingly land close to *now* (nanosecond-scale link and DMA costs),
+//! with a thin tail of far-future entries (compute grains, watchdogs).
+//!
+//! Three levels of 256 slots cover a geometrically growing horizon
+//! (~16.8 µs, ~4.3 ms, ~1.1 s past the current window base); anything beyond
+//! the top level falls back to a `BinaryHeap`. Inserting into a slot is an
+//! `O(1)` `Vec` push. Popping activates one slot at a time: its entries move
+//! into a small ordered `pending` heap, so extraction remains **exactly**
+//! ordered by `(time, seq)` — the wheel is an internal reorganization, never
+//! a semantic change. Late inserts that land at or below the activated
+//! region (always `>= now`) go straight to `pending`, preserving order.
+//!
+//! All `Vec` slots and both heaps retain their capacity across clears and
+//! window rebasing, so steady-state operation allocates only when a slot
+//! outgrows every previous occupancy (slab-style recycling).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 8;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// log2 of the finest slot width in picoseconds (2^16 ps ≈ 65.5 ns).
+const BASE_SHIFT: u32 = 16;
+/// Wheel levels below the fallback heap.
+const LEVELS: usize = 3;
+
+#[inline]
+fn shift(level: usize) -> u32 {
+    BASE_SHIFT + SLOT_BITS * level as u32
+}
+
+/// One timer record: absolute picosecond deadline, global tie-break
+/// sequence, payload.
+pub(crate) struct Entry<T> {
+    pub at: u64,
+    pub seq: u64,
+    pub payload: T,
+}
+
+/// Max-heap adapter popping the *smallest* `(at, seq)` first.
+struct MinEntry<T>(Entry<T>);
+
+impl<T> PartialEq for MinEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0.at, self.0.seq) == (other.0.at, other.0.seq)
+    }
+}
+impl<T> Eq for MinEntry<T> {}
+impl<T> PartialOrd for MinEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for MinEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
+    }
+}
+
+struct Level<T> {
+    /// `slots[i]` holds entries with `at` in `[base + i*W, base + (i+1)*W)`
+    /// where `W = 1 << shift(level)`. Unordered within a slot.
+    slots: Vec<Vec<Entry<T>>>,
+    /// Next slot index to visit; slots before it have been drained.
+    cursor: usize,
+    /// Absolute time of `slots[0]`'s start.
+    base: u64,
+}
+
+impl<T> Level<T> {
+    fn new() -> Level<T> {
+        Level {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            base: 0,
+        }
+    }
+
+    #[inline]
+    fn window_end(&self, level: usize) -> u64 {
+        self.base.saturating_add((SLOTS as u64) << shift(level))
+    }
+}
+
+/// The kernel's timer queue. Structurally a hierarchy of slot wheels plus a
+/// far-future heap, semantically an exact `(at, seq)`-ordered priority queue.
+pub(crate) struct TimerWheel<T> {
+    levels: Vec<Level<T>>,
+    /// Ordered near-term entries: the activated slot's contents plus any
+    /// late insert at `at < active_end`.
+    pending: BinaryHeap<MinEntry<T>>,
+    /// Deadlines beyond the top level's horizon.
+    far: BinaryHeap<MinEntry<T>>,
+    /// Entries strictly below this time must be routed through `pending`;
+    /// equals `levels[0].base + cursor * W0` except right after a far-heap
+    /// rebase jump (where it equals the new base).
+    active_end: u64,
+    len: usize,
+}
+
+impl<T> TimerWheel<T> {
+    pub(crate) fn new() -> TimerWheel<T> {
+        TimerWheel {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            pending: BinaryHeap::new(),
+            far: BinaryHeap::new(),
+            active_end: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued timers.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Queue `payload` to fire at absolute time `at` (picoseconds); `seq`
+    /// breaks ties among equal deadlines. `at` must be `>= now` — the kernel
+    /// asserts this before calling.
+    pub(crate) fn insert(&mut self, at: u64, seq: u64, payload: T) {
+        self.len += 1;
+        let e = Entry { at, seq, payload };
+        if at < self.active_end {
+            self.pending.push(MinEntry(e));
+            return;
+        }
+        for (l, level) in self.levels.iter_mut().enumerate() {
+            if at < level.window_end(l) {
+                let idx = ((at - level.base) >> shift(l)) as usize;
+                debug_assert!(idx >= level.cursor || l > 0);
+                level.slots[idx].push(e);
+                return;
+            }
+        }
+        self.far.push(MinEntry(e));
+    }
+
+    /// Remove and return the earliest `(at, seq)` entry.
+    pub(crate) fn pop(&mut self) -> Option<Entry<T>> {
+        loop {
+            if let Some(MinEntry(e)) = self.pending.pop() {
+                self.len -= 1;
+                return Some(e);
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    /// The earliest `(at, seq)` without removing it.
+    pub(crate) fn peek(&mut self) -> Option<(u64, u64)> {
+        loop {
+            if let Some(MinEntry(e)) = self.pending.peek() {
+                return Some((e.at, e.seq));
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    /// Drop every queued timer, retaining allocated capacity.
+    pub(crate) fn clear(&mut self) {
+        for level in &mut self.levels {
+            for slot in &mut level.slots {
+                slot.clear();
+            }
+            level.cursor = 0;
+            level.base = 0;
+        }
+        self.pending.clear();
+        self.far.clear();
+        self.active_end = 0;
+        self.len = 0;
+    }
+
+    /// Move the next non-empty batch into `pending`. Returns false when the
+    /// wheel holds no timers at all.
+    fn advance(&mut self) -> bool {
+        loop {
+            // Finest level: activate its next occupied slot.
+            {
+                let level = &mut self.levels[0];
+                while level.cursor < SLOTS {
+                    let c = level.cursor;
+                    level.cursor += 1;
+                    if !level.slots[c].is_empty() {
+                        for e in level.slots[c].drain(..) {
+                            self.pending.push(MinEntry(e));
+                        }
+                        self.active_end = level.base + ((c as u64 + 1) << shift(0));
+                        return true;
+                    }
+                }
+                // Window exhausted with nothing found: route future inserts
+                // below the next window through `pending`.
+                self.active_end = level.window_end(0);
+            }
+            // Cascade the next occupied slot of a coarser level downwards.
+            if self.cascade() {
+                continue;
+            }
+            // Every level exhausted: restart the hierarchy at the earliest
+            // far-future deadline, if any.
+            let Some(min_at) = self.far.peek().map(|e| e.0.at) else {
+                return false;
+            };
+            for (l, level) in self.levels.iter_mut().enumerate() {
+                debug_assert!(level.slots.iter().all(Vec::is_empty));
+                level.base = min_at;
+                level.cursor = 0;
+                let _ = l;
+            }
+            self.active_end = min_at;
+            let top = LEVELS - 1;
+            let horizon = self.levels[top].window_end(top);
+            while self.far.peek().is_some_and(|e| e.0.at < horizon) {
+                let MinEntry(e) = self.far.pop().expect("peeked entry vanished");
+                let idx = ((e.at - min_at) >> shift(top)) as usize;
+                self.levels[top].slots[idx].push(e);
+            }
+        }
+    }
+
+    /// Find the lowest coarser level with an occupied slot and redistribute
+    /// that slot into the level below, rebasing everything underneath it.
+    /// Returns false when levels `1..` are exhausted.
+    fn cascade(&mut self) -> bool {
+        for l in 1..LEVELS {
+            let found = {
+                let level = &mut self.levels[l];
+                let mut found = None;
+                while level.cursor < SLOTS {
+                    let c = level.cursor;
+                    level.cursor += 1;
+                    if !level.slots[c].is_empty() {
+                        found = Some(c);
+                        break;
+                    }
+                }
+                found
+            };
+            let Some(c) = found else { continue };
+            let slot_start = self.levels[l].base + ((c as u64) << shift(l));
+            // Rebase every finer level at the slot being opened; their slots
+            // are already empty (we only reach level `l` once they drain).
+            for k in 0..l {
+                let fine = &mut self.levels[k];
+                fine.base = slot_start;
+                fine.cursor = 0;
+            }
+            self.active_end = slot_start;
+            let entries = std::mem::take(&mut self.levels[l].slots[c]);
+            let dst = l - 1;
+            let dst_shift = shift(dst);
+            for e in entries.into_iter() {
+                let idx = ((e.at - slot_start) >> dst_shift) as usize;
+                self.levels[dst].slots[idx].push(e);
+            }
+            // Keep the drained slot's allocation for reuse.
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimerWheel<u32>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = w.pop() {
+            out.push((e.at, e.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = TimerWheel::new();
+        let times = [
+            7u64,
+            7,
+            0,
+            1 << 20,       // level 0, late slot
+            (1 << 26) + 3, // level 1
+            (1 << 35) + 9, // level 2
+            (1 << 45) + 1, // far heap
+            (1 << 45) + 1, // far heap tie
+            3,
+        ];
+        for (seq, &at) in times.iter().enumerate() {
+            w.insert(at, seq as u64, 0);
+        }
+        let mut expect: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(s, &t)| (t, s as u64))
+            .collect();
+        expect.sort();
+        assert_eq!(drain(&mut w), expect);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_insert_pop_preserves_order() {
+        // Mimic the kernel: after popping an entry at time t, new inserts
+        // arrive with at >= t, possibly below the activated region.
+        let mut w = TimerWheel::new();
+        w.insert(100, 0, 0);
+        w.insert(1 << 30, 1, 0);
+        let first = w.pop().unwrap();
+        assert_eq!((first.at, first.seq), (100, 0));
+        // now = 100; insert near-term entries behind the already-activated
+        // window and beyond it.
+        w.insert(150, 2, 0);
+        w.insert(120, 3, 0);
+        w.insert((1 << 30) - 5, 4, 0);
+        assert_eq!(
+            drain(&mut w),
+            vec![(120, 3), (150, 2), ((1 << 30) - 5, 4), (1 << 30, 1)]
+        );
+    }
+
+    #[test]
+    fn far_future_rebase_jumps_empty_time() {
+        let mut w = TimerWheel::new();
+        // Two clusters separated by ~100 simulated seconds.
+        for s in 0..10u64 {
+            w.insert(s * 7, s, 0);
+        }
+        let far = 100 * 1_000_000_000_000u64;
+        for s in 0..10u64 {
+            w.insert(far + s * 3, 100 + s, 0);
+        }
+        let got = drain(&mut w);
+        assert_eq!(got.len(), 20);
+        assert!(got.windows(2).all(|p| p[0] <= p[1]), "{got:?}");
+        assert_eq!(got[10], (far, 100));
+    }
+
+    #[test]
+    fn peek_matches_pop_and_is_stable() {
+        let mut w = TimerWheel::new();
+        for (seq, at) in [(0u64, 500u64), (1, 20), (2, 1 << 28)] {
+            w.insert(at, seq, 0);
+        }
+        while let Some(peeked) = w.peek() {
+            assert_eq!(w.peek(), Some(peeked), "peek must not disturb order");
+            let e = w.pop().unwrap();
+            assert_eq!((e.at, e.seq), peeked);
+        }
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn clear_resets_and_wheel_remains_usable() {
+        let mut w = TimerWheel::new();
+        for s in 0..100u64 {
+            w.insert(s * 1_000_003, s, 0);
+        }
+        w.pop();
+        w.clear();
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.pop().map(|e| e.at), None);
+        // Reuse after clear, at times far past the reset bases.
+        w.insert(5_000_000_000_000, 0, 0);
+        w.insert(4_999_999_999_999, 1, 0);
+        assert_eq!(
+            drain(&mut w),
+            vec![(4_999_999_999_999, 1), (5_000_000_000_000, 0)]
+        );
+    }
+
+    #[test]
+    fn dense_same_time_burst() {
+        let mut w = TimerWheel::new();
+        for s in 0..1000u64 {
+            w.insert(42, s, 0);
+        }
+        let got = drain(&mut w);
+        assert_eq!(got, (0..1000u64).map(|s| (42, s)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn randomized_against_reference_heap() {
+        // Deterministic pseudo-random interleaving of inserts and pops,
+        // checked against a sorted reference.
+        let mut w = TimerWheel::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        let mut rng = crate::rng::SimRng::new(0xDEAD_BEEF);
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut popped = Vec::new();
+        for round in 0..50 {
+            for _ in 0..40 {
+                // Mix of near, mid, far and same-tick deadlines.
+                let delta = match rng.next_below(4) {
+                    0 => rng.next_below(1 << 12),
+                    1 => rng.next_below(1 << 22),
+                    2 => rng.next_below(1 << 34),
+                    _ => rng.next_below(1 << 44),
+                };
+                let at = now + delta;
+                w.insert(at, seq, 0);
+                reference.push((at, seq));
+                seq += 1;
+            }
+            let pops = if round == 49 { usize::MAX } else { 25 };
+            for _ in 0..pops {
+                let Some(e) = w.pop() else { break };
+                assert!(e.at >= now, "time went backwards");
+                now = e.at;
+                popped.push((e.at, e.seq));
+            }
+        }
+        reference.sort();
+        assert_eq!(popped, reference);
+        assert_eq!(w.len(), 0);
+    }
+}

@@ -6,13 +6,22 @@
 # observability-instrumented figures. Full-scale fig9/fig11 take a few
 # minutes. Finishes with the perf-regression gate: quick-config reruns
 # diffed against the committed results/BENCH_*.json goldens via perfdiff.
+#
+# Usage: reproduce.sh [--jobs N]
+#   --jobs N   forward to every bench binary: run sweep points on N threads.
+#              Results are byte-identical for any N (collected by input index).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+JOBS=""
+if [[ "${1-}" == "--jobs" ]]; then
+  [[ -n "${2-}" ]] || { echo "error: --jobs needs a value" >&2; exit 2; }
+  JOBS="--jobs $2"
+fi
 cargo build --release -p bgq-bench --bins
 mkdir -p results
 # Binary stdout goes to the results file; stderr stays on the console so
 # failures are visible instead of buried in the result file.
-run() { echo "== $1"; ./target/release/"$1" ${2-} > "results/$1.txt"; }
+run() { echo "== $1"; ./target/release/"$1" ${2-} $JOBS > "results/$1.txt"; }
 # Any machine-readable artifact a binary was asked to write must exist and
 # be non-empty, or the reproduction is broken — fail loudly.
 check_json() {
@@ -38,11 +47,15 @@ run abl_region_cache
 run abl_strided_pack
 run abl_contention
 run abl_mapping
+echo "== simulator self-benchmark (simbench; wall-clock, host-dependent)"
+./target/release/simbench --quick $JOBS --json results/simbench.json \
+  > results/simbench.txt
+check_json results/simbench.json
 echo "== perf-regression gate (quick configs vs results/BENCH_* goldens)"
-./target/release/fig9_rmw --procs 2,8,32 --ops 5 \
+./target/release/fig9_rmw --procs 2,8,32 --ops 5 $JOBS \
   --json results/gate_fig9_rmw.json \
   --breakdown results/gate_fig9_rmw.breakdown.json > /dev/null
-./target/release/fig11_nwchem_scf --quick --procs 32 \
+./target/release/fig11_nwchem_scf --quick --procs 32 $JOBS \
   --json results/gate_fig11_nwchem_scf.json \
   --breakdown results/gate_fig11_nwchem_scf.breakdown.json > /dev/null
 check_json results/gate_fig9_rmw.json results/gate_fig9_rmw.breakdown.json \
