@@ -13,7 +13,9 @@
 //!   a far-future fallback heap — `O(1)` inserts for the dominant near-term
 //!   deadlines while preserving exact `(time, seq)` pop order.
 //! * The ready queue is a plain `RefCell<VecDeque>` behind a hand-rolled
-//!   `RawWaker` over `Rc` — no atomics, no mutex, non-atomic refcounts.
+//!   `RawWaker` over `Rc` — no atomics, no mutex, non-atomic refcounts. The
+//!   single-thread invariant this relies on is *enforced*: a waker used from
+//!   a foreign thread panics instead of racing (see `check_owner_thread`).
 //! * Each task id has a persistent [`TaskHook`] carrying a `queued` flag:
 //!   multiple wakes before the next poll collapse into **one** queue entry,
 //!   so `events_processed` counts real polls, not wake multiplicity.
@@ -67,6 +69,10 @@ struct TaskHook {
     /// between are coalesced instead of queueing duplicate polls.
     queued: Cell<bool>,
     ready: Rc<ReadyQueue>,
+    /// Thread the owning kernel lives on; every vtable entry checks it so a
+    /// `Waker` smuggled to another thread panics instead of racing the
+    /// non-atomic `Rc` count / `RefCell` queue.
+    owner: std::thread::ThreadId,
 }
 
 impl TaskHook {
@@ -84,11 +90,41 @@ impl TaskHook {
 // (it is `Rc`-based itself). Futures, their wakers and all kernel state
 // therefore live and die on the one thread that created the simulation —
 // the parallel sweep harness parallelizes across whole simulations, never
-// within one. Under that invariant the vtable below upholds the `RawWaker`
-// contract: clone/drop manage the `Rc` strong count, wake consumes (or
-// borrows, for `wake_by_ref`) one reference.
+// within one. Because `Waker` itself *is* `Send`, safe user code could still
+// clone `cx.waker()` and ship it to another thread; the invariant is
+// therefore enforced at runtime, not merely documented: every vtable entry
+// first compares `TaskHook::owner` against the calling thread and panics on
+// a mismatch, before any `Rc` count or `RefCell` is touched. (`owner` is
+// written once, before any waker exists, so the cross-thread read used by
+// the check itself is race-free.) Under that enforced invariant the vtable
+// below upholds the `RawWaker` contract: clone/drop manage the `Rc` strong
+// count, wake consumes (or borrows, for `wake_by_ref`) one reference.
 const HOOK_VTABLE: RawWakerVTable =
     RawWakerVTable::new(hook_clone, hook_wake, hook_wake_by_ref, hook_drop);
+
+/// Calling thread's id via a thread-local cache — cheaper than
+/// `thread::current()` (which clones an `Arc`) on the wake hot path.
+#[inline]
+fn current_thread_id() -> std::thread::ThreadId {
+    thread_local! {
+        static TID: std::thread::ThreadId = std::thread::current().id();
+    }
+    TID.with(|t| *t)
+}
+
+/// Panic unless the hook is used on the thread that owns its kernel. Called
+/// with the hook borrowed straight from the raw pointer, deliberately before
+/// the non-atomic refcount or the `RefCell` queue could be touched.
+#[inline]
+fn check_owner_thread(hook: &TaskHook) {
+    if hook.owner != current_thread_id() {
+        panic!(
+            "desim Waker used from a foreign thread: Sim and every waker it \
+             hands out are single-threaded (parallelize across whole Sims, \
+             never within one)"
+        );
+    }
+}
 
 fn hook_waker(hook: &Rc<TaskHook>) -> Waker {
     let raw = RawWaker::new(Rc::into_raw(Rc::clone(hook)) as *const (), &HOOK_VTABLE);
@@ -97,24 +133,36 @@ fn hook_waker(hook: &Rc<TaskHook>) -> Waker {
 }
 
 unsafe fn hook_clone(p: *const ()) -> RawWaker {
-    // SAFETY: `p` came from `Rc::into_raw`; bump the count for the new handle.
+    // SAFETY: `p` came from `Rc::into_raw` and the allocation is kept alive
+    // by the reference this handle holds; the shared borrow only reads the
+    // write-once `owner` field.
+    check_owner_thread(unsafe { &*(p as *const TaskHook) });
+    // SAFETY: bump the count for the new handle (same thread, checked above).
     unsafe { Rc::increment_strong_count(p as *const TaskHook) };
     RawWaker::new(p, &HOOK_VTABLE)
 }
 
 unsafe fn hook_wake(p: *const ()) {
+    // SAFETY: as in `hook_clone`. On a foreign thread this panics and leaks
+    // the handle's reference — sound, since the count is never touched.
+    check_owner_thread(unsafe { &*(p as *const TaskHook) });
     // SAFETY: by-value wake consumes the handle's reference.
     let hook = unsafe { Rc::from_raw(p as *const TaskHook) };
     hook.enqueue();
 }
 
 unsafe fn hook_wake_by_ref(p: *const ()) {
+    // SAFETY: as in `hook_clone`.
+    check_owner_thread(unsafe { &*(p as *const TaskHook) });
     // SAFETY: borrow the handle without consuming its reference.
     let hook = unsafe { ManuallyDrop::new(Rc::from_raw(p as *const TaskHook)) };
     hook.enqueue();
 }
 
 unsafe fn hook_drop(p: *const ()) {
+    // SAFETY: as in `hook_clone`. Panicking here (from a foreign thread's
+    // drop) beats corrupting the non-atomic count, and leaks one reference.
+    check_owner_thread(unsafe { &*(p as *const TaskHook) });
     // SAFETY: consumes the handle's reference.
     drop(unsafe { Rc::from_raw(p as *const TaskHook) });
 }
@@ -211,6 +259,7 @@ impl Kernel {
                     id,
                     queued: Cell::new(false),
                     ready: Rc::clone(&self.ready),
+                    owner: current_thread_id(),
                 });
                 let waker = hook_waker(&hook);
                 tasks.push(TaskSlot {
@@ -460,6 +509,14 @@ impl Sim {
                 .collect()
         };
         drop(futures);
+        // Those Drop impls may have woken tasks, re-queueing ids after the
+        // clear above; reset queue state again as the final word so nothing
+        // stale survives into the next run (a stale entry would cost one
+        // no-op poll and could skew a respawned task's initial poll order).
+        self.k.ready.q.borrow_mut().clear();
+        for slot in self.k.tasks.borrow().iter() {
+            slot.hook.queued.set(false);
+        }
         let len = self.k.tasks.borrow().len();
         let mut free = self.k.free.borrow_mut();
         free.clear();
@@ -846,6 +903,112 @@ mod tests {
                 2_050_100_004_000,
             ]
         );
+    }
+
+    #[test]
+    fn schedule_after_idle_run_fires() {
+        // Regression: once run() drained everything, the timer wheel was
+        // left exhausted and a later schedule_in() at various horizons was
+        // silently dropped — run() returned immediately without firing it.
+        let sim = Sim::new();
+        sim.run(); // drive the (empty) wheel to full exhaustion
+        let hits = Rc::new(Cell::new(0u32));
+        for d in [
+            SimDuration::from_ns(10),
+            SimDuration::from_us(100),
+            SimDuration::from_ms(100),
+            SimDuration::from_secs(5),
+        ] {
+            let hits = Rc::clone(&hits);
+            let before = sim.now();
+            sim.schedule_in(d, move || hits.set(hits.get() + 1));
+            assert_eq!(sim.run(), before + d, "timer lost after idle run");
+        }
+        assert_eq!(hits.get(), 4);
+    }
+
+    #[test]
+    fn sleep_after_run_until_phase_fires() {
+        // Multi-phase use: run_until() to idle, then schedule more work.
+        let sim = Sim::new();
+        sim.run_until(SimTime::ZERO + SimDuration::from_ms(1));
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(SimDuration::from_ms(50)).await;
+            s.now()
+        });
+        sim.run();
+        assert_eq!(
+            h.try_result(),
+            Some(SimTime::ZERO + SimDuration::from_ms(50))
+        );
+    }
+
+    #[test]
+    fn waker_panics_on_foreign_thread() {
+        // A Waker clone is Send by type, but using it off the owning thread
+        // must panic (enforced invariant) rather than race the Rc/RefCell.
+        let sim = Sim::new();
+        let ready = Rc::new(Cell::new(false));
+        let waker_out: Rc<StdRefCell<Option<Waker>>> = Rc::new(StdRefCell::new(None));
+        sim.spawn(ManualGate {
+            ready: Rc::clone(&ready),
+            waker_out: Rc::clone(&waker_out),
+        });
+        sim.run_until(SimTime::ZERO); // poll once so the waker is captured
+        let waker = waker_out.borrow_mut().take().unwrap();
+        let joined = std::thread::spawn(move || waker.wake()).join();
+        assert!(joined.is_err(), "cross-thread wake must panic");
+        sim.shutdown();
+    }
+
+    #[test]
+    fn shutdown_survives_drop_impls_that_wake() {
+        // A future's Drop impl may call back into the kernel and wake a
+        // task; shutdown() must not let that re-queued id leak into the
+        // next run (it would inflate events_processed by a no-op poll and
+        // skew a respawned task's initial poll order).
+        struct WakeOnDrop {
+            waker: Rc<StdRefCell<Option<Waker>>>,
+        }
+        impl Drop for WakeOnDrop {
+            fn drop(&mut self) {
+                if let Some(w) = self.waker.borrow().as_ref() {
+                    w.wake_by_ref();
+                }
+            }
+        }
+        let sim = Sim::new();
+        let ready = Rc::new(Cell::new(false));
+        let waker_out: Rc<StdRefCell<Option<Waker>>> = Rc::new(StdRefCell::new(None));
+        let guard = WakeOnDrop {
+            waker: Rc::clone(&waker_out),
+        };
+        let gate = ManualGate {
+            ready: Rc::clone(&ready),
+            waker_out: Rc::clone(&waker_out),
+        };
+        sim.spawn(async move {
+            let _guard = guard;
+            gate.await;
+        });
+        sim.run_until(SimTime::ZERO); // park the task, capturing its waker
+        sim.shutdown();
+        assert!(
+            sim.k.ready.q.borrow().is_empty(),
+            "stale ready entry survived shutdown"
+        );
+        let before = sim.events_processed();
+        sim.run();
+        assert_eq!(
+            sim.events_processed(),
+            before,
+            "shutdown left a no-op poll behind"
+        );
+        // A respawn on the recycled slot behaves like a fresh kernel's.
+        let h = sim.spawn(async {});
+        sim.run();
+        assert!(h.is_done());
     }
 
     #[test]

@@ -125,6 +125,19 @@ impl<T> TimerWheel<T> {
     /// breaks ties among equal deadlines. `at` must be `>= now` — the kernel
     /// asserts this before calling.
     pub(crate) fn insert(&mut self, at: u64, seq: u64, payload: T) {
+        if self.len == 0 {
+            // An empty wheel can be left exhausted: once `advance()` runs to
+            // completion (sim went idle), every cursor sits at `SLOTS` while
+            // the bases and `active_end` keep their stale values, so routing
+            // below would file `e` behind a cursor that never revisits it.
+            // Every container is empty here, so rebasing the whole hierarchy
+            // to the new deadline is free and makes the routing exact again.
+            for level in &mut self.levels {
+                level.base = at;
+                level.cursor = 0;
+            }
+            self.active_end = at;
+        }
         self.len += 1;
         let e = Entry { at, seq, payload };
         if at < self.active_end {
@@ -389,6 +402,64 @@ mod tests {
         }
         let got = drain(&mut w);
         assert_eq!(got, (0..1000u64).map(|s| (42, s)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn insert_after_exhaustion_is_not_lost() {
+        // Regression: pop()/peek() on an emptied wheel runs advance() to
+        // completion, pinning every cursor at SLOTS with stale bases. A
+        // subsequent insert landing inside a stale window used to be filed
+        // behind the exhausted cursor and silently dropped (pop() -> None
+        // while len() > 0). Exercise a deadline in each level's range, and
+        // the far heap, after every idle transition.
+        let mut w = TimerWheel::new();
+        let mut now = 0u64;
+        for (seq, delta) in [
+            100u64,  // level 0
+            1 << 18, // level 0, deep slot
+            1 << 27, // level 1
+            1 << 36, // level 2
+            1 << 46, // far heap
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            assert!(w.pop().is_none(), "wheel should start each round idle");
+            let at = now + delta;
+            w.insert(at, seq as u64, 0);
+            assert_eq!(w.len(), 1);
+            let e = w.pop().expect("timer inserted after idle was lost");
+            assert_eq!((e.at, e.seq), (at, seq as u64));
+            now = at;
+        }
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn insert_burst_after_exhaustion_keeps_order() {
+        // After the idle rebase, later inserts (len > 0) must still route
+        // correctly relative to the rebased windows — including deadlines
+        // *earlier* than the rebase point, which go through `pending`.
+        let mut w = TimerWheel::new();
+        w.insert(5, 0, 0);
+        assert_eq!(w.pop().map(|e| e.at), Some(5));
+        assert!(w.pop().is_none());
+        let base = 1_000_000u64;
+        w.insert(base, 1, 0); // triggers the rebase
+        w.insert(base - 100, 2, 0); // behind the rebase point -> pending
+        w.insert(base + (1 << 20), 3, 0);
+        w.insert(base + (1 << 30), 4, 0);
+        w.insert(base + (1 << 46), 5, 0);
+        assert_eq!(
+            drain(&mut w),
+            vec![
+                (base - 100, 2),
+                (base, 1),
+                (base + (1 << 20), 3),
+                (base + (1 << 30), 4),
+                (base + (1 << 46), 5),
+            ]
+        );
     }
 
     #[test]
