@@ -1,15 +1,16 @@
 //! `simbench` — simulator self-benchmark: how fast does `desim` itself run?
 //!
-//! Drives the three synthetic kernel workloads of [`bgq_bench::simbench`]
-//! (timer churn, channel ping-pong, a Fig 4-style sweep through the parallel
-//! harness) and reports wall-clock events/sec, deterministic event totals
-//! and peak memory. `--json` writes a fixed-schema document (see
+//! Drives the synthetic workloads of [`bgq_bench::simbench`] (timer churn,
+//! channel ping-pong, a network-delivery storm through `torus5d::NetState`,
+//! and a Fig 4-style sweep through the parallel harness) and reports
+//! wall-clock events/sec — for `net_churn`, deliveries/sec — deterministic
+//! event totals and peak memory. `--json` writes a fixed-schema document (see
 //! `results/BENCH_simbench.json` for the committed golden): event counts and
 //! simulated times are deterministic and diffable strictly; `wall_ms` /
 //! `mevents_per_sec` / `speedup` / `peak_rss_kb` vary by host and are gated
 //! only loosely (perfdiff with a generous tolerance).
 
-use bgq_bench::simbench::{fig4_sweep, peak_rss_kb, ping_pong, timer_churn, KernelLoad};
+use bgq_bench::simbench::{fig4_sweep, net_churn, peak_rss_kb, ping_pong, timer_churn, KernelLoad};
 use bgq_bench::{arg_flag, arg_jobs, arg_str, arg_usize, check_args, write_text, JOBS_FLAG};
 use desim::json::{push_f64, push_str, push_u64};
 
@@ -47,6 +48,8 @@ fn main() {
             ("--steps", true, "sleeps per churn task (default 2000)"),
             ("--pairs", true, "ping-pong pairs (default 256)"),
             ("--rounds", true, "rounds per ping-pong pair (default 4000)"),
+            ("--churn-procs", true, "net-churn ranks (default 512)"),
+            ("--churn-msgs", true, "net-churn messages (default 400000)"),
             ("--json", true, "write the fixed-schema result JSON"),
             JOBS_FLAG,
         ],
@@ -56,6 +59,8 @@ fn main() {
     let steps = arg_usize("--steps", if quick { 500 } else { 2000 });
     let pairs = arg_usize("--pairs", if quick { 64 } else { 256 });
     let rounds = arg_usize("--rounds", if quick { 1000 } else { 4000 });
+    let churn_procs = arg_usize("--churn-procs", if quick { 128 } else { 512 });
+    let churn_msgs = arg_usize("--churn-msgs", if quick { 50_000 } else { 400_000 });
     let jobs = arg_jobs();
     let sweep_reps = if quick { 8 } else { 16 };
     let sizes = bgq_bench::size_sweep(16, if quick { 1 << 18 } else { 1 << 20 });
@@ -84,6 +89,16 @@ fn main() {
         pp.mevents_per_sec()
     );
 
+    let churn_net = net_churn(churn_procs, churn_msgs);
+    println!(
+        "{:<14} {:>14} {:>13.3}us {:>12.1} {:>14.2}",
+        "net_churn",
+        churn_net.events,
+        churn_net.sim_time_ps as f64 / 1e6,
+        wall_ms(churn_net.wall),
+        churn_net.mevents_per_sec()
+    );
+
     let (rows_serial, wall_serial) = fig4_sweep(&sizes, 2, sweep_reps, 1);
     let (rows_jobs, wall_jobs) = fig4_sweep(&sizes, 2, sweep_reps, jobs);
     assert_eq!(
@@ -105,7 +120,7 @@ fn main() {
     println!("peak RSS: {rss} kB");
 
     if let Some(path) = arg_str("--json") {
-        let mut o = String::from("{\"schema\":\"simbench-v1\",\"jobs\":");
+        let mut o = String::from("{\"schema\":\"simbench-v2\",\"jobs\":");
         push_u64(&mut o, jobs as u64);
         o.push_str(",\"workloads\":{");
         push_load(
@@ -120,6 +135,13 @@ fn main() {
             "ping_pong",
             &[("pairs", pairs as u64), ("rounds", rounds as u64)],
             &pp,
+        );
+        o.push(',');
+        push_load(
+            &mut o,
+            "net_churn",
+            &[("procs", churn_procs as u64), ("msgs", churn_msgs as u64)],
+            &churn_net,
         );
         o.push_str(",\"fig4_sweep\":{\"points\":");
         push_u64(&mut o, sizes.len() as u64);

@@ -8,6 +8,9 @@
 //!   the timer wheel (insert/fire) across near and far deadlines.
 //! * [`ping_pong`] — channel ping-pong pairs with no sleeps: stresses the
 //!   ready queue and waker path exclusively (everything at t = 0).
+//! * [`net_churn`] — a contended all-to-all delivery storm pushed straight
+//!   through `torus5d::NetState`: stresses the network hot path (route
+//!   lookup, per-link reservation, pair ordering) and reports deliveries/sec.
 //! * [`fig4_sweep`] — a real bandwidth sweep (Fig 4 shape) run serially and
 //!   with the parallel harness: measures end-to-end sweep speedup.
 //!
@@ -18,7 +21,8 @@
 
 use std::time::{Duration, Instant};
 
-use desim::{Sim, SimDuration, SimRng};
+use desim::{Sim, SimDuration, SimRng, SimTime};
+use torus5d::{BgqParams, MsgClass, NetState, Topology};
 
 use crate::sweep;
 
@@ -103,6 +107,52 @@ pub fn ping_pong(pairs: usize, rounds: usize) -> KernelLoad {
     }
 }
 
+/// Network-churn workload: a contended all-to-all delivery storm driven
+/// straight through [`NetState`] — no kernel, no tasks, just the network
+/// hot path. `procs` ranks (16/node) fire `msgs` seeded pseudo-random
+/// messages (mixed sizes and ordering classes, slightly staggered injection
+/// times) at random peers with contention modelling on. For this workload
+/// [`KernelLoad::events`] counts *deliveries* and
+/// [`KernelLoad::sim_time_ps`] is the latest arrival time — both fully
+/// deterministic; only the wall-clock varies by host.
+pub fn net_churn(procs: usize, msgs: usize) -> KernelLoad {
+    let topo = Topology::for_procs(procs, 16);
+    let mut net = NetState::new(topo, BgqParams::default(), true);
+    let mut rng = SimRng::new(0x4E45_7443);
+    // Pre-generate the schedule so the timed loop measures delivery alone.
+    let mut sched = Vec::with_capacity(msgs);
+    let mut inject = SimTime::ZERO;
+    for i in 0..msgs {
+        let src = rng.next_below(procs as u64) as usize;
+        let mut dst = rng.next_below(procs as u64) as usize;
+        if dst == src {
+            dst = (dst + 1) % procs;
+        }
+        let payload = 1usize << (4 + rng.next_below(12)); // 16 B .. 32 KB
+        let class = match i % 8 {
+            0 => MsgClass::Unordered,
+            1 | 2 => MsgClass::Control,
+            _ => MsgClass::Ordered,
+        };
+        inject += SimDuration::from_ns(rng.next_below(200));
+        sched.push((inject, src, dst, payload, class));
+    }
+    let t0 = Instant::now();
+    let mut last = SimTime::ZERO;
+    for &(at, src, dst, len, class) in &sched {
+        let arrival = net.deliver(at, src, dst, len, class);
+        if arrival > last {
+            last = arrival;
+        }
+    }
+    let wall = t0.elapsed();
+    KernelLoad {
+        events: net.messages(),
+        sim_time_ps: last.as_ps(),
+        wall,
+    }
+}
+
 /// Fig 4-style bandwidth sweep (get+put per size), run through the parallel
 /// harness with `jobs` workers. Returns the per-size bandwidth sums (MB/s,
 /// deterministic) and the wall-clock for the whole sweep.
@@ -153,6 +203,16 @@ mod tests {
         assert_eq!(a.events, b.events);
         assert_eq!(a.sim_time_ps, 0, "no sleeps: everything happens at t=0");
         assert_eq!(b.sim_time_ps, 0);
+    }
+
+    #[test]
+    fn net_churn_is_deterministic() {
+        let a = net_churn(128, 2000);
+        let b = net_churn(128, 2000);
+        assert_eq!(a.events, 2000);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.sim_time_ps, b.sim_time_ps);
+        assert!(a.sim_time_ps > 0, "messages must take time to arrive");
     }
 
     #[test]

@@ -87,7 +87,18 @@ fn simbench_event_counts_are_deterministic() {
     // the same simulated time — wall-clock varies, virtual time never does.
     let bin = env!("CARGO_BIN_EXE_simbench");
     let args = [
-        "--tasks", "32", "--steps", "100", "--pairs", "16", "--rounds", "100",
+        "--tasks",
+        "32",
+        "--steps",
+        "100",
+        "--pairs",
+        "16",
+        "--rounds",
+        "100",
+        "--churn-procs",
+        "64",
+        "--churn-msgs",
+        "5000",
     ];
     let (_, json_a) = run(bin, &args, 2, Some("simbench_a"));
     let (_, json_b) = run(bin, &args, 2, Some("simbench_b"));
@@ -104,4 +115,43 @@ fn simbench_event_counts_are_deterministic() {
         "no deterministic fields found in simbench JSON"
     );
     assert_eq!(a, b, "simbench event counts / sim times must be stable");
+}
+
+#[test]
+fn simbench_net_churn_is_jobs_invariant() {
+    // The net_churn delivery storm must reach the same message count and
+    // final virtual time whether the binary runs its sweep serially or with
+    // 4 workers (only wall-clock fields may differ between invocations).
+    let bin = env!("CARGO_BIN_EXE_simbench");
+    let args = [
+        "--tasks",
+        "8",
+        "--steps",
+        "20",
+        "--pairs",
+        "4",
+        "--rounds",
+        "20",
+        "--churn-procs",
+        "128",
+        "--churn-msgs",
+        "20000",
+    ];
+    let (_, json_1) = run(bin, &args, 1, Some("simbench_churn_j1"));
+    let (_, json_4) = run(bin, &args, 4, Some("simbench_churn_j4"));
+    let churn_fields = |body: &str| -> Vec<String> {
+        let start = body
+            .find("\"net_churn\"")
+            .expect("net_churn section present");
+        body[start..]
+            .split(',')
+            .filter(|f| f.contains("\"events\"") || f.contains("\"sim_time_ps\""))
+            .take(2)
+            .map(str::to_owned)
+            .collect()
+    };
+    let a = churn_fields(&json_1.expect("json written"));
+    let b = churn_fields(&json_4.expect("json written"));
+    assert_eq!(a.len(), 2, "net_churn events + sim_time_ps present");
+    assert_eq!(a, b, "net_churn results must not depend on --jobs");
 }

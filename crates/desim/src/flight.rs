@@ -144,6 +144,9 @@ struct FlightInner {
     /// Link names in creation order; index == interned id. Deterministic
     /// because the simulation is.
     links: RefCell<Vec<String>>,
+    /// Ids of `links` sorted by name, so interning is a binary search
+    /// instead of a linear scan (ids stay creation-ordered).
+    link_index: RefCell<Vec<u32>>,
     dropped: Cell<u64>,
 }
 
@@ -243,18 +246,25 @@ impl FlightRecorder {
         });
     }
 
-    /// Intern a link by name, returning its id. Returns 0 without allocating
-    /// when disabled.
+    /// Intern a link by name, returning its id. Ids are assigned in first-use
+    /// order (so existing id streams are unchanged); lookup goes through a
+    /// name-sorted index, making interning O(log n) instead of a linear scan.
+    /// Returns 0 without allocating when disabled.
     pub fn link_id(&self, name: &str) -> u32 {
         if !self.on() {
             return 0;
         }
         let mut links = self.inner.links.borrow_mut();
-        if let Some(i) = links.iter().position(|l| l == name) {
-            return i as u32;
+        let mut index = self.inner.link_index.borrow_mut();
+        match index.binary_search_by(|&id| links[id as usize].as_str().cmp(name)) {
+            Ok(pos) => index[pos],
+            Err(pos) => {
+                let id = links.len() as u32;
+                links.push(name.to_string());
+                index.insert(pos, id);
+                id
+            }
         }
-        links.push(name.to_string());
-        (links.len() - 1) as u32
     }
 
     /// Name of an interned link id (empty when unknown).
@@ -329,6 +339,7 @@ impl FlightRecorder {
         self.inner.segments.borrow_mut().clear();
         self.inner.link_uses.borrow_mut().clear();
         self.inner.links.borrow_mut().clear();
+        self.inner.link_index.borrow_mut().clear();
         self.inner.next_op.set(0);
         self.inner.dropped.set(0);
     }
@@ -407,6 +418,26 @@ mod tests {
         assert_eq!(fl.link_name(b), "(1,0,0,0,0)+A");
         fl.link_use(a, t(0), t(1), t(2), None);
         assert_eq!(fl.link_uses().len(), 1);
+    }
+
+    #[test]
+    fn link_ids_stay_creation_ordered_under_sorted_index() {
+        // The sorted lookup index must not change the id assignment: ids are
+        // handed out in first-use order regardless of name order.
+        let fl = FlightRecorder::new();
+        fl.enable(8);
+        let names: Vec<String> = (0..100u32).rev().map(|i| format!("link-{i:03}")).collect();
+        for (expect, name) in names.iter().enumerate() {
+            assert_eq!(fl.link_id(name), expect as u32);
+        }
+        // Re-interning any of them (in a different order) finds the same id.
+        for (expect, name) in names.iter().enumerate() {
+            assert_eq!(fl.link_id(name), expect as u32, "{name}");
+            assert_eq!(fl.link_name(expect as u32), *name);
+        }
+        // clear() resets both the names and the index.
+        fl.clear();
+        assert_eq!(fl.link_id("fresh"), 0);
     }
 
     #[test]

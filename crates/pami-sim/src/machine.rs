@@ -190,6 +190,9 @@ pub(crate) struct MachineInner {
     pub sim: Sim,
     pub cfg: MachineConfig,
     pub topo: Topology,
+    /// Cost constants, shared so issue paths can hold them across `await`s
+    /// and inside `'static` closures without cloning the whole struct.
+    pub params: Rc<BgqParams>,
     pub net: RefCell<NetState>,
     pub ranks: Vec<Rc<RankState>>,
     pub stats: Stats,
@@ -234,11 +237,13 @@ impl Machine {
             .map(|_| Rc::new(RankState::new(cfg.contexts_per_rank)))
             .collect();
         let stats = sim.stats();
+        let params = Rc::new(cfg.params.clone());
         Machine {
             inner: Rc::new(MachineInner {
                 sim,
                 cfg,
                 topo,
+                params,
                 net: RefCell::new(net),
                 ranks,
                 stats,
@@ -263,7 +268,13 @@ impl Machine {
 
     /// Cost-model constants.
     pub fn params(&self) -> &BgqParams {
-        &self.inner.cfg.params
+        &self.inner.params
+    }
+
+    /// Shared handle to the cost constants, for `'static` closures that
+    /// outlive the caller's borrow.
+    pub(crate) fn params_rc(&self) -> Rc<BgqParams> {
+        self.inner.params.clone()
     }
 
     /// Partition topology.

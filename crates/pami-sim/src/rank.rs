@@ -135,7 +135,7 @@ impl PamiRank {
     /// Pay the context-creation cost for this rank's ρ contexts and account
     /// their space (ε each). Called once at runtime initialization.
     pub async fn create_contexts(&self) {
-        let p = self.m.params().clone();
+        let p = self.m.params();
         let n = self.m.config().contexts_per_rank as u64;
         self.m.sim().sleep(p.context_create * n).await;
         for _ in 0..n {
@@ -279,8 +279,8 @@ impl PamiRank {
         len: usize,
     ) -> PutHandles {
         let inner = Rc::clone(&self.m.inner);
-        let sim = self.m.sim().clone();
-        let p = self.m.params().clone();
+        let sim = self.m.sim();
+        let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.rdma_put");
         sim.sleep(p.o_send).await;
@@ -302,7 +302,7 @@ impl PamiRank {
             tgt_state.write(remote_off, &data);
             remote_done.complete(());
         });
-        let hops = inner.topo.hops(self.r, target);
+        let hops = inner.net.borrow().hops(self.r, target);
         let ack = arrival + p.oneway_header(hops);
         let local_done = handles.local.clone();
         sim.schedule(ack, move || local_done.complete(()));
@@ -320,8 +320,10 @@ impl PamiRank {
         len: usize,
     ) -> Completion<()> {
         let inner = Rc::clone(&self.m.inner);
-        let sim = self.m.sim().clone();
-        let p = self.m.params().clone();
+        let sim = self.m.sim();
+        // `p` crosses into the `'static` response closure below: share the
+        // Rc rather than cloning the whole parameter struct.
+        let p = self.m.params_rc();
         let op = self.current_op();
         self.m.stats().incr("pami.rdma_get");
         sim.sleep(p.o_send).await;
@@ -382,8 +384,8 @@ impl PamiRank {
         len: usize,
     ) -> PutHandles {
         let inner = Rc::clone(&self.m.inner);
-        let sim = self.m.sim().clone();
-        let p = self.m.params().clone();
+        let sim = self.m.sim();
+        let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.sw_put");
         sim.sleep(p.o_send).await;
@@ -425,8 +427,8 @@ impl PamiRank {
         len: usize,
     ) -> Completion<()> {
         let inner = Rc::clone(&self.m.inner);
-        let sim = self.m.sim().clone();
-        let p = self.m.params().clone();
+        let sim = self.m.sim();
+        let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.sw_get");
         sim.sleep(p.o_send).await;
@@ -466,8 +468,8 @@ impl PamiRank {
         scale: f64,
     ) -> PutHandles {
         let inner = Rc::clone(&self.m.inner);
-        let sim = self.m.sim().clone();
-        let p = self.m.params().clone();
+        let sim = self.m.sim();
+        let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.acc");
         sim.sleep(p.o_send).await;
@@ -505,8 +507,8 @@ impl PamiRank {
     /// serviced by target-side software (§III-D).
     pub async fn rmw(&self, target: usize, remote_off: usize, op: RmwOp) -> Completion<i64> {
         let inner = Rc::clone(&self.m.inner);
-        let sim = self.m.sim().clone();
-        let p = self.m.params().clone();
+        let sim = self.m.sim();
+        let p = self.m.params();
         let flight_op = self.current_op();
         self.m.stats().incr("pami.rmw");
         sim.sleep(p.o_send).await;
@@ -544,8 +546,8 @@ impl PamiRank {
         local_chunks: Vec<(usize, usize)>,
     ) -> Completion<()> {
         let inner = Rc::clone(&self.m.inner);
-        let sim = self.m.sim().clone();
-        let p = self.m.params().clone();
+        let sim = self.m.sim();
+        let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.packed_get");
         sim.sleep(p.o_send).await;
@@ -582,8 +584,8 @@ impl PamiRank {
         remote_chunks: Vec<(usize, usize)>,
     ) -> PutHandles {
         let inner = Rc::clone(&self.m.inner);
-        let sim = self.m.sim().clone();
-        let p = self.m.params().clone();
+        let sim = self.m.sim();
+        let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.packed_put");
         sim.sleep(p.o_send).await;
@@ -632,8 +634,8 @@ impl PamiRank {
         scale: f64,
     ) -> PutHandles {
         let inner = Rc::clone(&self.m.inner);
-        let sim = self.m.sim().clone();
-        let p = self.m.params().clone();
+        let sim = self.m.sim();
+        let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.acc_strided");
         sim.sleep(p.o_send).await;
@@ -682,8 +684,8 @@ impl PamiRank {
         payload: Vec<u8>,
     ) -> Completion<()> {
         let inner = Rc::clone(&self.m.inner);
-        let sim = self.m.sim().clone();
-        let p = self.m.params().clone();
+        let sim = self.m.sim();
+        let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.am");
         sim.sleep(p.o_send).await;
@@ -720,8 +722,8 @@ impl PamiRank {
             "immediate AMs carry at most 128 header bytes"
         );
         let inner = Rc::clone(&self.m.inner);
-        let sim = self.m.sim().clone();
-        let p = self.m.params().clone();
+        let sim = self.m.sim();
+        let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.am_immediate");
         sim.sleep(p.o_send).await;
@@ -763,7 +765,7 @@ impl PamiRank {
     /// thread as the driver, so trace spans land on its own track and the
     /// §III-D lock contention (main thread vs AT on one context) is visible.
     async fn advance_on(&self, ctx_idx: usize, max_items: usize, from_at: bool) -> usize {
-        let sim = self.m.sim().clone();
+        let sim = self.m.sim();
         let stats = self.m.stats();
         let fl = sim.flight();
         let ctx = self.ctx(ctx_idx);
@@ -863,8 +865,8 @@ impl PamiRank {
     /// messages it injects are attributed to `flight_op`, the operation the
     /// item belongs to.
     async fn service_item(&self, item: WorkItem, flight_op: Option<OpId>) {
-        let sim = self.m.sim().clone();
-        let p = self.m.params().clone();
+        let sim = self.m.sim();
+        let p = self.m.params();
         let inner = Rc::clone(&self.m.inner);
         match item {
             WorkItem::SwPut {

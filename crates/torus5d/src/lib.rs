@@ -15,13 +15,18 @@
 //! * [`cost::BgqParams`] — LogGP-style cost constants calibrated against the
 //!   paper's Table II and §IV-B microbenchmarks (35 ns/hop, 1.8 GB/s
 //!   available link bandwidth, 2.89 µs adjacent-node get, …).
+//! * [`route_table::RouteTable`] — interned dense [`route_table::LinkId`]s,
+//!   a lazily cached route arena and a precomputed rank table, so delivery
+//!   is allocation- and hash-free on the hot path.
 //! * [`net::NetState`] — per-(src,dst) FIFO tracking for ordered delivery and
 //!   optional per-link contention (busy-until reservation).
 
 pub mod coords;
 pub mod cost;
+pub mod fxmap;
 pub mod mapping;
 pub mod net;
+pub mod route_table;
 pub mod routing;
 pub mod shape;
 
@@ -29,6 +34,7 @@ pub use coords::Coord;
 pub use cost::BgqParams;
 pub use mapping::Mapping;
 pub use net::{MsgClass, NetState};
+pub use route_table::{LinkId, RouteTable};
 pub use routing::Link;
 pub use shape::TorusShape;
 

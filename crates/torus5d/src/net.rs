@@ -11,13 +11,22 @@
 //! * optional **per-link contention** — each directed link serializes the
 //!   payload bytes of the messages crossing it (busy-until reservation with
 //!   cut-through forwarding), exposing hot links under concurrent traffic.
-
-use std::collections::HashMap;
+//!
+//! The per-message hot path is allocation-free and (except for the compact
+//! pair-ordering map) hash-free: routes come from the [`RouteTable`] arena
+//! as cached [`LinkId`] slices, per-link busy/occupancy state lives in flat
+//! `Vec`s indexed by `LinkId`, the injection FIFO in a `Vec` indexed by
+//! rank, and the pair-ordering front in a hand-rolled FxHash map
+//! ([`crate::fxmap::FxMap64`]). Arrival-time arithmetic is identical to the
+//! original HashMap-based implementation — simulated times are bit-for-bit
+//! unchanged (pinned by the differential tests and the `results/` goldens).
 
 use desim::{FlightRecorder, OpId, SegCategory, SimDuration, SimTime};
 
 use crate::cost::BgqParams;
-use crate::routing::{route, Link};
+use crate::fxmap::FxMap64;
+use crate::route_table::{LinkId, RouteTable};
+use crate::routing::Link;
 use crate::Topology;
 
 /// Ordering class of a message (paper §III-A4).
@@ -35,29 +44,39 @@ pub enum MsgClass {
     Unordered,
 }
 
+/// Sentinel: flight-recorder id not interned yet for this link.
+const NO_FLIGHT_ID: u32 = u32::MAX;
+
 /// Mutable interconnect state: per-pair FIFO fronts and per-link busy times.
 pub struct NetState {
     topo: Topology,
     params: BgqParams,
     contention: bool,
-    pair_last: HashMap<(u32, u32), SimTime>,
-    link_busy: HashMap<Link, SimTime>,
+    /// Interned links, cached routes and the rank→(coord, node) table.
+    rt: RouteTable,
+    /// Pair-ordering front per `(src << 32) | dst` rank pair.
+    pair_last: FxMap64<SimTime>,
+    /// Busy-until reservation per directed link, indexed by [`LinkId`].
+    link_busy: Vec<SimTime>,
     /// Per-rank NIC injection FIFO: data payloads from one rank serialize
     /// onto the wire, bounding any stream at link bandwidth.
-    tx_busy: HashMap<u32, SimTime>,
+    tx_busy: Vec<SimTime>,
     /// Accumulated occupancy (header + serialization) per directed link, for
     /// utilization heatmaps. Filled by the contended path always, and by the
     /// analytic path when [`NetState::set_link_tracking`] is on.
-    link_util: HashMap<Link, SimDuration>,
+    link_util: Vec<SimDuration>,
+    /// Which links have been touched (a touch with a zero-duration increment
+    /// still counts, matching the old map-entry semantics).
+    link_touched: Vec<bool>,
     track_links: bool,
     messages: u64,
     bytes: u64,
     /// Lifecycle recorder for per-operation attribution (disabled by
     /// default; shared with the owning `Sim` via [`NetState::set_flight`]).
     flight: FlightRecorder,
-    /// Cache of interned flight-recorder ids per link, so the formatted link
+    /// Interned flight-recorder id per [`LinkId`], so the formatted link
     /// name is built once per link rather than once per message.
-    link_ids: HashMap<Link, u32>,
+    flight_ids: Vec<u32>,
 }
 
 impl NetState {
@@ -65,24 +84,29 @@ impl NetState {
     /// bandwidth is a shared resource; otherwise delivery times are purely
     /// analytic (LogGP).
     pub fn new(topo: Topology, params: BgqParams, contention: bool) -> NetState {
+        let rt = RouteTable::new(&topo);
+        let nlinks = rt.num_link_ids();
+        let capacity = rt.capacity();
         NetState {
             topo,
             params,
             contention,
-            pair_last: HashMap::new(),
-            link_busy: HashMap::new(),
-            tx_busy: HashMap::new(),
-            link_util: HashMap::new(),
+            rt,
+            pair_last: FxMap64::new(),
+            link_busy: vec![SimTime::ZERO; nlinks],
+            tx_busy: vec![SimTime::ZERO; capacity],
+            link_util: vec![SimDuration::ZERO; nlinks],
+            link_touched: vec![false; nlinks],
             track_links: false,
             messages: 0,
             bytes: 0,
             flight: FlightRecorder::new(),
-            link_ids: HashMap::new(),
+            flight_ids: vec![NO_FLIGHT_ID; nlinks],
         }
     }
 
     /// Record per-link occupancy on the analytic (non-contended) path too.
-    /// Costs one route computation per internode message, so it is opt-in.
+    /// Costs one cached-route walk per internode message, so it is opt-in.
     pub fn set_link_tracking(&mut self, on: bool) {
         self.track_links = on;
     }
@@ -92,31 +116,38 @@ impl NetState {
     /// recorder is disabled (the default) delivery costs are unchanged.
     pub fn set_flight(&mut self, flight: FlightRecorder) {
         self.flight = flight;
-        self.link_ids.clear();
+        self.flight_ids.fill(NO_FLIGHT_ID);
     }
 
     /// Interned flight-recorder id for `link`, formatting the stable name
     /// `(a,b,c,d,e)±X` (source coordinate, direction, dimension letter) at
     /// most once per link.
-    fn flight_link_id(&mut self, link: Link) -> u32 {
-        if let Some(&id) = self.link_ids.get(&link) {
-            return id;
+    fn flight_link_id(&mut self, link: LinkId) -> u32 {
+        let cached = self.flight_ids[link.0 as usize];
+        if cached != NO_FLIGHT_ID {
+            return cached;
         }
-        let c = link.from.0;
-        let dim = [b'A', b'B', b'C', b'D', b'E'][link.dim as usize] as char;
-        let sign = if link.plus { '+' } else { '-' };
+        let full = self.rt.link_of(link);
+        let c = full.from.0;
+        let dim = [b'A', b'B', b'C', b'D', b'E'][full.dim as usize] as char;
+        let sign = if full.plus { '+' } else { '-' };
         let name = format!(
             "({},{},{},{},{}){}{}",
             c[0], c[1], c[2], c[3], c[4], sign, dim
         );
         let id = self.flight.link_id(&name);
-        self.link_ids.insert(link, id);
+        self.flight_ids[link.0 as usize] = id;
         id
     }
 
     /// The topology this network spans.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// The routing acceleration table (interned links, cached routes).
+    pub fn route_table(&self) -> &RouteTable {
+        &self.rt
     }
 
     /// The cost constants in use.
@@ -132,6 +163,13 @@ impl NetState {
     /// Total payload bytes delivered so far.
     pub fn bytes(&self) -> u64 {
         self.bytes
+    }
+
+    /// Hop count between the nodes hosting two ranks (table lookup; same
+    /// value as [`Topology::hops`]).
+    #[inline]
+    pub fn hops(&self, a: usize, b: usize) -> u32 {
+        self.rt.hops(a, b)
     }
 
     /// Compute the full-arrival time at `dst` for `payload` bytes injected by
@@ -164,7 +202,7 @@ impl NetState {
     ) -> SimTime {
         self.messages += 1;
         self.bytes += payload as u64;
-        let same_node = self.topo.same_node(src, dst);
+        let same_node = self.rt.same_node(src, dst);
         let wire = if same_node {
             self.params.intranode_time(payload)
         } else {
@@ -175,13 +213,8 @@ impl NetState {
         // AMOs interleave on their own virtual channels and bypass the data
         // FIFO; pair ordering is enforced below regardless.
         let start = if class == MsgClass::Ordered {
-            let tx = self
-                .tx_busy
-                .get(&(src as u32))
-                .copied()
-                .unwrap_or(SimTime::ZERO);
-            let start = inject.max(tx);
-            self.tx_busy.insert(src as u32, start + wire);
+            let start = inject.max(self.tx_busy[src]);
+            self.tx_busy[src] = start + wire;
             start
         } else {
             inject
@@ -204,7 +237,7 @@ impl NetState {
             if self.track_links {
                 self.account_links(src, dst, payload);
             }
-            let head = start + self.params.oneway_header(self.topo.hops(src, dst));
+            let head = start + self.params.oneway_header(self.rt.hops(src, dst));
             if let Some(op) = op {
                 self.flight
                     .segment(op, SegCategory::Wire, "net.header", start, head);
@@ -218,15 +251,17 @@ impl NetState {
         }
         if class != MsgClass::Unordered {
             // Deterministic dimension-ordered routing: everything between a
-            // pair except AMOs stays in order.
-            let key = (src as u32, dst as u32);
-            let last = self.pair_last.get(&key).copied().unwrap_or(SimTime::ZERO);
+            // pair except AMOs stays in order. Single probe walk: the front
+            // slot is read, clamped and written in place.
+            let key = ((src as u64) << 32) | dst as u64;
+            let front = self.pair_last.entry(key);
+            let last = *front;
             if let (Some(op), true) = (op, last > arrival) {
                 self.flight
                     .segment(op, SegCategory::Queueing, "net.pair_order", arrival, last);
             }
             arrival = arrival.max(last);
-            self.pair_last.insert(key, arrival);
+            *front = arrival;
         }
         arrival
     }
@@ -243,23 +278,26 @@ impl NetState {
         payload: usize,
         op: Option<OpId>,
     ) -> SimTime {
-        let ca = self.topo.coord_of(src);
-        let cb = self.topo.coord_of(dst);
-        let path = route(&self.topo.shape, ca, cb);
+        let (off, len) = self
+            .rt
+            .route_span(self.rt.node_of(src), self.rt.node_of(dst));
         let wire = self.params.wire_time(payload);
+        let hop = self.params.hop_latency;
         let record = self.flight.on();
         let mut t = inject + self.params.base_latency;
         if let (Some(op), true) = (op, record) {
             self.flight
                 .segment(op, SegCategory::Wire, "net.header", inject, t);
         }
-        for link in path {
-            let busy = self.link_busy.get(&link).copied().unwrap_or(SimTime::ZERO);
+        for i in off..off + u32::from(len) {
+            let link = self.rt.link_at(i);
+            let li = link.0 as usize;
             let request = t;
-            let granted = t.max(busy);
-            t = granted + self.params.hop_latency;
-            self.link_busy.insert(link, t + wire);
-            *self.link_util.entry(link).or_default() += self.params.hop_latency + wire;
+            let granted = t.max(self.link_busy[li]);
+            t = granted + hop;
+            self.link_busy[li] = t + wire;
+            self.link_util[li] += hop + wire;
+            self.link_touched[li] = true;
             if record {
                 let id = self.flight_link_id(link);
                 self.flight.link_use(id, request, granted, t + wire, op);
@@ -280,30 +318,37 @@ impl NetState {
     }
 
     /// Accumulate per-link occupancy for a message on the analytic path
-    /// (route walk for accounting only; timing stays LogGP).
+    /// (cached-route walk for accounting only; timing stays LogGP).
     fn account_links(&mut self, src: usize, dst: usize, payload: usize) {
-        let ca = self.topo.coord_of(src);
-        let cb = self.topo.coord_of(dst);
-        let wire = self.params.wire_time(payload);
-        for link in route(&self.topo.shape, ca, cb) {
-            *self.link_util.entry(link).or_default() += self.params.hop_latency + wire;
+        let (off, len) = self
+            .rt
+            .route_span(self.rt.node_of(src), self.rt.node_of(dst));
+        let add = self.params.hop_latency + self.params.wire_time(payload);
+        for i in off..off + u32::from(len) {
+            let li = self.rt.link_at(i).0 as usize;
+            self.link_util[li] += add;
+            self.link_touched[li] = true;
         }
     }
 
     /// Accumulated busy time per directed link, sorted deterministically by
     /// the full link identity (source coordinate, dimension, direction).
     /// Suitable for emitting a link-utilization heatmap.
+    ///
+    /// The dense per-[`LinkId`] state is already stored in that order
+    /// (ascending `LinkId` equals the lexicographic [`Link`] order), so the
+    /// sorted view is a single filtered pass, not a sort.
     pub fn link_utilization(&self) -> Vec<(Link, SimDuration)> {
-        let mut v: Vec<(Link, SimDuration)> =
-            self.link_util.iter().map(|(l, d)| (*l, *d)).collect();
-        v.sort_by_key(|(l, _)| *l);
-        v
+        (0..self.link_util.len())
+            .filter(|&i| self.link_touched[i])
+            .map(|i| (self.rt.link_of(LinkId(i as u32)), self.link_util[i]))
+            .collect()
     }
 
     /// Analytic reference delivery time ignoring FIFO/contention state
     /// (useful for assertions).
     pub fn analytic(&self, src: usize, dst: usize, payload: usize) -> SimDuration {
-        let hops = self.topo.hops(src, dst);
+        let hops = self.rt.hops(src, dst);
         self.params.oneway(hops, payload)
     }
 }
@@ -325,6 +370,7 @@ mod tests {
         let a2 = n.deliver(t0, 0, far, 0, MsgClass::Unordered);
         assert!(a2 > a1);
         let hops = n.topology().hops(0, far);
+        assert_eq!(hops, n.hops(0, far), "table hops must match topology");
         let expect = n.params().oneway_header(hops);
         assert_eq!(a2, t0 + expect);
     }
@@ -437,6 +483,33 @@ mod tests {
     }
 
     #[test]
+    fn link_utilization_order_matches_link_sort() {
+        // The dense view must emit exactly the order the old HashMap-based
+        // implementation produced: sorted by the full Link identity
+        // (source coordinate, dimension, direction).
+        let mut n = net(true);
+        let t0 = SimTime::ZERO;
+        // Load many distinct links, in a scattered order.
+        for (i, (src, dst)) in [(0usize, 63usize), (5, 40), (17, 2), (63, 0), (30, 31)]
+            .iter()
+            .enumerate()
+        {
+            n.deliver(
+                t0 + SimDuration::from_ns(i as u64),
+                *src,
+                *dst,
+                4096,
+                MsgClass::Ordered,
+            );
+        }
+        let util = n.link_utilization();
+        assert!(util.len() > 4, "expected several distinct links");
+        let mut sorted = util.clone();
+        sorted.sort_by_key(|(l, _)| *l);
+        assert_eq!(util, sorted, "emitted order must be the Link-sorted order");
+    }
+
+    #[test]
     fn link_tracking_covers_analytic_path() {
         let mut n = net(false);
         assert!(n.link_utilization().is_empty());
@@ -519,5 +592,20 @@ mod tests {
         n.deliver(SimTime::ZERO, 1, 2, 50, MsgClass::Ordered);
         assert_eq!(n.messages(), 2);
         assert_eq!(n.bytes(), 150);
+    }
+
+    #[test]
+    fn route_cache_warms_once_per_pair() {
+        let mut n = net(true);
+        let t0 = SimTime::ZERO;
+        n.deliver(t0, 0, 9, 64, MsgClass::Ordered);
+        let cached = n.route_table().routes_cached();
+        let arena = n.route_table().arena_len();
+        assert!(cached >= 1);
+        for i in 0..100u64 {
+            n.deliver(t0 + SimDuration::from_ns(i), 0, 9, 64, MsgClass::Ordered);
+        }
+        assert_eq!(n.route_table().routes_cached(), cached);
+        assert_eq!(n.route_table().arena_len(), arena);
     }
 }

@@ -1,0 +1,299 @@
+//! Interned links and cached dimension-ordered routes.
+//!
+//! Deterministic dimension-ordered routing makes a route a pure function of
+//! its `(source node, destination node)` pair — the exact property the
+//! paper's PAMI relies on for pairwise ordering (§III-A4). [`RouteTable`]
+//! exploits it on the simulator's hot path:
+//!
+//! * **[`LinkId`]** — a directed physical link interned as
+//!   `node_index * 10 + dim * 2 + plus`: O(1) to compute, no hashing, and
+//!   dense, so per-link state can live in flat `Vec`s indexed by it.
+//!   Ascending `LinkId` order equals the lexicographic [`Link`] order
+//!   (node indices are the lexicographic linearization of coordinates), so
+//!   sorted views come for free.
+//! * **Route arena** — the first message between a node pair computes its
+//!   route once (via [`crate::routing::route_with`], so it is exact by
+//!   construction) and appends it to a shared arena; every later message
+//!   walks the cached `LinkId` slice with zero allocations.
+//! * **Rank table** — rank → (coordinate, node index) is precomputed for
+//!   the whole partition, turning `coord_of`/`hops`/`same_node` into table
+//!   lookups instead of repeated mapping arithmetic.
+
+use crate::coords::Coord;
+use crate::routing::{route_with, Link};
+use crate::shape::TorusShape;
+use crate::Topology;
+
+/// Links per node: 5 dimensions × 2 directions.
+const LINKS_PER_NODE: u32 = 10;
+
+/// Interned directed-link id: `node_index * 10 + dim * 2 + plus`.
+///
+/// The interning is a bijection between ids `0..nodes*10` and [`Link`]s of
+/// the torus; decode with [`RouteTable::link_of`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// Sentinel offset marking a route span not yet cached.
+const UNCACHED: u32 = u32::MAX;
+
+/// Per-partition routing acceleration: rank table, link interning and the
+/// lazily filled route arena. See the module docs.
+pub struct RouteTable {
+    shape: TorusShape,
+    nodes: u32,
+    /// Rank → (node coordinate, node index) for every slot in the partition.
+    ranks: Vec<(Coord, u32)>,
+    /// Dense (src node × dst node) → `(arena offset, hop count)`;
+    /// `UNCACHED` offset = not computed yet. Allocated on first use so
+    /// purely analytic runs never pay nodes² memory.
+    spans: Vec<(u32, u16)>,
+    /// Shared arena of cached routes, stored back-to-back.
+    arena: Vec<LinkId>,
+    /// Number of distinct node pairs whose route has been cached.
+    routes_cached: u64,
+}
+
+impl RouteTable {
+    /// Build the table for a topology (precomputes the rank table; routes
+    /// fill in lazily as traffic touches node pairs).
+    pub fn new(topo: &Topology) -> RouteTable {
+        let shape = topo.shape;
+        let capacity = topo.capacity();
+        let ranks = (0..capacity)
+            .map(|r| {
+                let (c, _slot) = topo.mapping.rank_to_coord(r, &shape, topo.procs_per_node);
+                (c, shape.node_index(c) as u32)
+            })
+            .collect();
+        RouteTable {
+            shape,
+            nodes: shape.num_nodes() as u32,
+            ranks,
+            spans: Vec::new(),
+            arena: Vec::new(),
+            routes_cached: 0,
+        }
+    }
+
+    /// The torus shape this table spans.
+    pub fn shape(&self) -> &TorusShape {
+        &self.shape
+    }
+
+    /// Total process slots covered by the rank table.
+    pub fn capacity(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Number of nodes in the torus.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes as usize
+    }
+
+    /// Exclusive upper bound of the dense [`LinkId`] space (`nodes * 10`).
+    pub fn num_link_ids(&self) -> usize {
+        (self.nodes * LINKS_PER_NODE) as usize
+    }
+
+    /// Torus coordinate of the node hosting `rank` (table lookup).
+    #[inline]
+    pub fn coord_of(&self, rank: usize) -> Coord {
+        self.ranks[rank].0
+    }
+
+    /// Node index of the node hosting `rank` (table lookup).
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> u32 {
+        self.ranks[rank].1
+    }
+
+    /// True when both ranks live on the same node (table lookup).
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.ranks[a].1 == self.ranks[b].1
+    }
+
+    /// Hop count between the nodes hosting the two ranks (0 if co-located).
+    /// Cached coordinates + wrap arithmetic; no route computation.
+    #[inline]
+    pub fn hops(&self, a: usize, b: usize) -> u32 {
+        self.shape.torus_distance(self.ranks[a].0, self.ranks[b].0)
+    }
+
+    /// Intern a [`Link`] (O(1): one node-index linearization, no hashing).
+    #[inline]
+    pub fn link_id(&self, link: Link) -> LinkId {
+        let node = self.shape.node_index(link.from) as u32;
+        LinkId(node * LINKS_PER_NODE + u32::from(link.dim) * 2 + u32::from(link.plus))
+    }
+
+    /// Decode a [`LinkId`] back into the full [`Link`] identity.
+    #[inline]
+    pub fn link_of(&self, id: LinkId) -> Link {
+        let rem = id.0 % LINKS_PER_NODE;
+        Link {
+            from: self.shape.node_coord((id.0 / LINKS_PER_NODE) as usize),
+            dim: (rem / 2) as u8,
+            plus: rem % 2 == 1,
+        }
+    }
+
+    /// The cached route between two *node indices* as an `(arena offset,
+    /// hop count)` span, computing and caching it on first use. Index the
+    /// links with [`RouteTable::link_at`]; the span stays valid for the
+    /// lifetime of the table (the arena only grows).
+    #[inline]
+    pub fn route_span(&mut self, src_node: u32, dst_node: u32) -> (u32, u16) {
+        if self.spans.is_empty() {
+            self.spans = vec![(UNCACHED, 0); (self.nodes as usize).pow(2)];
+        }
+        let idx = src_node as usize * self.nodes as usize + dst_node as usize;
+        let span = self.spans[idx];
+        if span.0 != UNCACHED {
+            return span;
+        }
+        self.fill_route(idx, src_node, dst_node)
+    }
+
+    /// The cached route between two node indices as a [`LinkId`] slice.
+    pub fn route_ids(&mut self, src_node: u32, dst_node: u32) -> &[LinkId] {
+        let (off, len) = self.route_span(src_node, dst_node);
+        &self.arena[off as usize..off as usize + len as usize]
+    }
+
+    /// One link of the arena (index comes from [`RouteTable::route_span`]).
+    #[inline]
+    pub fn link_at(&self, arena_idx: u32) -> LinkId {
+        self.arena[arena_idx as usize]
+    }
+
+    /// Number of distinct node-pair routes cached so far.
+    pub fn routes_cached(&self) -> u64 {
+        self.routes_cached
+    }
+
+    /// Total links stored in the shared route arena.
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    #[cold]
+    fn fill_route(&mut self, idx: usize, src_node: u32, dst_node: u32) -> (u32, u16) {
+        let off = self.arena.len() as u32;
+        let src = self.shape.node_coord(src_node as usize);
+        let dst = self.shape.node_coord(dst_node as usize);
+        let shape = self.shape;
+        let arena = &mut self.arena;
+        route_with(&shape, src, dst, |link| {
+            let node = shape.node_index(link.from) as u32;
+            arena.push(LinkId(
+                node * LINKS_PER_NODE + u32::from(link.dim) * 2 + u32::from(link.plus),
+            ));
+        });
+        let len = (self.arena.len() as u32 - off) as u16;
+        debug_assert_eq!(
+            u32::from(len),
+            self.shape.torus_distance(src, dst),
+            "cached route length must equal the torus distance"
+        );
+        self.spans[idx] = (off, len);
+        self.routes_cached += 1;
+        (off, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::route;
+    use crate::Mapping;
+
+    fn table(nodes: usize, ppn: usize) -> (Topology, RouteTable) {
+        let topo = Topology {
+            shape: TorusShape::for_nodes(nodes),
+            procs_per_node: ppn,
+            mapping: Mapping::abcdet(),
+        };
+        let rt = RouteTable::new(&topo);
+        (topo, rt)
+    }
+
+    #[test]
+    fn rank_table_matches_topology() {
+        let (topo, rt) = table(64, 16);
+        assert_eq!(rt.capacity(), topo.capacity());
+        for r in 0..topo.capacity() {
+            assert_eq!(rt.coord_of(r), topo.coord_of(r), "rank {r}");
+            assert_eq!(
+                rt.node_of(r) as usize,
+                topo.shape.node_index(topo.coord_of(r))
+            );
+        }
+        for (a, b) in [(0, 0), (0, 15), (0, 16), (3, 999), (1000, 17)] {
+            assert_eq!(rt.same_node(a, b), topo.same_node(a, b));
+            assert_eq!(rt.hops(a, b), topo.hops(a, b));
+        }
+    }
+
+    #[test]
+    fn link_id_is_a_bijection() {
+        let (_, rt) = table(128, 1);
+        for id in 0..rt.num_link_ids() as u32 {
+            let link = rt.link_of(LinkId(id));
+            assert_eq!(rt.link_id(link), LinkId(id));
+            assert!(link.dim < 5);
+        }
+    }
+
+    #[test]
+    fn link_id_order_matches_link_order() {
+        // Dense id order must equal the lexicographic Link order the old
+        // HashMap-based utilization view sorted by.
+        let (_, rt) = table(32, 1);
+        let links: Vec<Link> = (0..rt.num_link_ids() as u32)
+            .map(|i| rt.link_of(LinkId(i)))
+            .collect();
+        let mut sorted = links.clone();
+        sorted.sort_unstable();
+        assert_eq!(links, sorted);
+    }
+
+    #[test]
+    fn cached_routes_match_fresh_routes() {
+        let (topo, mut rt) = table(64, 1);
+        let shape = topo.shape;
+        for a in 0..shape.num_nodes() as u32 {
+            for b in 0..shape.num_nodes() as u32 {
+                let cached: Vec<Link> = rt
+                    .route_ids(a, b)
+                    .to_vec()
+                    .into_iter()
+                    .map(|id| rt.link_of(id))
+                    .collect();
+                let fresh = route(
+                    &shape,
+                    shape.node_coord(a as usize),
+                    shape.node_coord(b as usize),
+                );
+                assert_eq!(cached, fresh, "route {a}->{b}");
+            }
+        }
+        let n = shape.num_nodes() as u64;
+        assert_eq!(rt.routes_cached(), n * n);
+    }
+
+    #[test]
+    fn route_cache_is_lazy_and_stable() {
+        let (_, mut rt) = table(32, 1);
+        assert_eq!(rt.routes_cached(), 0);
+        assert_eq!(rt.arena_len(), 0);
+        let first = rt.route_span(0, 7);
+        let len_after = rt.arena_len();
+        // Second lookup: cache hit, no arena growth.
+        assert_eq!(rt.route_span(0, 7), first);
+        assert_eq!(rt.arena_len(), len_after);
+        // Self-route caches an empty span.
+        assert_eq!(rt.route_span(5, 5).1, 0);
+    }
+}

@@ -24,13 +24,22 @@ pub struct Link {
 /// links traversed. An empty route means the nodes are identical.
 pub fn route(shape: &TorusShape, src: Coord, dst: Coord) -> Vec<Link> {
     let mut links = Vec::new();
+    route_with(shape, src, dst, |l| links.push(l));
+    links
+}
+
+/// Walk the dimension-ordered route from `src` to `dst`, invoking `visit`
+/// for every link in traversal order without materializing a `Vec`. This is
+/// the single source of truth for routing; [`route`] and the cached
+/// [`crate::route_table::RouteTable`] arena are both built on it.
+pub fn route_with<F: FnMut(Link)>(shape: &TorusShape, src: Coord, dst: Coord, mut visit: F) {
     let mut cur = src;
     for dim in 0..5u8 {
         let size = shape.dim(dim as usize);
         let delta = wrap_delta(cur.get(dim as usize), dst.get(dim as usize), size);
         let plus = delta >= 0;
         for _ in 0..delta.unsigned_abs() {
-            links.push(Link {
+            visit(Link {
                 from: cur,
                 dim,
                 plus,
@@ -45,7 +54,6 @@ pub fn route(shape: &TorusShape, src: Coord, dst: Coord) -> Vec<Link> {
         }
     }
     debug_assert_eq!(cur, dst, "route must terminate at destination");
-    links
 }
 
 /// Hop count of the dimension-ordered route (equals the torus distance,

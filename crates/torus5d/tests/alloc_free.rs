@@ -1,0 +1,95 @@
+//! Proof that message delivery is allocation-free once warm: a counting
+//! global allocator wraps `System`, the delivery state is warmed (route
+//! arena + pair map populated), and a second batch of deliveries must not
+//! allocate at all.
+//!
+//! This lives in its own integration-test binary because `#[global_allocator]`
+//! is process-wide, and it holds a single `#[test]` so no concurrent test can
+//! pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use desim::{SimDuration, SimRng, SimTime};
+use torus5d::{BgqParams, MsgClass, NetState, Topology};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, l, new)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+}
+
+#[global_allocator]
+static COUNTING: Counting = Counting;
+
+fn schedule(procs: usize, msgs: usize, seed: u64) -> Vec<(usize, usize, usize, MsgClass)> {
+    let mut rng = SimRng::new(seed);
+    (0..msgs)
+        .map(|i| {
+            let src = rng.next_below(procs as u64) as usize;
+            let mut dst = rng.next_below(procs as u64) as usize;
+            if dst == src {
+                dst = (dst + 1) % procs;
+            }
+            let payload = 1usize << (4 + rng.next_below(12));
+            let class = match i % 8 {
+                0 => MsgClass::Unordered,
+                1 | 2 => MsgClass::Control,
+                _ => MsgClass::Ordered,
+            };
+            (src, dst, payload, class)
+        })
+        .collect()
+}
+
+#[test]
+fn deliver_is_allocation_free_once_routes_are_warm() {
+    let procs = 256;
+    let topo = Topology::for_procs(procs, 16);
+    let mut net = NetState::new(topo, BgqParams::default(), true);
+    let sched = schedule(procs, 30_000, 0xA110_C8EE);
+
+    // Warm pass: populates the route arena, the span table and every pair
+    // slot in the ordering map (allocations expected and allowed here).
+    let mut inject = SimTime::ZERO;
+    for &(src, dst, payload, class) in &sched {
+        inject += SimDuration::from_ns(100);
+        net.deliver(inject, src, dst, payload, class);
+    }
+    let routes_warm = net.route_table().routes_cached();
+    let arena_warm = net.route_table().arena_len();
+
+    // Hot pass: same pairs again — zero heap activity allowed.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for &(src, dst, payload, class) in &sched {
+        inject += SimDuration::from_ns(100);
+        net.deliver(inject, src, dst, payload, class);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "deliveries over warm routes must not allocate"
+    );
+
+    // And the warm pass really did all the cache work: nothing new appeared.
+    assert_eq!(net.route_table().routes_cached(), routes_warm);
+    assert_eq!(net.route_table().arena_len(), arena_warm);
+    assert_eq!(net.messages(), 2 * sched.len() as u64);
+}

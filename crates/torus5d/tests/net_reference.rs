@@ -1,0 +1,197 @@
+//! Differential test: the dense, arena-backed `NetState` must produce
+//! *bit-identical* arrival times and link-utilization views to the original
+//! HashMap-based implementation, reproduced here as a reference model.
+//!
+//! The reference deliberately mirrors the old code's arithmetic (max/add
+//! ordering, `unwrap_or(ZERO)` defaults, `entry().or_default()` inserts) so
+//! any divergence in the rework shows up as a failed equality, not a tolerance
+//! breach.
+
+use std::collections::HashMap;
+
+use desim::{SimDuration, SimRng, SimTime};
+use torus5d::routing::route;
+use torus5d::{BgqParams, Link, MsgClass, NetState, Topology};
+
+/// The pre-rework `NetState` delivery logic, verbatim modulo flight
+/// recording (both sides run with the recorder disabled).
+struct RefNet {
+    topo: Topology,
+    params: BgqParams,
+    contention: bool,
+    track_links: bool,
+    pair_last: HashMap<(u32, u32), SimTime>,
+    link_busy: HashMap<Link, SimTime>,
+    tx_busy: HashMap<u32, SimTime>,
+    link_util: HashMap<Link, SimDuration>,
+}
+
+impl RefNet {
+    fn new(topo: Topology, params: BgqParams, contention: bool, track_links: bool) -> RefNet {
+        RefNet {
+            topo,
+            params,
+            contention,
+            track_links,
+            pair_last: HashMap::new(),
+            link_busy: HashMap::new(),
+            tx_busy: HashMap::new(),
+            link_util: HashMap::new(),
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        inject: SimTime,
+        src: usize,
+        dst: usize,
+        payload: usize,
+        class: MsgClass,
+    ) -> SimTime {
+        let same_node = self.topo.same_node(src, dst);
+        let wire = if same_node {
+            self.params.intranode_time(payload)
+        } else {
+            self.params.wire_time(payload)
+        };
+        let start = if class == MsgClass::Ordered {
+            let busy = self
+                .tx_busy
+                .get(&(src as u32))
+                .copied()
+                .unwrap_or(SimTime::ZERO);
+            let start = inject.max(busy);
+            self.tx_busy.insert(src as u32, start + wire);
+            start
+        } else {
+            inject
+        };
+        let head = if same_node {
+            start + self.params.intranode_latency
+        } else if self.contention {
+            self.contended_head(start, src, dst, payload)
+        } else {
+            if self.track_links {
+                self.account_links(src, dst, payload);
+            }
+            start + self.params.oneway_header(self.topo.hops(src, dst))
+        };
+        let mut arrival = head + wire;
+        if class != MsgClass::Unordered {
+            let key = (src as u32, dst as u32);
+            let last = self.pair_last.get(&key).copied().unwrap_or(SimTime::ZERO);
+            arrival = arrival.max(last);
+            self.pair_last.insert(key, arrival);
+        }
+        arrival
+    }
+
+    fn contended_head(
+        &mut self,
+        inject: SimTime,
+        src: usize,
+        dst: usize,
+        payload: usize,
+    ) -> SimTime {
+        let links = route(
+            &self.topo.shape,
+            self.topo.coord_of(src),
+            self.topo.coord_of(dst),
+        );
+        let wire = self.params.wire_time(payload);
+        let hop = self.params.hop_latency;
+        let mut t = inject + self.params.base_latency;
+        for link in links {
+            let busy = self.link_busy.get(&link).copied().unwrap_or(SimTime::ZERO);
+            let granted = t.max(busy);
+            t = granted + hop;
+            self.link_busy.insert(link, t + wire);
+            *self.link_util.entry(link).or_default() += hop + wire;
+        }
+        t
+    }
+
+    fn account_links(&mut self, src: usize, dst: usize, payload: usize) {
+        let links = route(
+            &self.topo.shape,
+            self.topo.coord_of(src),
+            self.topo.coord_of(dst),
+        );
+        let add = self.params.hop_latency + self.params.wire_time(payload);
+        for link in links {
+            *self.link_util.entry(link).or_default() += add;
+        }
+    }
+
+    fn link_utilization(&self) -> Vec<(Link, SimDuration)> {
+        let mut v: Vec<(Link, SimDuration)> =
+            self.link_util.iter().map(|(l, d)| (*l, *d)).collect();
+        v.sort_by_key(|(l, _)| *l);
+        v
+    }
+}
+
+/// Run a randomized schedule through both implementations and require exact
+/// agreement on every arrival time and the final utilization view.
+fn differential(procs: usize, ppn: usize, contention: bool, track: bool, seed: u64, msgs: usize) {
+    let topo = Topology::for_procs(procs, ppn);
+    let mut new = NetState::new(topo.clone(), BgqParams::default(), contention);
+    new.set_link_tracking(track);
+    let mut old = RefNet::new(topo, BgqParams::default(), contention, track);
+    let mut rng = SimRng::new(seed);
+    let mut inject = SimTime::ZERO;
+    let cap = (procs) as u64;
+    for i in 0..msgs {
+        let src = rng.next_below(cap) as usize;
+        let mut dst = rng.next_below(cap) as usize;
+        if dst == src {
+            dst = (dst + 1) % procs;
+        }
+        let payload = 1usize << rng.next_below(16); // 1 B .. 32 KB
+        let class = match rng.next_below(4) {
+            0 => MsgClass::Unordered,
+            1 => MsgClass::Control,
+            _ => MsgClass::Ordered,
+        };
+        inject += SimDuration::from_ns(rng.next_below(500));
+        let a_new = new.deliver(inject, src, dst, payload, class);
+        let a_old = old.deliver(inject, src, dst, payload, class);
+        assert_eq!(
+            a_new, a_old,
+            "msg {i}: {src}->{dst} {payload}B {class:?} at {inject}"
+        );
+    }
+    assert_eq!(
+        new.link_utilization(),
+        old.link_utilization(),
+        "link utilization view diverged (procs={procs} ppn={ppn} \
+         contention={contention} track={track})"
+    );
+}
+
+#[test]
+fn contended_delivery_matches_reference() {
+    differential(256, 16, true, false, 0xD1FF_0001, 20_000);
+}
+
+#[test]
+fn analytic_delivery_matches_reference() {
+    differential(256, 16, false, false, 0xD1FF_0002, 20_000);
+}
+
+#[test]
+fn tracked_analytic_delivery_matches_reference() {
+    differential(128, 16, false, true, 0xD1FF_0003, 10_000);
+}
+
+#[test]
+fn single_rank_per_node_matches_reference() {
+    differential(64, 1, true, false, 0xD1FF_0004, 10_000);
+}
+
+#[test]
+fn intranode_heavy_schedule_matches_reference() {
+    // Few nodes, many ranks per node: most traffic is intranode, stressing
+    // the same-node and tx-FIFO paths.
+    differential(32, 16, true, false, 0xD1FF_0005, 10_000);
+}

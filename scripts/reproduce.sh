@@ -51,6 +51,11 @@ echo "== simulator self-benchmark (simbench; wall-clock, host-dependent)"
 ./target/release/simbench --quick $JOBS --json results/simbench.json \
   > results/simbench.txt
 check_json results/simbench.json
+# Loose self-benchmark gate: catches gross regressions (and schema drift)
+# against the committed golden while the generous tolerance absorbs the
+# host-dependent wall-clock/speedup fields. The strict determinism check on
+# events/sim_time_ps lives in crates/bench/tests/determinism.rs.
+./target/release/perfdiff results/BENCH_simbench.json results/simbench.json --tol 20
 echo "== perf-regression gate (quick configs vs results/BENCH_* goldens)"
 ./target/release/fig9_rmw --procs 2,8,32 --ops 5 $JOBS \
   --json results/gate_fig9_rmw.json \
