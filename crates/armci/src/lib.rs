@@ -55,6 +55,7 @@ pub mod strided;
 pub use collectives::ReduceOp;
 pub use consistency::{ConsistencyMode, ConsistencyTracker};
 pub use handle::{NbHandle, OpKind};
+pub use model::{FailureMode, RetryPolicy};
 pub use ops::ArmciRank;
 pub use region_cache::{RegionCache, RemoteRegion};
 pub use runtime::{Armci, ArmciConfig, ProgressMode};

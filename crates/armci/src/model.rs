@@ -56,6 +56,28 @@ pub fn region_time(tau: usize, sigma: usize, delta: SimDuration) -> SimDuration 
     delta * (tau + sigma) as u64
 }
 
+/// Failure-handling mode surfaced to ARMCI users — re-exported from the
+/// PAMI layer, where the timeout/backoff/retry machinery lives.
+pub use pami_sim::FailureMode;
+/// Timeout/backoff/bounded-retry policy surfaced to ARMCI users.
+pub use pami_sim::RetryPolicy;
+
+/// Closed form for the wait a single attempt spends before retransmit
+/// number `k+1` goes out: `timeout + backoff·2^k` (see
+/// [`RetryPolicy::backoff_delay`]).
+pub fn retry_attempt_delay(p: &RetryPolicy, k: u32) -> SimDuration {
+    p.timeout + p.backoff_delay(k)
+}
+
+/// Closed form for the total delay an operation accumulates after `k`
+/// consecutive drops: `Σ_{i<k} (timeout + backoff·2^i)
+/// = k·timeout + backoff·(2^k − 1)`. This is the worst-case latency added
+/// by the resilience layer before either the `k`-th retransmit succeeds or
+/// the policy gives up (`k = max_retries + 1`).
+pub fn retry_total_delay(p: &RetryPolicy, k: u32) -> SimDuration {
+    (0..k).fold(SimDuration::ZERO, |acc, i| acc + retry_attempt_delay(p, i))
+}
+
 /// All Table-II style attribute values for a parameter set, as
 /// `(name, value)` rows for reporting.
 pub fn attribute_rows(p: &BgqParams, rho: usize) -> Vec<(&'static str, String)> {
@@ -110,6 +132,18 @@ mod tests {
             region_time(3, 7, p.memregion_create),
             p.memregion_create * 10
         );
+    }
+
+    #[test]
+    fn retry_delay_closed_form_matches_geometric_sum() {
+        let p = RetryPolicy::default();
+        // k·timeout + backoff·(2^k − 1), for the default 30us/5us policy.
+        for k in 0..6u32 {
+            let closed = p.timeout * k as u64 + p.backoff * ((1u64 << k) - 1);
+            assert_eq!(retry_total_delay(&p, k), closed, "k={k}");
+        }
+        assert_eq!(retry_total_delay(&p, 0), SimDuration::ZERO);
+        assert_eq!(retry_attempt_delay(&p, 2), p.timeout + p.backoff * 4);
     }
 
     #[test]

@@ -241,6 +241,18 @@ impl Armci {
             .insert(target, RemoteRegion { off, len });
     }
 
+    /// Resilience-layer counters accumulated so far: `(retries, timeouts,
+    /// gave_up)` from the PAMI retry machinery. All zero on a fault-free
+    /// run (the counters only exist once a fault plan drops something).
+    pub fn retry_counts(&self) -> (u64, u64, u64) {
+        let s = self.inner.machine.stats();
+        (
+            s.counter("pami.retries"),
+            s.counter("pami.timeouts"),
+            s.counter("pami.gave_up"),
+        )
+    }
+
     /// Induced fences (reads forced to wait on writes) summed over ranks.
     pub fn induced_fences(&self) -> u64 {
         self.inner

@@ -17,106 +17,10 @@
 //! queueing / wire / contention / progress-starvation, tiling the whole
 //! run), and writes the machine-readable form as JSON.
 
-use armci::{ArmciConfig, ProgressMode};
-use bgq_bench::{
-    arg_jobs, arg_list, arg_str, arg_usize, check_args, sweep, write_text, Fixture, JOBS_FLAG,
-};
-use desim::{analyze, ChromeTrace, CritPath, MetricsSnapshot, SimDuration, Stats};
-use std::cell::Cell;
-use std::rc::Rc;
-
-struct RunOut {
-    latency_us: f64,
-    snapshot: MetricsSnapshot,
-    crit: Option<CritPath>,
-    /// Chrome-trace fragment recorded in-run (worker thread local), merged
-    /// into the sweep-wide trace afterwards in input order.
-    chrome: Option<ChromeTrace>,
-}
-
-fn run(
-    p: usize,
-    progress: ProgressMode,
-    rank0_computes: bool,
-    k: usize,
-    trace: Option<(u64, &str)>,
-    breakdown: bool,
-) -> RunOut {
-    let contexts = if progress == ProgressMode::AsyncThread {
-        2
-    } else {
-        1
-    };
-    let f = Fixture::with_machine(
-        pami_sim::MachineConfig::new(p)
-            .procs_per_node(16)
-            .contexts(contexts),
-        ArmciConfig::default().progress(progress),
-    );
-    let tracer = f.sim.tracer();
-    if trace.is_some() {
-        tracer.enable(1 << 20);
-    }
-    if breakdown {
-        f.armci.machine().enable_flight(1 << 20);
-    }
-    let owner = f.armci.machine().rank(0);
-    let counter = owner.alloc(8);
-    owner.write_i64(counter, 0);
-    let total_wait = Rc::new(Cell::new(SimDuration::ZERO));
-    let finished = Rc::new(Cell::new(0usize));
-    let ops = (p - 1) * k;
-
-    for r in 1..p {
-        let rk = f.rank(r);
-        let s = f.sim.clone();
-        let total_wait = Rc::clone(&total_wait);
-        let finished = Rc::clone(&finished);
-        f.sim.spawn(async move {
-            for _ in 0..k {
-                let t0 = s.now();
-                rk.rmw_fetch_add(0, counter, 1).await;
-                total_wait.set(total_wait.get() + (s.now() - t0));
-            }
-            finished.set(finished.get() + 1);
-            rk.barrier().await;
-        });
-    }
-    // Rank 0's program.
-    {
-        let rk = f.rank(0);
-        let s = f.sim.clone();
-        let finished = Rc::clone(&finished);
-        let nreq = p - 1;
-        f.sim.spawn(async move {
-            if rank0_computes {
-                // SCF-like: compute 300 us, then touch the counter (the only
-                // point where the default progress engine runs).
-                while finished.get() < nreq {
-                    s.sleep(SimDuration::from_us(300)).await;
-                    rk.rmw_fetch_add(0, counter, 0).await;
-                }
-            }
-            rk.barrier().await;
-        });
-    }
-    f.finish();
-    f.armci.machine().flush_net_stats();
-    let snapshot = f.armci.machine().stats().snapshot();
-    let chrome = trace.map(|(pid, name)| {
-        let mut ct = ChromeTrace::new();
-        ct.add_process(pid, name, &tracer);
-        tracer.disable();
-        ct
-    });
-    let crit = breakdown.then(|| analyze(&f.armci.machine().flight(), f.sim.now()));
-    RunOut {
-        latency_us: total_wait.get().as_us() / ops as f64,
-        snapshot,
-        crit,
-        chrome,
-    }
-}
+use armci::ProgressMode;
+use bgq_bench::fig9::run;
+use bgq_bench::{arg_jobs, arg_list, arg_str, arg_usize, check_args, sweep, write_text, JOBS_FLAG};
+use desim::{ChromeTrace, Stats};
 
 fn main() {
     check_args(
@@ -177,7 +81,7 @@ fn main() {
         // Trace/record only the smallest process count: one pid per config.
         let trace = (wants_trace && pi == 0).then_some((ci as u64 + 1, name));
         let breakdown = wants_breakdown && pi == 0;
-        run(procs[pi], mode, compute, k, trace, breakdown)
+        run(procs[pi], mode, compute, k, trace, breakdown, None)
     });
     for (pi, &p) in procs.iter().enumerate() {
         let mut lat = [0.0f64; 4];

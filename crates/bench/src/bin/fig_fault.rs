@@ -1,0 +1,79 @@
+//! fig_fault — bandwidth and p99 latency under deterministic fault injection.
+//!
+//! Sweeps fault rate × message size over a blocking RDMA-put streaming
+//! workload (every rank → the rank 16 away, always cross-node) with the
+//! `desim::fault` scheduler injecting link corruption plus one mid-run
+//! link-down window. Shows goodput and tail latency degrading gracefully as
+//! the PAMI timeout/backoff/retry layer rides out the faults. With
+//! `--fault-rate 0` no plan is installed at all, so that column is
+//! byte-identical to a fault-free build (the zero-cost contract).
+//!
+//! `--json <path>` writes the fixed-schema `fault-v1` document; every field
+//! in it is deterministic (virtual time, counters, percentiles derived from
+//! virtual time), so CI diffs it against `results/BENCH_fig_fault.json`
+//! with zero tolerance.
+
+use bgq_bench::fault_bench::{run_cell, sweep_json, FaultCell};
+use bgq_bench::{
+    arg_jobs, arg_list, arg_str, arg_usize, check_args, fmt_size, sweep, write_text, JOBS_FLAG,
+};
+
+fn main() {
+    check_args(
+        "fig_fault",
+        "bandwidth and p99 latency under deterministic fault injection",
+        &[
+            (
+                "--procs",
+                true,
+                "process count, multiple of 16 (default 32)",
+            ),
+            ("--msgs", true, "puts per rank (default 8)"),
+            ("--sizes", true, "comma-separated payload sizes (bytes)"),
+            (
+                "--fault-rate",
+                true,
+                "comma-separated corruption rates, parts per million",
+            ),
+            ("--seed", true, "fault-plan seed (default 42)"),
+            ("--json", true, "write the fault-v1 sweep JSON"),
+            JOBS_FLAG,
+        ],
+    );
+    let procs = arg_usize("--procs", 32);
+    let msgs = arg_usize("--msgs", 8);
+    let sizes = arg_list("--sizes", &[4096, 65536]);
+    let rates = arg_list("--fault-rate", &[0, 1000, 10000]);
+    let seed = arg_usize("--seed", 42) as u64;
+    let jobs = arg_jobs();
+    let json_path = arg_str("--json");
+
+    println!("== fig_fault: {procs} ranks, {msgs} puts/rank, seed {seed} ==");
+    println!(
+        "{:>10} {:>8} {:>12} {:>10} {:>9} {:>9} {:>8} {:>12}",
+        "rate(ppm)", "size", "MB/s", "p99(us)", "retries", "timeouts", "gave_up", "sim_time(ms)"
+    );
+    // One independent simulation per (rate, size) cell; collected by input
+    // index so output order never depends on worker count.
+    let cells: Vec<FaultCell> = sweep::run_parallel(rates.len() * sizes.len(), jobs, |idx| {
+        let (ri, si) = (idx / sizes.len(), idx % sizes.len());
+        run_cell(procs, sizes[si], msgs, rates[ri] as u64, seed)
+    });
+    for c in &cells {
+        println!(
+            "{:>10} {:>8} {:>12.1} {:>10.2} {:>9} {:>9} {:>8} {:>12.3}",
+            c.rate_ppm,
+            fmt_size(c.size),
+            c.mb_s,
+            c.p99_us,
+            c.retries,
+            c.timeouts,
+            c.gave_up,
+            c.sim_time_ps as f64 / 1e9,
+        );
+    }
+    println!("expected: MB/s falls and p99 rises smoothly with rate; rate 0 == fault-free");
+    if let Some(path) = json_path {
+        write_text(&path, &sweep_json(procs, msgs, seed, &cells));
+    }
+}

@@ -55,6 +55,14 @@ fn main() {
         match args[i].as_str() {
             "--help" | "-h" => {
                 print!("{}", usage_text(BIN, ABOUT, FLAGS));
+                println!();
+                println!("exit status:");
+                println!("  0  every baseline leaf present in the candidate and within tolerance");
+                println!("  1  regression: drift beyond tolerance, missing leaf, or type change");
+                println!("  2  usage or I/O error (bad flags, unreadable file, invalid JSON)");
+                println!();
+                println!("candidate-only leaves are reported as notes and never fail the gate,");
+                println!("so goldens stay forward-compatible when new counters appear.");
                 return;
             }
             "--check" => check = true,

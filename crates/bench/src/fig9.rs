@@ -1,0 +1,120 @@
+//! Shared core of the Fig 9 read-modify-write benchmark (see
+//! `src/bin/fig9_rmw.rs` for the CLI): ranks 1..p fetch-and-add a counter
+//! hosted at rank 0 under a {Default, AsyncThread} × {idle, compute}
+//! configuration matrix.
+//!
+//! Lives in the library (rather than the binary) so the fault-injection
+//! differential tests can run the exact production workload with and
+//! without a [`FaultPlan`] installed and compare outputs byte-for-byte.
+
+use armci::{ArmciConfig, ProgressMode};
+use desim::{analyze, ChromeTrace, CritPath, FaultPlan, MetricsSnapshot, SimDuration};
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::Fixture;
+
+/// Outcome of one Fig 9 configuration run.
+pub struct RunOut {
+    /// Mean fetch-and-add latency over all requester operations (µs).
+    pub latency_us: f64,
+    /// The machine's full metrics snapshot at the end of the run.
+    pub snapshot: MetricsSnapshot,
+    /// Critical-path decomposition, when `breakdown` was requested.
+    pub crit: Option<CritPath>,
+    /// Chrome-trace fragment recorded in-run (worker thread local), merged
+    /// into the sweep-wide trace afterwards in input order.
+    pub chrome: Option<ChromeTrace>,
+}
+
+/// Run one Fig 9 configuration: `p` ranks, `k` fetch-and-adds per
+/// requester. `trace` enables the tracer with the given `(pid, name)`;
+/// `breakdown` turns on the flight recorder; `fault` installs a fault plan
+/// on the machine (with `None` and with an *empty* plan the run is
+/// byte-identical — the zero-cost-when-idle contract, asserted by
+/// `tests/fault_zero_cost.rs`).
+pub fn run(
+    p: usize,
+    progress: ProgressMode,
+    rank0_computes: bool,
+    k: usize,
+    trace: Option<(u64, &str)>,
+    breakdown: bool,
+    fault: Option<FaultPlan>,
+) -> RunOut {
+    let contexts = if progress == ProgressMode::AsyncThread {
+        2
+    } else {
+        1
+    };
+    let mut mcfg = pami_sim::MachineConfig::new(p)
+        .procs_per_node(16)
+        .contexts(contexts);
+    if let Some(plan) = fault {
+        mcfg = mcfg.faults(plan);
+    }
+    let f = Fixture::with_machine(mcfg, ArmciConfig::default().progress(progress));
+    let tracer = f.sim.tracer();
+    if trace.is_some() {
+        tracer.enable(1 << 20);
+    }
+    if breakdown {
+        f.armci.machine().enable_flight(1 << 20);
+    }
+    let owner = f.armci.machine().rank(0);
+    let counter = owner.alloc(8);
+    owner.write_i64(counter, 0);
+    let total_wait = Rc::new(Cell::new(SimDuration::ZERO));
+    let finished = Rc::new(Cell::new(0usize));
+    let ops = (p - 1) * k;
+
+    for r in 1..p {
+        let rk = f.rank(r);
+        let s = f.sim.clone();
+        let total_wait = Rc::clone(&total_wait);
+        let finished = Rc::clone(&finished);
+        f.sim.spawn(async move {
+            for _ in 0..k {
+                let t0 = s.now();
+                rk.rmw_fetch_add(0, counter, 1).await;
+                total_wait.set(total_wait.get() + (s.now() - t0));
+            }
+            finished.set(finished.get() + 1);
+            rk.barrier().await;
+        });
+    }
+    // Rank 0's program.
+    {
+        let rk = f.rank(0);
+        let s = f.sim.clone();
+        let finished = Rc::clone(&finished);
+        let nreq = p - 1;
+        f.sim.spawn(async move {
+            if rank0_computes {
+                // SCF-like: compute 300 us, then touch the counter (the only
+                // point where the default progress engine runs).
+                while finished.get() < nreq {
+                    s.sleep(SimDuration::from_us(300)).await;
+                    rk.rmw_fetch_add(0, counter, 0).await;
+                }
+            }
+            rk.barrier().await;
+        });
+    }
+    f.finish();
+    f.armci.machine().flush_net_stats();
+    let snapshot = f.armci.machine().stats().snapshot();
+    let chrome = trace.map(|(pid, name)| {
+        let mut ct = ChromeTrace::new();
+        ct.add_process(pid, name, &tracer);
+        tracer.disable();
+        ct
+    });
+    let crit = breakdown.then(|| analyze(&f.armci.machine().flight(), f.sim.now()));
+    RunOut {
+        latency_us: total_wait.get().as_us() / ops as f64,
+        snapshot,
+        crit,
+        chrome,
+    }
+}

@@ -21,6 +21,8 @@ use armci::{Armci, ArmciConfig, ArmciRank};
 use desim::{Sim, SimDuration, SimTime};
 use pami_sim::{Machine, MachineConfig};
 
+pub mod fault_bench;
+pub mod fig9;
 pub mod perfdiff;
 pub mod simbench;
 pub mod sweep;

@@ -21,8 +21,8 @@
 
 use std::time::{Duration, Instant};
 
-use desim::{Sim, SimDuration, SimRng, SimTime};
-use torus5d::{BgqParams, MsgClass, NetState, Topology};
+use desim::{FaultPlan, Sim, SimDuration, SimRng, SimTime};
+use torus5d::{BgqParams, Delivery, MsgClass, NetState, Topology};
 
 use crate::sweep;
 
@@ -116,8 +116,21 @@ pub fn ping_pong(pairs: usize, rounds: usize) -> KernelLoad {
 /// [`KernelLoad::sim_time_ps`] is the latest arrival time — both fully
 /// deterministic; only the wall-clock varies by host.
 pub fn net_churn(procs: usize, msgs: usize) -> KernelLoad {
+    net_churn_with_faults(procs, msgs, None)
+}
+
+/// [`net_churn`] with an optional [`FaultPlan`] installed on the network.
+/// Messages the plan drops are simply lost (no retry layer down here — this
+/// benchmarks raw `NetState` throughput); `events` still counts only actual
+/// deliveries. With `None` **or an empty plan** the delivery stream is
+/// byte-identical to [`net_churn`] — asserted by
+/// `tests/fault_zero_cost.rs`.
+pub fn net_churn_with_faults(procs: usize, msgs: usize, plan: Option<FaultPlan>) -> KernelLoad {
     let topo = Topology::for_procs(procs, 16);
     let mut net = NetState::new(topo, BgqParams::default(), true);
+    if let Some(plan) = plan {
+        net.install_faults(plan);
+    }
     let mut rng = SimRng::new(0x4E45_7443);
     // Pre-generate the schedule so the timed loop measures delivery alone.
     let mut sched = Vec::with_capacity(msgs);
@@ -140,9 +153,13 @@ pub fn net_churn(procs: usize, msgs: usize) -> KernelLoad {
     let t0 = Instant::now();
     let mut last = SimTime::ZERO;
     for &(at, src, dst, len, class) in &sched {
-        let arrival = net.deliver(at, src, dst, len, class);
-        if arrival > last {
-            last = arrival;
+        match net.try_deliver_op(at, src, dst, len, class, None) {
+            Delivery::Delivered(arrival) => {
+                if arrival > last {
+                    last = arrival;
+                }
+            }
+            Delivery::Dropped { .. } => {} // lost to the fault plan
         }
     }
     let wall = t0.elapsed();

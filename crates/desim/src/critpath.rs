@@ -4,13 +4,13 @@
 //! did the time of this run actually go": it finds the *terminal rank* (the
 //! rank whose operation completed last — the end of the run's critical path),
 //! lays that rank's attributed segments on the `[0, total)` timeline, and
-//! decomposes the whole interval into the five [`SegCategory`] buckets.
+//! decomposes the whole interval into the six [`SegCategory`] buckets.
 //!
 //! When several segments cover the same instant (an initiator's completion
 //! wait overlaps the wire flight and the target-side starvation of the same
-//! operation), the instant is charged to the most *actionable* cause:
-//! starvation over contention over queueing over wire; anything uncovered is
-//! compute. The decomposition therefore always sums **exactly** (in integer
+//! operation), the instant is charged to the most *actionable* cause: retry
+//! over starvation over contention over queueing over wire; anything
+//! uncovered is compute. The decomposition therefore always sums **exactly** (in integer
 //! picoseconds) to the total, and — because the recorder's content is a pure
 //! function of the deterministic simulation — serializes to byte-identical
 //! JSON across same-seed runs.
@@ -37,6 +37,8 @@ pub struct Breakdown {
     pub contention: SimDuration,
     /// Unserviced time at the target with nobody driving progress.
     pub starvation: SimDuration,
+    /// Timeout + backoff waits before retransmitting fault-dropped messages.
+    pub retry: SimDuration,
 }
 
 impl Breakdown {
@@ -48,6 +50,7 @@ impl Breakdown {
             SegCategory::Wire => self.wire,
             SegCategory::Contention => self.contention,
             SegCategory::Starvation => self.starvation,
+            SegCategory::Retry => self.retry,
         }
     }
 
@@ -58,12 +61,13 @@ impl Breakdown {
             SegCategory::Wire => self.wire += d,
             SegCategory::Contention => self.contention += d,
             SegCategory::Starvation => self.starvation += d,
+            SegCategory::Retry => self.retry += d,
         }
     }
 
     /// Sum across all categories; equals the analyzed total by construction.
     pub fn total(&self) -> SimDuration {
-        self.compute + self.queueing + self.wire + self.contention + self.starvation
+        self.compute + self.queueing + self.wire + self.contention + self.starvation + self.retry
     }
 
     /// Category with the largest share (ties resolve in [`SegCategory::ALL`]
@@ -109,8 +113,11 @@ pub struct CritPath {
 }
 
 /// Priority when several categories cover the same instant: charge the most
-/// actionable cause first.
-const BLAME_ORDER: [SegCategory; 4] = [
+/// actionable cause first. Retry outranks everything: an instant spent
+/// waiting out a retransmit backoff is pure fault-induced loss, regardless
+/// of what else the operation overlapped.
+const BLAME_ORDER: [SegCategory; 5] = [
+    SegCategory::Retry,
     SegCategory::Starvation,
     SegCategory::Contention,
     SegCategory::Queueing,
@@ -151,7 +158,7 @@ pub fn analyze(fr: &FlightRecorder, end: SimTime) -> CritPath {
     events.sort_unstable();
 
     let mut breakdown = Breakdown::default();
-    let mut active = [0i64; 5];
+    let mut active = [0i64; 6];
     let mut prev: u64 = 0;
     let mut i = 0;
     while i < events.len() {
@@ -208,7 +215,7 @@ pub fn analyze(fr: &FlightRecorder, end: SimTime) -> CritPath {
     }
 }
 
-fn pick(active: &[i64; 5]) -> SegCategory {
+fn pick(active: &[i64; 6]) -> SegCategory {
     for cat in BLAME_ORDER {
         if active[cat.index()] > 0 {
             return cat;
@@ -334,6 +341,25 @@ mod tests {
         assert_eq!(cp.breakdown.starvation, SimDuration::from_us(3));
         assert_eq!(cp.breakdown.wire, SimDuration::from_us(5));
         assert_eq!(cp.breakdown.total(), cp.total);
+    }
+
+    #[test]
+    fn retry_outranks_every_other_category() {
+        let fr = FlightRecorder::new();
+        fr.enable(32);
+        let op = fr.begin_op(t(0), 0, "armci.put").unwrap();
+        // Retry [1,6) overlaps starvation [2,4) and wire [0,8): the whole
+        // retry window is blamed on retry.
+        fr.segment(op, SegCategory::Wire, "w", t(0), t(8));
+        fr.segment(op, SegCategory::Starvation, "s", t(2), t(4));
+        fr.segment(op, SegCategory::Retry, "pami.retry", t(1), t(6));
+        fr.end_op(op, t(8));
+        let cp = analyze(&fr, t(8));
+        assert_eq!(cp.breakdown.retry, SimDuration::from_us(5));
+        assert_eq!(cp.breakdown.starvation, SimDuration::ZERO);
+        assert_eq!(cp.breakdown.wire, SimDuration::from_us(3));
+        assert_eq!(cp.breakdown.total(), cp.total);
+        assert!(cp.to_json().contains("\"retry\":5000000"));
     }
 
     #[test]

@@ -48,16 +48,20 @@ pub enum SegCategory {
     Contention,
     /// Sitting unserviced at the target while no one drives progress.
     Starvation,
+    /// Waiting out a timeout + backoff before retransmitting a message the
+    /// fault layer dropped (dead link or corrupted packet).
+    Retry,
 }
 
 impl SegCategory {
     /// All categories, in canonical (reporting) order.
-    pub const ALL: [SegCategory; 5] = [
+    pub const ALL: [SegCategory; 6] = [
         SegCategory::Compute,
         SegCategory::Queueing,
         SegCategory::Wire,
         SegCategory::Contention,
         SegCategory::Starvation,
+        SegCategory::Retry,
     ];
 
     /// Stable lower-case name, used as a JSON key.
@@ -68,6 +72,7 @@ impl SegCategory {
             SegCategory::Wire => "wire",
             SegCategory::Contention => "contention",
             SegCategory::Starvation => "starvation",
+            SegCategory::Retry => "retry",
         }
     }
 
@@ -79,6 +84,7 @@ impl SegCategory {
             SegCategory::Wire => 2,
             SegCategory::Contention => 3,
             SegCategory::Starvation => 4,
+            SegCategory::Retry => 5,
         }
     }
 }

@@ -33,6 +33,7 @@
 pub mod channel;
 pub mod critpath;
 pub mod event;
+pub mod fault;
 pub mod flight;
 pub mod futures;
 pub mod json;
@@ -47,6 +48,7 @@ mod wheel;
 
 pub use critpath::{analyze, Breakdown, CritPath, LinkStat};
 pub use event::Completion;
+pub use fault::{FaultEvent, FaultPlan, FaultSpec};
 pub use flight::{FlightRecorder, OpId, SegCategory};
 pub use futures::{race, Either};
 pub use kernel::{JoinHandle, Sim, TaskId};

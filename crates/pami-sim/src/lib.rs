@@ -42,9 +42,11 @@
 pub mod context;
 pub mod machine;
 pub mod rank;
+pub mod retry;
 pub mod space;
 
 pub use context::{AmEnv, AmHandler, AmMsg, CtxState, RmwOp, WorkItem};
 pub use machine::{Machine, MachineConfig, RegionError, RegionId};
 pub use rank::{AsyncThread, PamiRank, PutHandles};
+pub use retry::{FailureMode, RetryPolicy};
 pub use space::{SpaceAccount, SpaceSnapshot};

@@ -4,10 +4,11 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::rc::Rc;
 
-use desim::{FlightRecorder, OpId, Sim, Stats};
+use desim::{FaultPlan, FlightRecorder, OpId, Sim, SimTime, Stats};
 use torus5d::{BgqParams, Mapping, NetState, Topology};
 
 use crate::context::CtxState;
+use crate::retry::RetryPolicy;
 use crate::space::{SpaceAccount, SpaceSnapshot};
 
 /// Configuration of a simulated partition.
@@ -36,6 +37,13 @@ pub struct MachineConfig {
     /// Explicit torus shape (default: the standard BG/Q partition shape for
     /// the node count). Useful for stressing specific dimensions.
     pub shape: Option<torus5d::TorusShape>,
+    /// Deterministic fault schedule to install on the interconnect
+    /// (`None` = perfect network). An *empty* plan is installed but arms
+    /// nothing: outputs stay byte-identical to `None`.
+    pub fault_plan: Option<FaultPlan>,
+    /// Timeout/backoff/retry policy for network legs; only consulted when a
+    /// non-empty fault plan is installed.
+    pub retry: RetryPolicy,
 }
 
 impl MachineConfig {
@@ -52,6 +60,8 @@ impl MachineConfig {
             memregion_limit: None,
             mapping: Mapping::abcdet(),
             shape: None,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -96,6 +106,18 @@ impl MachineConfig {
     /// nodes).
     pub fn shape(mut self, dims: [u16; 5]) -> Self {
         self.shape = Some(torus5d::TorusShape::new(dims));
+        self
+    }
+
+    /// Install a deterministic fault schedule on the interconnect.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Set the timeout/backoff/retry policy used under fault injection.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 }
@@ -196,6 +218,10 @@ pub(crate) struct MachineInner {
     pub net: RefCell<NetState>,
     pub ranks: Vec<Rc<RankState>>,
     pub stats: Stats,
+    /// True when a *non-empty* fault plan is installed: the only case in
+    /// which the retry machinery arms itself. Cached so the fault-free hot
+    /// path costs a single bool read.
+    pub faults_active: bool,
 }
 
 /// A simulated Blue Gene/Q partition running `nprocs` PGAS processes.
@@ -233,6 +259,11 @@ impl Machine {
             net.set_link_tracking(true);
         }
         net.set_flight(sim.flight());
+        net.set_tracer(sim.tracer());
+        let faults_active = cfg.fault_plan.as_ref().is_some_and(|p| !p.is_empty());
+        if let Some(plan) = &cfg.fault_plan {
+            net.install_faults(plan.clone());
+        }
         let ranks = (0..cfg.nprocs)
             .map(|_| Rc::new(RankState::new(cfg.contexts_per_rank)))
             .collect();
@@ -247,8 +278,31 @@ impl Machine {
                 net: RefCell::new(net),
                 ranks,
                 stats,
+                faults_active,
             }),
         }
+    }
+
+    /// True when a non-empty fault plan is installed (deadlines and retries
+    /// are armed).
+    pub fn faults_active(&self) -> bool {
+        self.inner.faults_active
+    }
+
+    /// The timeout/backoff/retry policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.inner.cfg.retry
+    }
+
+    /// If the node hosting `rank` is hung at `now` per the fault plan, the
+    /// time it resumes driving progress.
+    pub fn node_hang_until(&self, rank: usize, now: SimTime) -> Option<SimTime> {
+        if !self.inner.faults_active {
+            return None;
+        }
+        let mut net = self.inner.net.borrow_mut();
+        let node = net.route_table().node_of(rank);
+        net.hang_until(node, now)
     }
 
     /// The simulation this machine runs on.
@@ -352,6 +406,14 @@ impl Machine {
         stats.add("net.links_used", util.len() as u64);
         for (_, busy) in &util {
             stats.record_hist("net.link_busy_us", busy.as_us() as u64);
+        }
+        // Fault accounting flushes only when a non-empty plan is installed,
+        // so fault-free snapshots are byte-identical with or without the
+        // fault hooks compiled in.
+        if let Some(c) = net.fault_counters(self.inner.sim.now()) {
+            stats.add("fault.link_down_ps", c.link_down_ps);
+            stats.add("fault.link_down_events", c.link_down_events);
+            stats.add("fault.drops", c.drops());
         }
     }
 }

@@ -4,11 +4,12 @@
 use std::rc::Rc;
 
 use desim::futures::{race, Either};
-use desim::{Completion, OpId, SegCategory, SimDuration};
-use torus5d::MsgClass;
+use desim::{Completion, OpId, SegCategory, SimDuration, SimTime};
+use torus5d::{Delivery, MsgClass};
 
 use crate::context::{AmEnv, AmHandler, AmMsg, CtxState, RmwOp, WorkItem};
 use crate::machine::{Machine, Region, RegionError, RegionId};
+use crate::retry::FailureMode;
 
 /// Completions returned by a put-style operation.
 #[derive(Clone)]
@@ -29,6 +30,94 @@ impl AsyncThread {
     pub fn stop(&self) {
         if !self.stop.is_complete() {
             self.stop.complete(());
+        }
+    }
+}
+
+/// Deliver one network leg from a scheduled (non-async) closure — response
+/// legs of get/rmw-style operations — retrying per the machine's
+/// [`crate::RetryPolicy`] when the fault layer drops it, then invoke
+/// `then(arrival, delivered)` as an event at `arrival + extra`. Without an
+/// active fault plan this is exactly one `deliver_op` plus one `schedule`,
+/// so fault-free event streams are unchanged. Retries recurse through
+/// scheduled closures rather than awaiting, so the target's progress engine
+/// keeps running while a reply waits out its backoff.
+#[allow(clippy::too_many_arguments)]
+fn deliver_then(
+    m: &Machine,
+    inject: SimTime,
+    src: usize,
+    dst: usize,
+    payload: usize,
+    class: MsgClass,
+    op: Option<OpId>,
+    extra: SimDuration,
+    attempt: u32,
+    then: Box<dyn FnOnce(SimTime, bool)>,
+) {
+    let sim = m.sim();
+    if !m.faults_active() {
+        let arrival = m
+            .inner
+            .net
+            .borrow_mut()
+            .deliver_op(inject, src, dst, payload, class, op)
+            + extra;
+        sim.schedule(arrival, move || then(arrival, true));
+        return;
+    }
+    let stats = m.stats();
+    let outcome = m
+        .inner
+        .net
+        .borrow_mut()
+        .try_deliver_op(inject, src, dst, payload, class, op);
+    match outcome {
+        Delivery::Delivered(t) => {
+            if attempt > 0 {
+                stats.record_hist("pami.op_retries", attempt as u64);
+            }
+            let arrival = t + extra;
+            sim.schedule(arrival, move || then(arrival, true));
+        }
+        Delivery::Dropped { .. } => {
+            stats.incr("pami.timeouts");
+            let policy = m.retry_policy();
+            if attempt >= policy.max_retries {
+                match policy.failure {
+                    FailureMode::FailFast => panic!(
+                        "rank {src} -> {dst}: response leg lost after {attempt} retries \
+                         (fault plan too hostile for the retry policy)"
+                    ),
+                    FailureMode::BestEffort => {
+                        stats.incr("pami.gave_up");
+                        let at = policy.resume_at(inject, attempt);
+                        sim.schedule(at, move || then(at, false));
+                    }
+                }
+                return;
+            }
+            let resume = policy.resume_at(inject, attempt);
+            if let Some(op) = op {
+                sim.flight()
+                    .segment(op, SegCategory::Retry, "pami.retry", inject, resume);
+            }
+            let m2 = m.clone();
+            sim.schedule(resume, move || {
+                m2.stats().incr("pami.retries");
+                deliver_then(
+                    &m2,
+                    resume,
+                    src,
+                    dst,
+                    payload,
+                    class,
+                    op,
+                    extra,
+                    attempt + 1,
+                    then,
+                );
+            });
         }
     }
 }
@@ -264,6 +353,83 @@ impl PamiRank {
     }
 
     // ------------------------------------------------------------------
+    // Reliable delivery (fault-plan aware)
+    // ------------------------------------------------------------------
+
+    /// Deliver one request leg from this rank, retrying per the machine's
+    /// [`crate::RetryPolicy`] when the fault layer drops it. Returns the
+    /// arrival time and whether the payload was actually delivered (`false`
+    /// only under [`FailureMode::BestEffort`] after retry exhaustion — the
+    /// caller must then complete the operation without its data effect).
+    /// Without an active fault plan this is exactly one `deliver_op` call,
+    /// so fault-free runs are byte-identical to the pre-fault code path.
+    async fn deliver_reliable(
+        &self,
+        inject: SimTime,
+        target: usize,
+        payload: usize,
+        class: MsgClass,
+        op: Option<OpId>,
+    ) -> (SimTime, bool) {
+        let inner = Rc::clone(&self.m.inner);
+        if !self.m.faults_active() {
+            let arrival = inner
+                .net
+                .borrow_mut()
+                .deliver_op(inject, self.r, target, payload, class, op);
+            return (arrival, true);
+        }
+        let sim = self.m.sim();
+        let stats = self.m.stats();
+        let policy = self.m.retry_policy();
+        let mut attempt: u32 = 0;
+        let mut inject = inject;
+        loop {
+            let outcome = inner
+                .net
+                .borrow_mut()
+                .try_deliver_op(inject, self.r, target, payload, class, op);
+            match outcome {
+                Delivery::Delivered(arrival) => {
+                    if attempt > 0 {
+                        stats.record_hist("pami.op_retries", attempt as u64);
+                    }
+                    return (arrival, true);
+                }
+                Delivery::Dropped { .. } => {
+                    stats.incr("pami.timeouts");
+                    if attempt >= policy.max_retries {
+                        match policy.failure {
+                            FailureMode::FailFast => panic!(
+                                "rank {} -> {target}: operation lost after {attempt} retries \
+                                 (fault plan too hostile for the retry policy)",
+                                self.r
+                            ),
+                            FailureMode::BestEffort => {
+                                stats.incr("pami.gave_up");
+                                return (policy.resume_at(inject, attempt), false);
+                            }
+                        }
+                    }
+                    // Wait out the timeout plus this attempt's backoff, then
+                    // retransmit. The retransmit goes through the normal
+                    // delivery path, so pair ordering still holds: the pair
+                    // front only advanced on deliveries, never on this drop.
+                    let resume = policy.resume_at(inject, attempt);
+                    if let Some(op) = op {
+                        sim.flight()
+                            .segment(op, SegCategory::Retry, "pami.retry", inject, resume);
+                    }
+                    sim.sleep_until(resume).await;
+                    stats.incr("pami.retries");
+                    attempt += 1;
+                    inject = sim.now();
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // RDMA (zero-copy, no target CPU)
     // ------------------------------------------------------------------
 
@@ -286,12 +452,10 @@ impl PamiRank {
         sim.sleep(p.o_send).await;
         let data = self.read_bytes(local_off, len);
         let inject = sim.now() + p.rdma_engine;
-        let arrival =
-            inner
-                .net
-                .borrow_mut()
-                .deliver_op(inject, self.r, target, len, MsgClass::Ordered, op)
-                + p.align_penalty(len);
+        let (raw, delivered) = self
+            .deliver_reliable(inject, target, len, MsgClass::Ordered, op)
+            .await;
+        let arrival = raw + p.align_penalty(len);
         let handles = PutHandles {
             local: Completion::new(),
             remote: Completion::new(),
@@ -299,7 +463,9 @@ impl PamiRank {
         let remote_done = handles.remote.clone();
         let tgt_state = Rc::clone(&inner.ranks[target]);
         sim.schedule(arrival, move || {
-            tgt_state.write(remote_off, &data);
+            if delivered {
+                tgt_state.write(remote_off, &data);
+            }
             remote_done.complete(());
         });
         let hops = inner.net.borrow().hops(self.r, target);
@@ -328,30 +494,39 @@ impl PamiRank {
         self.m.stats().incr("pami.rdma_get");
         sim.sleep(p.o_send).await;
         let inject = sim.now() + p.rdma_engine;
-        let req_arrival =
-            inner
-                .net
-                .borrow_mut()
-                .deliver_op(inject, self.r, target, 0, MsgClass::Control, op);
+        let (req_arrival, req_delivered) = self
+            .deliver_reliable(inject, target, 0, MsgClass::Control, op)
+            .await;
         let done = Completion::new();
         let done2 = done.clone();
         let src = self.r;
-        let sim2 = sim.clone();
+        if !req_delivered {
+            // Gave up on the request (best-effort): complete without data.
+            sim.schedule(req_arrival, move || done2.complete(()));
+            return done;
+        }
+        let m = self.m.clone();
         sim.schedule(req_arrival, move || {
             let data = inner.ranks[target].read(remote_off, len);
-            let resp_arrival = inner.net.borrow_mut().deliver_op(
+            let src_state = Rc::clone(&inner.ranks[src]);
+            let extra = p.align_penalty(len);
+            deliver_then(
+                &m,
                 req_arrival,
                 target,
                 src,
                 len,
                 MsgClass::Ordered,
                 op,
-            ) + p.align_penalty(len);
-            let src_state = Rc::clone(&inner.ranks[src]);
-            sim2.schedule(resp_arrival, move || {
-                src_state.write(local_off, &data);
-                done2.complete(());
-            });
+                extra,
+                0,
+                Box::new(move |_, delivered| {
+                    if delivered {
+                        src_state.write(local_off, &data);
+                    }
+                    done2.complete(());
+                }),
+            );
         });
         done
     }
@@ -383,37 +558,42 @@ impl PamiRank {
         remote_off: usize,
         len: usize,
     ) -> PutHandles {
-        let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim();
         let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.sw_put");
         sim.sleep(p.o_send).await;
         let data = self.read_bytes(local_off, len);
-        let arrival = inner.net.borrow_mut().deliver_op(
-            sim.now(),
-            self.r,
-            target,
-            len + p.am_header_bytes,
-            MsgClass::Ordered,
-            op,
-        );
+        let (arrival, delivered) = self
+            .deliver_reliable(
+                sim.now(),
+                target,
+                len + p.am_header_bytes,
+                MsgClass::Ordered,
+                op,
+            )
+            .await;
         let handles = PutHandles {
             local: Completion::new(),
             remote: Completion::new(),
         };
         handles.local.complete(()); // buffered at send
-        self.push_to_target(
-            target,
-            arrival,
-            WorkItem::SwPut {
-                src: self.r,
-                offset: remote_off,
-                data,
-                remote_done: handles.remote.clone(),
-            },
-            op,
-        );
+        if delivered {
+            self.push_to_target(
+                target,
+                arrival,
+                WorkItem::SwPut {
+                    src: self.r,
+                    offset: remote_off,
+                    data,
+                    remote_done: handles.remote.clone(),
+                },
+                op,
+            );
+        } else {
+            let remote_done = handles.remote.clone();
+            sim.schedule(arrival, move || remote_done.complete(()));
+        }
         handles
     }
 
@@ -426,33 +606,32 @@ impl PamiRank {
         remote_off: usize,
         len: usize,
     ) -> Completion<()> {
-        let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim();
         let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.sw_get");
         sim.sleep(p.o_send).await;
-        let arrival = inner.net.borrow_mut().deliver_op(
-            sim.now(),
-            self.r,
-            target,
-            p.am_header_bytes,
-            MsgClass::Control,
-            op,
-        );
+        let (arrival, delivered) = self
+            .deliver_reliable(sim.now(), target, p.am_header_bytes, MsgClass::Control, op)
+            .await;
         let done = Completion::new();
-        self.push_to_target(
-            target,
-            arrival,
-            WorkItem::SwGet {
-                src: self.r,
-                offset: remote_off,
-                len,
-                local_off,
-                done: done.clone(),
-            },
-            op,
-        );
+        if delivered {
+            self.push_to_target(
+                target,
+                arrival,
+                WorkItem::SwGet {
+                    src: self.r,
+                    offset: remote_off,
+                    len,
+                    local_off,
+                    done: done.clone(),
+                },
+                op,
+            );
+        } else {
+            let done2 = done.clone();
+            sim.schedule(arrival, move || done2.complete(()));
+        }
         done
     }
 
@@ -467,38 +646,43 @@ impl PamiRank {
         elems: usize,
         scale: f64,
     ) -> PutHandles {
-        let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim();
         let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.acc");
         sim.sleep(p.o_send).await;
         let data = self.read_bytes(local_off, elems * 8);
-        let arrival = inner.net.borrow_mut().deliver_op(
-            sim.now(),
-            self.r,
-            target,
-            elems * 8 + p.am_header_bytes,
-            MsgClass::Ordered,
-            op,
-        );
+        let (arrival, delivered) = self
+            .deliver_reliable(
+                sim.now(),
+                target,
+                elems * 8 + p.am_header_bytes,
+                MsgClass::Ordered,
+                op,
+            )
+            .await;
         let handles = PutHandles {
             local: Completion::new(),
             remote: Completion::new(),
         };
         handles.local.complete(());
-        self.push_to_target(
-            target,
-            arrival,
-            WorkItem::AccF64 {
-                src: self.r,
-                offset: remote_off,
-                scale,
-                data,
-                remote_done: handles.remote.clone(),
-            },
-            op,
-        );
+        if delivered {
+            self.push_to_target(
+                target,
+                arrival,
+                WorkItem::AccF64 {
+                    src: self.r,
+                    offset: remote_off,
+                    scale,
+                    data,
+                    remote_done: handles.remote.clone(),
+                },
+                op,
+            );
+        } else {
+            let remote_done = handles.remote.clone();
+            sim.schedule(arrival, move || remote_done.complete(()));
+        }
         handles
     }
 
@@ -506,32 +690,33 @@ impl PamiRank {
     /// **unordered** with respect to all other traffic (paper §III-A4) and
     /// serviced by target-side software (§III-D).
     pub async fn rmw(&self, target: usize, remote_off: usize, op: RmwOp) -> Completion<i64> {
-        let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim();
         let p = self.m.params();
         let flight_op = self.current_op();
         self.m.stats().incr("pami.rmw");
         sim.sleep(p.o_send).await;
-        let arrival = inner.net.borrow_mut().deliver_op(
-            sim.now(),
-            self.r,
-            target,
-            16,
-            MsgClass::Unordered,
-            flight_op,
-        );
+        let (arrival, delivered) = self
+            .deliver_reliable(sim.now(), target, 16, MsgClass::Unordered, flight_op)
+            .await;
         let done = Completion::new();
-        self.push_to_target(
-            target,
-            arrival,
-            WorkItem::Rmw {
-                src: self.r,
-                offset: remote_off,
-                op,
-                done: done.clone(),
-            },
-            flight_op,
-        );
+        if delivered {
+            self.push_to_target(
+                target,
+                arrival,
+                WorkItem::Rmw {
+                    src: self.r,
+                    offset: remote_off,
+                    op,
+                    done: done.clone(),
+                },
+                flight_op,
+            );
+        } else {
+            // Best-effort give-up: the AMO never reached the target; its
+            // fetch result is reported as 0.
+            let done2 = done.clone();
+            sim.schedule(arrival, move || done2.complete(0));
+        }
         done
     }
 
@@ -545,33 +730,32 @@ impl PamiRank {
         chunks: Vec<(usize, usize)>,
         local_chunks: Vec<(usize, usize)>,
     ) -> Completion<()> {
-        let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim();
         let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.packed_get");
         sim.sleep(p.o_send).await;
         let desc_bytes = p.am_header_bytes + chunks.len() * 16;
-        let arrival = inner.net.borrow_mut().deliver_op(
-            sim.now(),
-            self.r,
-            target,
-            desc_bytes,
-            MsgClass::Control,
-            op,
-        );
+        let (arrival, delivered) = self
+            .deliver_reliable(sim.now(), target, desc_bytes, MsgClass::Control, op)
+            .await;
         let done = Completion::new();
-        self.push_to_target(
-            target,
-            arrival,
-            WorkItem::PackedGet {
-                src: self.r,
-                chunks,
-                local_chunks,
-                done: done.clone(),
-            },
-            op,
-        );
+        if delivered {
+            self.push_to_target(
+                target,
+                arrival,
+                WorkItem::PackedGet {
+                    src: self.r,
+                    chunks,
+                    local_chunks,
+                    done: done.clone(),
+                },
+                op,
+            );
+        } else {
+            let done2 = done.clone();
+            sim.schedule(arrival, move || done2.complete(()));
+        }
         done
     }
 
@@ -583,7 +767,6 @@ impl PamiRank {
         local_chunks: Vec<(usize, usize)>,
         remote_chunks: Vec<(usize, usize)>,
     ) -> PutHandles {
-        let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim();
         let p = self.m.params();
         let op = self.current_op();
@@ -596,30 +779,36 @@ impl PamiRank {
         for &(off, len) in &local_chunks {
             data.extend_from_slice(&self.read_bytes(off, len));
         }
-        let arrival = inner.net.borrow_mut().deliver_op(
-            sim.now(),
-            self.r,
-            target,
-            total + p.am_header_bytes + remote_chunks.len() * 16,
-            MsgClass::Ordered,
-            op,
-        );
+        let (arrival, delivered) = self
+            .deliver_reliable(
+                sim.now(),
+                target,
+                total + p.am_header_bytes + remote_chunks.len() * 16,
+                MsgClass::Ordered,
+                op,
+            )
+            .await;
         let handles = PutHandles {
             local: Completion::new(),
             remote: Completion::new(),
         };
         handles.local.complete(()); // packed copy: buffer immediately reusable
-        self.push_to_target(
-            target,
-            arrival,
-            WorkItem::PackedPut {
-                src: self.r,
-                data,
-                chunks: remote_chunks,
-                remote_done: handles.remote.clone(),
-            },
-            op,
-        );
+        if delivered {
+            self.push_to_target(
+                target,
+                arrival,
+                WorkItem::PackedPut {
+                    src: self.r,
+                    data,
+                    chunks: remote_chunks,
+                    remote_done: handles.remote.clone(),
+                },
+                op,
+            );
+        } else {
+            let remote_done = handles.remote.clone();
+            sim.schedule(arrival, move || remote_done.complete(()));
+        }
         handles
     }
 
@@ -633,7 +822,6 @@ impl PamiRank {
         remote_chunks: Vec<(usize, usize)>,
         scale: f64,
     ) -> PutHandles {
-        let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim();
         let p = self.m.params();
         let op = self.current_op();
@@ -646,31 +834,37 @@ impl PamiRank {
         for &(off, len) in &local_chunks {
             data.extend_from_slice(&self.read_bytes(off, len));
         }
-        let arrival = inner.net.borrow_mut().deliver_op(
-            sim.now(),
-            self.r,
-            target,
-            total + p.am_header_bytes + remote_chunks.len() * 16,
-            MsgClass::Ordered,
-            op,
-        );
+        let (arrival, delivered) = self
+            .deliver_reliable(
+                sim.now(),
+                target,
+                total + p.am_header_bytes + remote_chunks.len() * 16,
+                MsgClass::Ordered,
+                op,
+            )
+            .await;
         let handles = PutHandles {
             local: Completion::new(),
             remote: Completion::new(),
         };
         handles.local.complete(());
-        self.push_to_target(
-            target,
-            arrival,
-            WorkItem::AccStrided {
-                src: self.r,
-                data,
-                chunks: remote_chunks,
-                scale,
-                remote_done: handles.remote.clone(),
-            },
-            op,
-        );
+        if delivered {
+            self.push_to_target(
+                target,
+                arrival,
+                WorkItem::AccStrided {
+                    src: self.r,
+                    data,
+                    chunks: remote_chunks,
+                    scale,
+                    remote_done: handles.remote.clone(),
+                },
+                op,
+            );
+        } else {
+            let remote_done = handles.remote.clone();
+            sim.schedule(arrival, move || remote_done.complete(()));
+        }
         handles
     }
 
@@ -683,33 +877,35 @@ impl PamiRank {
         header: Vec<u8>,
         payload: Vec<u8>,
     ) -> Completion<()> {
-        let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim();
         let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.am");
         sim.sleep(p.o_send).await;
-        let arrival = inner.net.borrow_mut().deliver_op(
-            sim.now(),
-            self.r,
-            target,
-            header.len() + payload.len() + p.am_header_bytes,
-            MsgClass::Control,
-            op,
-        );
+        let (arrival, delivered) = self
+            .deliver_reliable(
+                sim.now(),
+                target,
+                header.len() + payload.len() + p.am_header_bytes,
+                MsgClass::Control,
+                op,
+            )
+            .await;
         let done = Completion::new();
         done.complete(());
-        self.push_to_target(
-            target,
-            arrival,
-            WorkItem::Am {
-                src: self.r,
-                dispatch,
-                header,
-                payload,
-            },
-            op,
-        );
+        if delivered {
+            self.push_to_target(
+                target,
+                arrival,
+                WorkItem::Am {
+                    src: self.r,
+                    dispatch,
+                    header,
+                    payload,
+                },
+                op,
+            );
+        }
         done
     }
 
@@ -721,31 +917,33 @@ impl PamiRank {
             header.len() <= 128,
             "immediate AMs carry at most 128 header bytes"
         );
-        let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim();
         let p = self.m.params();
         let op = self.current_op();
         self.m.stats().incr("pami.am_immediate");
         sim.sleep(p.o_send).await;
-        let arrival = inner.net.borrow_mut().deliver_op(
-            sim.now(),
-            self.r,
-            target,
-            header.len() + p.am_header_bytes,
-            MsgClass::Control,
-            op,
-        );
-        self.push_to_target(
-            target,
-            arrival,
-            WorkItem::Am {
-                src: self.r,
-                dispatch,
-                header,
-                payload: Vec::new(),
-            },
-            op,
-        );
+        let (arrival, delivered) = self
+            .deliver_reliable(
+                sim.now(),
+                target,
+                header.len() + p.am_header_bytes,
+                MsgClass::Control,
+                op,
+            )
+            .await;
+        if delivered {
+            self.push_to_target(
+                target,
+                arrival,
+                WorkItem::Am {
+                    src: self.r,
+                    dispatch,
+                    header,
+                    payload: Vec::new(),
+                },
+                op,
+            );
+        }
         // Blocking completion: occupied until the NIC accepts the packet.
         sim.sleep(p.rdma_engine).await;
     }
@@ -766,6 +964,11 @@ impl PamiRank {
     /// §III-D lock contention (main thread vs AT on one context) is visible.
     async fn advance_on(&self, ctx_idx: usize, max_items: usize, from_at: bool) -> usize {
         let sim = self.m.sim();
+        // A hung node (fault plan) cannot drive its progress engine: stall
+        // here until the hang window ends. No-op without an active plan.
+        if let Some(resume) = self.m.node_hang_until(self.r, sim.now()) {
+            sim.sleep_until(resume).await;
+        }
         let stats = self.m.stats();
         let fl = sim.flight();
         let ctx = self.ctx(ctx_idx);
@@ -888,19 +1091,24 @@ impl PamiRank {
             } => {
                 sim.sleep(p.am_dispatch).await;
                 let data = self.state().read(offset, len);
-                let resp = inner.net.borrow_mut().deliver_op(
+                let src_state = Rc::clone(&inner.ranks[src]);
+                deliver_then(
+                    &self.m,
                     sim.now(),
                     self.r,
                     src,
                     len,
                     MsgClass::Ordered,
                     flight_op,
-                ) + p.align_penalty(len);
-                let src_state = Rc::clone(&inner.ranks[src]);
-                sim.schedule(resp, move || {
-                    src_state.write(local_off, &data);
-                    done.complete(());
-                });
+                    p.align_penalty(len),
+                    0,
+                    Box::new(move |_, delivered| {
+                        if delivered {
+                            src_state.write(local_off, &data);
+                        }
+                        done.complete(());
+                    }),
+                );
             }
             WorkItem::Rmw {
                 src,
@@ -924,15 +1132,18 @@ impl PamiRank {
                 if let Some(new) = new {
                     self.state().write_i64(offset, new);
                 }
-                let resp = inner.net.borrow_mut().deliver_op(
+                deliver_then(
+                    &self.m,
                     sim.now(),
                     self.r,
                     src,
                     8,
                     MsgClass::Unordered,
                     flight_op,
+                    SimDuration::ZERO,
+                    0,
+                    Box::new(move |_, _| done.complete(old)),
                 );
-                sim.schedule(resp, move || done.complete(old));
             }
             WorkItem::AccF64 {
                 offset,
@@ -968,23 +1179,28 @@ impl PamiRank {
                 for &(off, len) in &chunks {
                     data.extend_from_slice(&self.state().read(off, len));
                 }
-                let resp = inner.net.borrow_mut().deliver_op(
+                let src_state = Rc::clone(&inner.ranks[src]);
+                deliver_then(
+                    &self.m,
                     sim.now(),
                     self.r,
                     src,
                     total,
                     MsgClass::Ordered,
                     flight_op,
-                ) + pack; // unpack (scatter) cost at the requester
-                let src_state = Rc::clone(&inner.ranks[src]);
-                sim.schedule(resp, move || {
-                    let mut cursor = 0;
-                    for &(off, len) in &local_chunks {
-                        src_state.write(off, &data[cursor..cursor + len]);
-                        cursor += len;
-                    }
-                    done.complete(());
-                });
+                    pack, // unpack (scatter) cost at the requester
+                    0,
+                    Box::new(move |_, delivered| {
+                        if delivered {
+                            let mut cursor = 0;
+                            for &(off, len) in &local_chunks {
+                                src_state.write(off, &data[cursor..cursor + len]);
+                                cursor += len;
+                            }
+                        }
+                        done.complete(());
+                    }),
+                );
             }
             WorkItem::PackedPut {
                 data,

@@ -1,0 +1,96 @@
+//! Per-operation deadlines: timeout → exponential backoff → bounded retry.
+//!
+//! When a fault plan is installed on the machine, every network leg a PAMI
+//! operation issues is wrapped in this state machine: an attempt that the
+//! fault layer drops is noticed after [`RetryPolicy::timeout`], the sender
+//! backs off exponentially ([`RetryPolicy::backoff`] · 2^attempt) and
+//! re-injects, up to [`RetryPolicy::max_retries`] times. Retransmits go
+//! through the normal delivery path, so they still respect per-pair
+//! ordering: a retried put clamps behind any younger put to the same target
+//! that was delivered in the meantime (the pair front only advances on
+//! *delivery*, never on a drop).
+//!
+//! On a simulated network the sender learns the drop outcome synchronously,
+//! so the timeout needs no timer bookkeeping: the retry wait is modelled as
+//! one sleep to `inject + timeout + backoff·2^attempt`, recorded as a
+//! `retry`-category flight segment for the critical-path analyzer.
+
+use desim::{SimDuration, SimTime};
+
+/// What happens when an operation exhausts its retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// Panic with a diagnostic — the run is considered broken. The right
+    /// default for calibration workloads, where losing data silently would
+    /// corrupt results.
+    FailFast,
+    /// Complete the operation without its data effect and count it in
+    /// `pami.gave_up` — the run limps on, modelling an application-level
+    /// resilience layer above the runtime.
+    BestEffort,
+}
+
+/// Timeout/backoff/bounded-retry parameters for one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long after injection an unacknowledged attempt is declared lost.
+    pub timeout: SimDuration,
+    /// Base backoff added after the timeout; doubles per attempt.
+    pub backoff: SimDuration,
+    /// Retransmit attempts before giving up (0 = never retransmit).
+    pub max_retries: u32,
+    /// Behavior on retry exhaustion.
+    pub failure: FailureMode,
+}
+
+impl Default for RetryPolicy {
+    /// 30 µs timeout, 5 µs base backoff, 8 retries, fail-fast.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            timeout: SimDuration::from_us(30),
+            backoff: SimDuration::from_us(5),
+            max_retries: 8,
+            failure: FailureMode::FailFast,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff after attempt number `attempt` (0-based): `backoff · 2^attempt`,
+    /// with the shift clamped so pathological policies cannot overflow.
+    pub fn backoff_delay(&self, attempt: u32) -> SimDuration {
+        self.backoff * (1u64 << attempt.min(20))
+    }
+
+    /// When the retransmit of an attempt injected at `inject` goes out:
+    /// after the timeout expires plus the attempt's backoff.
+    pub fn resume_at(&self, inject: SimTime, attempt: u32) -> SimTime {
+        inject + self.timeout + self.backoff_delay(attempt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_delay(0), SimDuration::from_us(5));
+        assert_eq!(p.backoff_delay(1), SimDuration::from_us(10));
+        assert_eq!(p.backoff_delay(3), SimDuration::from_us(40));
+        // Clamped shift: no overflow for absurd attempt counts.
+        assert_eq!(p.backoff_delay(64), p.backoff_delay(20));
+    }
+
+    #[test]
+    fn resume_is_timeout_plus_backoff() {
+        let p = RetryPolicy::default();
+        let t0 = SimTime::ZERO + SimDuration::from_us(100);
+        assert_eq!(
+            p.resume_at(t0, 0),
+            t0 + SimDuration::from_us(30) + SimDuration::from_us(5)
+        );
+        assert!(p.resume_at(t0, 2) > p.resume_at(t0, 1));
+    }
+}

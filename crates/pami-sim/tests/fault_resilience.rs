@@ -1,0 +1,255 @@
+//! Fault-injection acceptance scenarios: kill a link mid-run and check that
+//! the run completes, traffic reroutes around the dead link once detection
+//! fires, retries preserve per-pair ordering, and the retry/timeout/downtime
+//! accounting reaches the metrics snapshot and the critical-path analyzer.
+
+use desim::{analyze, FaultPlan, Sim, SimDuration, SimTime};
+use pami_sim::{FailureMode, Machine, MachineConfig, RetryPolicy};
+use torus5d::{routing, RouteTable, Topology};
+
+fn us(n: u64) -> SimDuration {
+    SimDuration::from_us(n)
+}
+
+fn at(n: u64) -> SimTime {
+    SimTime::ZERO + us(n)
+}
+
+/// The dense link id of the first link on the node0→node1 route for a
+/// 32-rank (2-node) partition — the link the fault plan kills.
+fn first_internode_link(topo: &Topology) -> u32 {
+    let rt = RouteTable::new(topo);
+    let src = rt.coord_of(0);
+    let dst = rt.coord_of(16);
+    let first = routing::route(rt.shape(), src, dst)[0];
+    rt.link_id(first).0
+}
+
+#[test]
+fn killed_link_mid_run_reroutes_retries_and_preserves_ordering() {
+    let topo = Topology::for_procs(32, 16);
+    let dead = first_internode_link(&topo);
+    // Link dies at 100µs, routing notices at 140µs, link heals at 500µs.
+    let plan = FaultPlan::new(7)
+        .route_update_delay(us(40))
+        .link_down(dead, at(100), at(500));
+    let policy = RetryPolicy {
+        timeout: us(60),
+        backoff: us(5),
+        max_retries: 8,
+        failure: FailureMode::FailFast,
+    };
+    let sim = Sim::new();
+    let m = Machine::new(
+        sim.clone(),
+        MachineConfig::new(32)
+            .procs_per_node(16)
+            .contention(true)
+            .faults(plan)
+            .retry(policy),
+    );
+    m.enable_flight(1 << 16);
+    assert!(m.faults_active());
+
+    let a = m.rank(0);
+    let b = m.rank(16);
+    let src_pre = a.alloc(8);
+    let src_a = a.alloc(8);
+    let src_b = a.alloc(8);
+    let dst_pre = b.alloc(8);
+    let dst_a = b.alloc(8);
+    let dst_b = b.alloc(8);
+    a.write_i64(src_pre, 1);
+    a.write_i64(src_a, 2);
+    a.write_i64(src_b, 3);
+
+    let fl = m.flight();
+    let done_a = std::rc::Rc::new(std::cell::Cell::new(SimTime::ZERO));
+    let done_b = std::rc::Rc::new(std::cell::Cell::new(SimTime::ZERO));
+
+    // Put A: injected inside the detection gap (link physically down, routes
+    // not yet updated) → dropped, retried after timeout + backoff.
+    {
+        let (a, sim, fl, done_a) = (a.clone(), sim.clone(), fl.clone(), done_a.clone());
+        sim.clone().spawn(async move {
+            // Sanity put before the fault window: the normal fast path.
+            let h = a.rdma_put(16, src_pre, dst_pre, 8).await;
+            h.remote.wait().await;
+            assert!(sim.now() < at(100), "pre-fault put must land early");
+            sim.sleep_until(at(102)).await;
+            let op = fl.begin_op(sim.now(), 0, "armci.put");
+            a.set_current_op(op);
+            let h = a.rdma_put(16, src_a, dst_a, 8).await;
+            a.set_current_op(None);
+            h.remote.wait().await;
+            done_a.set(sim.now());
+            if let Some(op) = op {
+                fl.end_op(op, sim.now());
+            }
+        });
+    }
+    // Put B: younger, injected after route detection — detours around the
+    // dead link and lands while A is still waiting out its timeout.
+    {
+        let (a, sim, done_b) = (a.clone(), sim.clone(), done_b.clone());
+        sim.clone().spawn(async move {
+            sim.sleep_until(at(145)).await;
+            let h = a.rdma_put(16, src_b, dst_b, 8).await;
+            h.remote.wait().await;
+            done_b.set(sim.now());
+        });
+    }
+    sim.run();
+
+    // The run completed and all three payloads landed.
+    assert_eq!(b.read_i64(dst_pre), 1);
+    assert_eq!(b.read_i64(dst_a), 2);
+    assert_eq!(b.read_i64(dst_b), 3);
+
+    // B rerouted: it completed promptly over the detour, well before the
+    // link heals at 500µs and before A's retransmit.
+    let (t_a, t_b) = (done_a.get(), done_b.get());
+    assert!(t_b < at(200), "B should detour promptly, landed at {t_b}");
+    // Ordering across retry: the retried older put may not pass the younger
+    // put to the same target.
+    assert!(t_a >= t_b, "retried A ({t_a}) overtook younger B ({t_b})");
+
+    // Retry accounting reached the stats and the critical path.
+    let stats = m.stats();
+    assert!(stats.counter("pami.retries") >= 1, "no retries recorded");
+    assert!(stats.counter("pami.timeouts") >= 1, "no timeouts recorded");
+    m.flush_net_stats();
+    assert!(stats.counter("fault.link_down_events") >= 1);
+    assert!(stats.counter("fault.link_down_ps") > 0);
+    assert!(stats.counter("fault.drops") >= 1);
+    let cp = analyze(&fl, sim.now());
+    assert!(
+        cp.breakdown.retry > SimDuration::ZERO,
+        "critical path must blame a retry segment: {:?}",
+        cp.breakdown
+    );
+}
+
+#[test]
+fn hung_node_stalls_progress_until_recovery() {
+    let topo = Topology::for_procs(32, 16);
+    let _ = topo; // 2 nodes; rank 16 lives on node 1.
+    let plan = FaultPlan::new(11).node_hang(1, at(50), at(250));
+    let sim = Sim::new();
+    let m = Machine::new(
+        sim.clone(),
+        MachineConfig::new(32)
+            .procs_per_node(16)
+            .contention(true)
+            .faults(plan),
+    );
+    let a = m.rank(0);
+    let b = m.rank(16);
+    let src = a.alloc(8);
+    let dst = b.alloc(8);
+    a.write_i64(src, 99);
+    let landed = std::rc::Rc::new(std::cell::Cell::new(SimTime::ZERO));
+    {
+        let (sim, b, landed) = (sim.clone(), b.clone(), landed.clone());
+        sim.clone().spawn(async move {
+            sim.sleep_until(at(60)).await;
+            // Software put needs the *target's* progress engine, and node 1
+            // is hung from 50µs to 250µs: servicing must wait for recovery.
+            let h = a.sw_put(16, src, dst, 8).await;
+            b.progress_wait(&h.remote).await;
+            landed.set(sim.now());
+        });
+    }
+    sim.run();
+    assert_eq!(b.read_i64(dst), 99);
+    assert!(
+        landed.get() >= at(250),
+        "hung node serviced work at {} (before recovery)",
+        landed.get()
+    );
+}
+
+#[test]
+fn fail_fast_panics_when_the_plan_outlasts_the_retries() {
+    let topo = Topology::for_procs(32, 16);
+    let dead = first_internode_link(&topo);
+    // Link never comes back within reach of one retry.
+    let plan = FaultPlan::new(3)
+        .route_update_delay(us(100_000)) // routes never update in time
+        .link_down(dead, at(10), at(900_000));
+    let policy = RetryPolicy {
+        timeout: us(10),
+        backoff: us(1),
+        max_retries: 1,
+        failure: FailureMode::FailFast,
+    };
+    let sim = Sim::new();
+    let m = Machine::new(
+        sim.clone(),
+        MachineConfig::new(32)
+            .procs_per_node(16)
+            .contention(true)
+            .faults(plan)
+            .retry(policy),
+    );
+    let a = m.rank(0);
+    let src = a.alloc(8);
+    let dst = m.rank(16).alloc(8);
+    sim.clone().spawn(async move {
+        sim.sleep_until(at(20)).await;
+        let h = a.rdma_put(16, src, dst, 8).await;
+        h.remote.wait().await;
+    });
+    let sim2 = m.sim().clone();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || sim2.run()))
+        .expect_err("fail-fast policy must panic on retry exhaustion");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("lost after"),
+        "unexpected panic payload: {msg}"
+    );
+}
+
+#[test]
+fn best_effort_gives_up_and_completes_without_data() {
+    let topo = Topology::for_procs(32, 16);
+    let dead = first_internode_link(&topo);
+    let plan =
+        FaultPlan::new(3)
+            .route_update_delay(us(100_000))
+            .link_down(dead, at(10), at(900_000));
+    let policy = RetryPolicy {
+        timeout: us(10),
+        backoff: us(1),
+        max_retries: 1,
+        failure: FailureMode::BestEffort,
+    };
+    let sim = Sim::new();
+    let m = Machine::new(
+        sim.clone(),
+        MachineConfig::new(32)
+            .procs_per_node(16)
+            .contention(true)
+            .faults(plan)
+            .retry(policy),
+    );
+    let a = m.rank(0);
+    let b = m.rank(16);
+    let src = a.alloc(8);
+    let dst = b.alloc(8);
+    a.write_i64(src, 7);
+    b.write_i64(dst, 0);
+    {
+        let sim = sim.clone();
+        sim.clone().spawn(async move {
+            sim.sleep_until(at(20)).await;
+            let h = a.rdma_put(16, src, dst, 8).await;
+            h.remote.wait().await;
+            h.local.wait().await;
+        });
+    }
+    sim.run();
+    // The run completed, but the payload never landed.
+    assert_eq!(b.read_i64(dst), 0);
+    assert!(m.stats().counter("pami.gave_up") >= 1);
+}

@@ -33,7 +33,7 @@ pub mod shape;
 pub use coords::Coord;
 pub use cost::BgqParams;
 pub use mapping::Mapping;
-pub use net::{MsgClass, NetState};
+pub use net::{Delivery, FaultCounters, MsgClass, NetState};
 pub use route_table::{LinkId, RouteTable};
 pub use routing::Link;
 pub use shape::TorusShape;

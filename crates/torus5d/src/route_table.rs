@@ -20,7 +20,7 @@
 //!   lookups instead of repeated mapping arithmetic.
 
 use crate::coords::Coord;
-use crate::routing::{route_with, Link};
+use crate::routing::{route_avoiding, route_with, Link};
 use crate::shape::TorusShape;
 use crate::Topology;
 
@@ -37,6 +37,10 @@ pub struct LinkId(pub u32);
 /// Sentinel offset marking a route span not yet cached.
 const UNCACHED: u32 = u32::MAX;
 
+/// Sentinel offset marking a node pair the degraded walker could not
+/// connect at its epoch (destination cut off by dead links).
+const NO_ROUTE: u32 = u32::MAX - 1;
+
 /// Per-partition routing acceleration: rank table, link interning and the
 /// lazily filled route arena. See the module docs.
 pub struct RouteTable {
@@ -48,6 +52,10 @@ pub struct RouteTable {
     /// `UNCACHED` offset = not computed yet. Allocated on first use so
     /// purely analytic runs never pay nodes² memory.
     spans: Vec<(u32, u16)>,
+    /// Liveness epoch each span was last validated at, parallel to `spans`.
+    /// Only consulted by [`RouteTable::route_span_live`]; the fault-free
+    /// [`RouteTable::route_span`] never looks at it.
+    span_epochs: Vec<u32>,
     /// Shared arena of cached routes, stored back-to-back.
     arena: Vec<LinkId>,
     /// Number of distinct node pairs whose route has been cached.
@@ -71,6 +79,7 @@ impl RouteTable {
             nodes: shape.num_nodes() as u32,
             ranks,
             spans: Vec::new(),
+            span_epochs: Vec::new(),
             arena: Vec::new(),
             routes_cached: 0,
         }
@@ -151,9 +160,39 @@ impl RouteTable {
         let idx = src_node as usize * self.nodes as usize + dst_node as usize;
         let span = self.spans[idx];
         if span.0 != UNCACHED {
+            debug_assert_ne!(span.0, NO_ROUTE, "fault-free lookups never see NO_ROUTE");
             return span;
         }
         self.fill_route(idx, src_node, dst_node)
+    }
+
+    /// Liveness-aware variant of [`RouteTable::route_span`]: the cached span
+    /// for the pair, valid **at liveness epoch `epoch`** given the per-link
+    /// predicate `live`. A span cached at an older epoch is recomputed with
+    /// [`route_avoiding`]; if the fresh walk matches the cached links the
+    /// span is merely re-stamped (no arena growth — the common case once
+    /// routes settle after a failure), otherwise the detour is appended as a
+    /// new span. Returns `None` when the pair is unreachable at this epoch.
+    #[inline]
+    pub fn route_span_live<F: Fn(LinkId) -> bool>(
+        &mut self,
+        src_node: u32,
+        dst_node: u32,
+        epoch: u32,
+        live: F,
+    ) -> Option<(u32, u16)> {
+        if self.spans.is_empty() {
+            self.spans = vec![(UNCACHED, 0); (self.nodes as usize).pow(2)];
+        }
+        if self.span_epochs.len() != self.spans.len() {
+            self.span_epochs = vec![0; self.spans.len()];
+        }
+        let idx = src_node as usize * self.nodes as usize + dst_node as usize;
+        let span = self.spans[idx];
+        if span.0 != UNCACHED && self.span_epochs[idx] == epoch {
+            return if span.0 == NO_ROUTE { None } else { Some(span) };
+        }
+        self.fill_route_live(idx, src_node, dst_node, epoch, live)
     }
 
     /// The cached route between two node indices as a [`LinkId`] slice.
@@ -200,6 +239,55 @@ impl RouteTable {
         self.spans[idx] = (off, len);
         self.routes_cached += 1;
         (off, len)
+    }
+
+    #[cold]
+    fn fill_route_live<F: Fn(LinkId) -> bool>(
+        &mut self,
+        idx: usize,
+        src_node: u32,
+        dst_node: u32,
+        epoch: u32,
+        live: F,
+    ) -> Option<(u32, u16)> {
+        let shape = self.shape;
+        let src = shape.node_coord(src_node as usize);
+        let dst = shape.node_coord(dst_node as usize);
+        let fresh = route_avoiding(&shape, src, dst, |l| {
+            let node = shape.node_index(l.from) as u32;
+            live(LinkId(
+                node * LINKS_PER_NODE + u32::from(l.dim) * 2 + u32::from(l.plus),
+            ))
+        });
+        self.span_epochs[idx] = epoch;
+        let Some(links) = fresh else {
+            self.spans[idx] = (NO_ROUTE, 0);
+            return None;
+        };
+        let old = self.spans[idx];
+        if old.0 != UNCACHED && old.0 != NO_ROUTE {
+            // Re-validate: if the degraded walk reproduces the cached links
+            // exactly, keep the old span (the cache stays *exact* without
+            // duplicating arena storage on every epoch bump).
+            let (off, len) = (old.0 as usize, old.1 as usize);
+            if len == links.len()
+                && self.arena[off..off + len]
+                    .iter()
+                    .zip(&links)
+                    .all(|(id, l)| *id == self.link_id(*l))
+            {
+                return Some(old);
+            }
+        }
+        let off = self.arena.len() as u32;
+        for l in &links {
+            let id = self.link_id(*l);
+            self.arena.push(id);
+        }
+        let span = (off, links.len() as u16);
+        self.spans[idx] = span;
+        self.routes_cached += 1;
+        Some(span)
     }
 }
 
@@ -281,6 +369,72 @@ mod tests {
         }
         let n = shape.num_nodes() as u64;
         assert_eq!(rt.routes_cached(), n * n);
+    }
+
+    #[test]
+    fn live_span_revalidates_without_arena_growth() {
+        let (_, mut rt) = table(64, 1);
+        let all_live = |_: LinkId| true;
+        let span0 = rt.route_span_live(0, 9, 0, all_live).unwrap();
+        assert_eq!(
+            span0,
+            rt.route_span(0, 9),
+            "all-live walk is the exact route"
+        );
+        let arena = rt.arena_len();
+        let cached = rt.routes_cached();
+        // Epoch bump with nothing dead: same links -> re-stamp, no growth.
+        let span1 = rt.route_span_live(0, 9, 1, all_live).unwrap();
+        assert_eq!(span1, span0);
+        assert_eq!(rt.arena_len(), arena);
+        assert_eq!(rt.routes_cached(), cached);
+        // Same epoch again: pure cache hit.
+        assert_eq!(rt.route_span_live(0, 9, 1, all_live), Some(span0));
+    }
+
+    #[test]
+    fn live_span_detours_and_caches_the_detour() {
+        let (_, mut rt) = table(64, 1);
+        let (off, len) = rt.route_span_live(0, 9, 0, |_| true).unwrap();
+        assert!(len > 0);
+        let dead = rt.link_at(off);
+        let (off2, len2) = rt.route_span_live(0, 9, 1, |l| l != dead).unwrap();
+        let detour: Vec<LinkId> = (off2..off2 + u32::from(len2))
+            .map(|i| rt.link_at(i))
+            .collect();
+        assert!(!detour.contains(&dead), "detour must avoid the dead link");
+        // The detour is itself cached: same epoch, no recompute drift.
+        assert_eq!(
+            rt.route_span_live(0, 9, 1, |l| l != dead),
+            Some((off2, len2))
+        );
+        // Recovery epoch: walker returns to the original exact route, which
+        // re-validates against the *original* span (but a new span entry is
+        // appended only if links differ from the detour currently stored).
+        let (off3, len3) = rt.route_span_live(0, 9, 2, |_| true).unwrap();
+        let back: Vec<LinkId> = (off3..off3 + u32::from(len3))
+            .map(|i| rt.link_at(i))
+            .collect();
+        assert!(back.contains(&dead));
+        assert_eq!(back.len(), len as usize);
+    }
+
+    #[test]
+    fn live_span_reports_unreachable_and_recovers() {
+        let (_, mut rt) = table(32, 1);
+        let src_node = 0u32;
+        // Kill every link leaving node 0: unreachable.
+        assert_eq!(
+            rt.route_span_live(src_node, 3, 5, |l| l.0 / 10 != src_node),
+            None
+        );
+        // The NO_ROUTE verdict is cached at that epoch.
+        assert_eq!(
+            rt.route_span_live(src_node, 3, 5, |l| l.0 / 10 != src_node),
+            None
+        );
+        // Next epoch with links back: route again.
+        assert!(rt.route_span_live(src_node, 3, 6, |_| true).is_some());
     }
 
     #[test]

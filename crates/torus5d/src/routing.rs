@@ -62,6 +62,112 @@ pub fn hops(shape: &TorusShape, src: Coord, dst: Coord) -> u32 {
     shape.torus_distance(src, dst)
 }
 
+/// Walk a route from `src` to `dst` that avoids links for which `live`
+/// returns `false`, detouring through the next available dimension when the
+/// preferred link is dead. Returns `None` when no route was found within the
+/// hop budget (destination unreachable, or cut off by the dead set).
+///
+/// The walker is greedy and deterministic: at every node it considers, in
+/// order, (1) each dimension still needing correction (A→E), preferred wrap
+/// direction first then the long way around, and (2) pure detour moves
+/// through already-correct dimensions (plus then minus), and takes the first
+/// live candidate — refusing to immediately re-traverse the link it just
+/// arrived on unless that is the only live option. **With every link live
+/// the first candidate always wins, so the result is exactly the
+/// dimension-ordered [`route_with`] walk** — the property the route cache
+/// relies on to re-validate cached spans instead of duplicating them.
+pub fn route_avoiding<F: Fn(Link) -> bool>(
+    shape: &TorusShape,
+    src: Coord,
+    dst: Coord,
+    live: F,
+) -> Option<Vec<Link>> {
+    let mut links = Vec::new();
+    let mut cur = src;
+    // A detouring walk can legitimately exceed the torus distance, but any
+    // sensible route fits in a few ring circumferences; past that we are
+    // ping-ponging inside a cut-off region.
+    let circumference: usize = (0..5).map(|d| shape.dim(d) as usize).sum();
+    let budget = 4 * circumference + 8;
+    let mut prev: Option<Link> = None;
+    while cur != dst {
+        if links.len() >= budget {
+            return None;
+        }
+        // The link that would undo the previous hop: same dimension,
+        // opposite direction, starting where we stand now.
+        let reverse = prev.map(|p| Link {
+            from: cur,
+            dim: p.dim,
+            plus: !p.plus,
+        });
+        let mut chosen: Option<Link> = None;
+        let mut fallback: Option<Link> = None; // the reverse link, last resort
+        let consider = |cand: Link, chosen: &mut Option<Link>, fallback: &mut Option<Link>| {
+            if chosen.is_some() || !live(cand) {
+                return;
+            }
+            if Some(cand) == reverse {
+                fallback.get_or_insert(cand);
+            } else {
+                *chosen = Some(cand);
+            }
+        };
+        for dim in 0..5u8 {
+            let size = shape.dim(dim as usize);
+            let delta = wrap_delta(cur.get(dim as usize), dst.get(dim as usize), size);
+            if delta == 0 {
+                continue;
+            }
+            let preferred = delta >= 0;
+            for plus in [preferred, !preferred] {
+                consider(
+                    Link {
+                        from: cur,
+                        dim,
+                        plus,
+                    },
+                    &mut chosen,
+                    &mut fallback,
+                );
+            }
+        }
+        if chosen.is_none() {
+            // Every productive link is dead: detour through a dimension that
+            // is already correct (it will need correcting back afterwards).
+            for dim in 0..5u8 {
+                let size = shape.dim(dim as usize);
+                if size < 2 || wrap_delta(cur.get(dim as usize), dst.get(dim as usize), size) != 0 {
+                    continue;
+                }
+                for plus in [true, false] {
+                    consider(
+                        Link {
+                            from: cur,
+                            dim,
+                            plus,
+                        },
+                        &mut chosen,
+                        &mut fallback,
+                    );
+                }
+            }
+        }
+        let step = chosen.or(fallback)?;
+        links.push(step);
+        let size = shape.dim(step.dim as usize);
+        let c = cur.get(step.dim as usize);
+        let next = if step.plus {
+            (c + 1) % size
+        } else {
+            (c + size - 1) % size
+        };
+        cur = cur.with(step.dim as usize, next);
+        prev = Some(step);
+    }
+    Some(links)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +218,72 @@ mod tests {
         let a = s.node_coord(3);
         let b = s.node_coord(49);
         assert_eq!(route(&s, a, b), route(&s, a, b));
+    }
+
+    #[test]
+    fn route_avoiding_with_all_live_equals_dimension_order() {
+        let s = TorusShape::for_nodes(128);
+        for (a, b) in [(0, 101), (3, 3), (7, 120), (64, 1)] {
+            let src = s.node_coord(a);
+            let dst = s.node_coord(b);
+            assert_eq!(
+                route_avoiding(&s, src, dst, |_| true).unwrap(),
+                route(&s, src, dst),
+                "{a}->{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn route_avoiding_detours_around_a_dead_link() {
+        let s = TorusShape::for_nodes(128);
+        let src = s.node_coord(0);
+        let dst = s.node_coord(101);
+        let normal = route(&s, src, dst);
+        let dead = normal[0];
+        let detour = route_avoiding(&s, src, dst, |l| l != dead).unwrap();
+        assert!(!detour.contains(&dead), "detour reuses the dead link");
+        // The detour is still a valid connected walk ending at dst.
+        let mut cur = src;
+        for link in &detour {
+            assert_eq!(link.from, cur);
+            let size = s.dim(link.dim as usize);
+            let c = cur.get(link.dim as usize);
+            cur = cur.with(
+                link.dim as usize,
+                if link.plus {
+                    (c + 1) % size
+                } else {
+                    (c + size - 1) % size
+                },
+            );
+        }
+        assert_eq!(cur, dst);
+    }
+
+    #[test]
+    fn route_avoiding_two_node_ring_uses_the_other_direction() {
+        // Size-2 dimension: the plus and minus links between the two nodes
+        // are physically distinct; killing one must fail over to the other.
+        let s = TorusShape::new([2, 1, 1, 1, 1]);
+        let a = Coord([0, 0, 0, 0, 0]);
+        let b = Coord([1, 0, 0, 0, 0]);
+        let preferred = route(&s, a, b)[0];
+        let detour = route_avoiding(&s, a, b, |l| l != preferred).unwrap();
+        assert_eq!(detour.len(), 1);
+        assert_eq!(detour[0].dim, preferred.dim);
+        assert_ne!(detour[0].plus, preferred.plus);
+    }
+
+    #[test]
+    fn route_avoiding_reports_unreachable() {
+        // Kill every link out of the source: nothing can leave.
+        let s = TorusShape::for_nodes(32);
+        let src = s.node_coord(0);
+        let dst = s.node_coord(5);
+        assert_eq!(route_avoiding(&s, src, dst, |l| l.from != src), None);
+        // Self-route needs no links at all.
+        assert_eq!(route_avoiding(&s, src, src, |_| false), Some(Vec::new()));
     }
 
     #[test]

@@ -92,4 +92,26 @@ fn deliver_is_allocation_free_once_routes_are_warm() {
     assert_eq!(net.route_table().routes_cached(), routes_warm);
     assert_eq!(net.route_table().arena_len(), arena_warm);
     assert_eq!(net.messages(), 2 * sched.len() as u64);
+
+    // Same contract with an *empty* fault plan installed: the fault-gating
+    // branches on the delivery path must stay allocation-free too. (Kept in
+    // this one #[test] — the allocation counter is process-global.)
+    let mut fnet = NetState::new(Topology::for_procs(procs, 16), BgqParams::default(), true);
+    fnet.install_faults(desim::FaultPlan::new(42));
+    let mut inject = SimTime::ZERO;
+    for &(src, dst, payload, class) in &sched {
+        inject += SimDuration::from_ns(100);
+        fnet.deliver(inject, src, dst, payload, class);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for &(src, dst, payload, class) in &sched {
+        inject += SimDuration::from_ns(100);
+        fnet.deliver(inject, src, dst, payload, class);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "an empty fault plan must not add allocations to warm deliveries"
+    );
 }

@@ -47,6 +47,8 @@ run abl_region_cache
 run abl_strided_pack
 run abl_contention
 run abl_mapping
+run fig_fault "--json results/fig_fault.json"
+check_json results/fig_fault.json
 echo "== simulator self-benchmark (simbench; wall-clock, host-dependent)"
 ./target/release/simbench --quick $JOBS --json results/simbench.json \
   > results/simbench.txt
@@ -69,4 +71,10 @@ check_json results/gate_fig9_rmw.json results/gate_fig9_rmw.breakdown.json \
 ./target/release/perfdiff results/BENCH_fig9_rmw.breakdown.json results/gate_fig9_rmw.breakdown.json --check
 ./target/release/perfdiff results/BENCH_fig11_nwchem_scf.json results/gate_fig11_nwchem_scf.json --check
 ./target/release/perfdiff results/BENCH_fig11_nwchem_scf.breakdown.json results/gate_fig11_nwchem_scf.breakdown.json --check
+# Fault-injection sweep: every fault-v1 field is deterministic, so this
+# gate runs at zero tolerance — any sim_time_ps or counter drift is real.
+./target/release/fig_fault --procs 32 --msgs 8 --sizes 4096,65536 --fault-rate 0,5000 $JOBS \
+  --json results/gate_fig_fault.json > /dev/null
+check_json results/gate_fig_fault.json
+./target/release/perfdiff results/BENCH_fig_fault.json results/gate_fig_fault.json --tol 0 --check
 echo "perf gate passed; all results in results/"
