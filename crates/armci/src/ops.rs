@@ -76,6 +76,9 @@ impl ArmciRank {
     /// and mark this rank's subsequent injections with its id. Returns
     /// `None` (and records nothing) when the recorder is disabled.
     fn begin_op(&self, kind: &'static str) -> Option<OpId> {
+        // The in-flight gauge counts op begin/end call pairs, independent of
+        // whether the flight recorder hands out an id.
+        self.a.op_inflight(self.a.sim().now(), 1);
         let op = self
             .flight()
             .begin_op(self.a.sim().now(), self.r as u32, kind);
@@ -96,6 +99,7 @@ impl ArmciRank {
 
     /// Close an operation's lifecycle record (initiator-side completion).
     fn end_op(&self, op: Option<OpId>) {
+        self.a.op_inflight(self.a.sim().now(), -1);
         if let Some(op) = op {
             self.flight().end_op(op, self.a.sim().now());
             self.pami.set_current_op(None);

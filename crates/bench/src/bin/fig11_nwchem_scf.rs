@@ -11,8 +11,9 @@
 use armci::ProgressMode;
 use bgq_bench::{
     arg_flag, arg_jobs, arg_list, arg_str, arg_usize, check_args, sweep, write_text, JOBS_FLAG,
+    TIMELINE_FLAG, TIMELINE_WINDOW_PS,
 };
-use nwchem_scf::{run_scf, run_scf_flight, ScfConfig};
+use nwchem_scf::{run_scf_timeline, ScfConfig};
 
 fn main() {
     check_args(
@@ -28,6 +29,7 @@ fn main() {
                 true,
                 "write critical-path breakdown JSON (smallest p)",
             ),
+            TIMELINE_FLAG,
             JOBS_FLAG,
         ],
     );
@@ -44,6 +46,8 @@ fn main() {
     let jobs = arg_jobs();
     let breakdown_path = arg_str("--breakdown");
     let wants_breakdown = breakdown_path.is_some();
+    let timeline_path = arg_str("--timeline");
+    let wants_timeline = timeline_path.is_some();
 
     println!("== Fig 11: NWChem SCF, 6 waters / 644 basis functions ==");
     const MODES: [ProgressMode; 2] = [ProgressMode::Default, ProgressMode::AsyncThread];
@@ -57,25 +61,33 @@ fn main() {
         if quick {
             cfg.repeat_factor = 8; // ~1.6k tasks/iter
         }
-        if wants_breakdown && pi == 0 {
-            let (report, crit) = run_scf_flight(procs[pi], &cfg, 1 << 22);
-            (report, crit)
-        } else {
-            (run_scf(procs[pi], &cfg), None)
+        // Flight-record / sample timelines only at the smallest p.
+        if wants_timeline && pi == 0 {
+            cfg.timeline_window_ps = Some(TIMELINE_WINDOW_PS);
         }
+        let cap = if wants_breakdown && pi == 0 {
+            1 << 22
+        } else {
+            0
+        };
+        run_scf_timeline(procs[pi], &cfg, cap)
     });
     let mut rows = Vec::new();
     let mut crits: Vec<(&str, String, String)> = Vec::new();
+    let mut timelines: Vec<(String, desim::TimelineSnapshot)> = Vec::new();
     for (pi, &p) in procs.iter().enumerate() {
         for (mi, &mode) in MODES.iter().enumerate() {
-            let (report, crit) = &outs[pi * MODES.len() + mi];
+            let (report, crit, tl) = &outs[pi * MODES.len() + mi];
+            let key = if mode == ProgressMode::Default {
+                "D"
+            } else {
+                "AT"
+            };
             if let Some(cp) = crit {
-                let key = if mode == ProgressMode::Default {
-                    "D"
-                } else {
-                    "AT"
-                };
                 crits.push((key, cp.report(), cp.to_json()));
+            }
+            if let Some(tl) = tl {
+                timelines.push((key.to_string(), tl.clone()));
             }
             println!("{}", report.row());
             rows.push(report);
@@ -110,6 +122,13 @@ fn main() {
         }
         body.push_str("}}\n");
         write_text(&path, &body);
+    }
+    if let Some(path) = timeline_path {
+        let doc = desim::TimelineDoc {
+            bench: "fig11_nwchem_scf".to_string(),
+            runs: timelines,
+        };
+        write_text(&path, &doc.to_json());
     }
     if let Some(path) = arg_str("--json") {
         let body = rows

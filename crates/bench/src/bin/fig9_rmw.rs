@@ -19,8 +19,11 @@
 
 use armci::ProgressMode;
 use bgq_bench::fig9::run;
-use bgq_bench::{arg_jobs, arg_list, arg_str, arg_usize, check_args, sweep, write_text, JOBS_FLAG};
-use desim::{ChromeTrace, Stats};
+use bgq_bench::{
+    arg_jobs, arg_list, arg_str, arg_usize, check_args, sweep, write_text, JOBS_FLAG,
+    TIMELINE_FLAG, TIMELINE_WINDOW_PS,
+};
+use desim::{ChromeTrace, Stats, TimelineDoc};
 
 fn main() {
     check_args(
@@ -40,6 +43,7 @@ fn main() {
                 true,
                 "write critical-path breakdown JSON (smallest p)",
             ),
+            TIMELINE_FLAG,
             JOBS_FLAG,
         ],
     );
@@ -52,6 +56,7 @@ fn main() {
     let json_path = arg_str("--json");
     let trace_path = arg_str("--trace");
     let breakdown_path = arg_str("--breakdown");
+    let timeline_path = arg_str("--timeline");
     let mut chrome = trace_path.as_ref().map(|_| ChromeTrace::new());
     // Merge vehicle for the sweep-wide metrics snapshot.
     let merged = Stats::new();
@@ -75,14 +80,18 @@ fn main() {
     // the old serial loop regardless of worker count.
     let wants_trace = chrome.is_some();
     let wants_breakdown = breakdown_path.is_some();
+    let wants_timeline = timeline_path.is_some();
     let outs = sweep::run_parallel(procs.len() * CONFIGS.len(), jobs, |idx| {
         let (pi, ci) = (idx / CONFIGS.len(), idx % CONFIGS.len());
         let (mode, compute, name) = CONFIGS[ci];
         // Trace/record only the smallest process count: one pid per config.
         let trace = (wants_trace && pi == 0).then_some((ci as u64 + 1, name));
         let breakdown = wants_breakdown && pi == 0;
-        run(procs[pi], mode, compute, k, trace, breakdown, None)
+        let tl = (wants_timeline && pi == 0).then_some(TIMELINE_WINDOW_PS);
+        run(procs[pi], mode, compute, k, trace, breakdown, None, tl)
     });
+    // Timeline doc: one run per configuration, recorded at the smallest p.
+    let mut timelines: Vec<(String, desim::TimelineSnapshot)> = Vec::new();
     for (pi, &p) in procs.iter().enumerate() {
         let mut lat = [0.0f64; 4];
         for (ci, &(_, _, name)) in CONFIGS.iter().enumerate() {
@@ -92,6 +101,10 @@ fn main() {
             if let Some(cp) = &out.crit {
                 let key = name.trim_start_matches("fig9 ");
                 crits.push((key, cp.report(), cp.to_json()));
+            }
+            if let Some(tl) = &out.timeline {
+                let key = name.trim_start_matches("fig9 ");
+                timelines.push((key.to_string(), tl.clone()));
             }
         }
         println!(
@@ -127,6 +140,13 @@ fn main() {
         }
         body.push_str("}}\n");
         write_text(&path, &body);
+    }
+    if let Some(path) = timeline_path {
+        let doc = TimelineDoc {
+            bench: "fig9_rmw".to_string(),
+            runs: timelines,
+        };
+        write_text(&path, &doc.to_json());
     }
     if let Some(path) = json_path {
         write_text(&path, &merged.snapshot().to_json());

@@ -13,9 +13,10 @@
 //! virtual time), so CI diffs it against `results/BENCH_fig_fault.json`
 //! with zero tolerance.
 
-use bgq_bench::fault_bench::{run_cell, sweep_json, FaultCell};
+use bgq_bench::fault_bench::{run_cell_timeline, sweep_json, FaultCell};
 use bgq_bench::{
     arg_jobs, arg_list, arg_str, arg_usize, check_args, fmt_size, sweep, write_text, JOBS_FLAG,
+    TIMELINE_FLAG, TIMELINE_WINDOW_PS,
 };
 
 fn main() {
@@ -37,6 +38,7 @@ fn main() {
             ),
             ("--seed", true, "fault-plan seed (default 42)"),
             ("--json", true, "write the fault-v1 sweep JSON"),
+            TIMELINE_FLAG,
             JOBS_FLAG,
         ],
     );
@@ -47,18 +49,30 @@ fn main() {
     let seed = arg_usize("--seed", 42) as u64;
     let jobs = arg_jobs();
     let json_path = arg_str("--json");
+    let timeline_path = arg_str("--timeline");
 
     println!("== fig_fault: {procs} ranks, {msgs} puts/rank, seed {seed} ==");
     println!(
         "{:>10} {:>8} {:>12} {:>10} {:>9} {:>9} {:>8} {:>12}",
         "rate(ppm)", "size", "MB/s", "p99(us)", "retries", "timeouts", "gave_up", "sim_time(ms)"
     );
+    // Timeline (when requested) records the stormiest designated cell:
+    // largest corruption rate at the first payload size.
+    let tl_ri = rates
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &r)| r)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let wants_timeline = timeline_path.is_some();
     // One independent simulation per (rate, size) cell; collected by input
     // index so output order never depends on worker count.
-    let cells: Vec<FaultCell> = sweep::run_parallel(rates.len() * sizes.len(), jobs, |idx| {
+    let outs = sweep::run_parallel(rates.len() * sizes.len(), jobs, |idx| {
         let (ri, si) = (idx / sizes.len(), idx % sizes.len());
-        run_cell(procs, sizes[si], msgs, rates[ri] as u64, seed)
+        let tl = (wants_timeline && ri == tl_ri && si == 0).then_some(TIMELINE_WINDOW_PS);
+        run_cell_timeline(procs, sizes[si], msgs, rates[ri] as u64, seed, tl)
     });
+    let cells: Vec<FaultCell> = outs.iter().map(|(c, _)| c.clone()).collect();
     for c in &cells {
         println!(
             "{:>10} {:>8} {:>12.1} {:>10.2} {:>9} {:>9} {:>8} {:>12.3}",
@@ -75,5 +89,16 @@ fn main() {
     println!("expected: MB/s falls and p99 rises smoothly with rate; rate 0 == fault-free");
     if let Some(path) = json_path {
         write_text(&path, &sweep_json(procs, msgs, seed, &cells));
+    }
+    if let Some(path) = timeline_path {
+        let runs = outs
+            .into_iter()
+            .filter_map(|(c, tl)| tl.map(|tl| (format!("rate{}_size{}", c.rate_ppm, c.size), tl)))
+            .collect();
+        let doc = desim::TimelineDoc {
+            bench: "fig_fault".to_string(),
+            runs,
+        };
+        write_text(&path, &doc.to_json());
     }
 }

@@ -10,8 +10,13 @@
 //! `mevents_per_sec` / `speedup` / `peak_rss_kb` vary by host and are gated
 //! only loosely (perfdiff with a generous tolerance).
 
-use bgq_bench::simbench::{fig4_sweep, net_churn, peak_rss_kb, ping_pong, timer_churn, KernelLoad};
-use bgq_bench::{arg_flag, arg_jobs, arg_str, arg_usize, check_args, write_text, JOBS_FLAG};
+use bgq_bench::simbench::{
+    fig4_sweep, net_churn, net_churn_timeline, peak_rss_kb, ping_pong, timer_churn, KernelLoad,
+};
+use bgq_bench::{
+    arg_flag, arg_jobs, arg_str, arg_usize, check_args, write_text, JOBS_FLAG, TIMELINE_FLAG,
+    TIMELINE_WINDOW_PS,
+};
 use desim::json::{push_f64, push_str, push_u64};
 
 fn wall_ms(d: std::time::Duration) -> f64 {
@@ -51,6 +56,7 @@ fn main() {
             ("--churn-procs", true, "net-churn ranks (default 512)"),
             ("--churn-msgs", true, "net-churn messages (default 400000)"),
             ("--json", true, "write the fixed-schema result JSON"),
+            TIMELINE_FLAG,
             JOBS_FLAG,
         ],
     );
@@ -98,6 +104,21 @@ fn main() {
         wall_ms(churn_net.wall),
         churn_net.mevents_per_sec()
     );
+    // --timeline: a separate instrumented net_churn run (leaves the timed
+    // run above, and the JSON below, untouched).
+    if let Some(path) = arg_str("--timeline") {
+        let (_, tl) = net_churn_timeline(
+            churn_procs,
+            churn_msgs,
+            None,
+            Some(TIMELINE_WINDOW_PS / 100), // 1 µs windows: churn lasts ~tens of µs
+        );
+        let doc = desim::TimelineDoc {
+            bench: "net_churn".to_string(),
+            runs: vec![("net_churn".to_string(), tl.expect("timeline enabled"))],
+        };
+        write_text(&path, &doc.to_json());
+    }
 
     let (rows_serial, wall_serial) = fig4_sweep(&sizes, 2, sweep_reps, 1);
     let (rows_jobs, wall_jobs) = fig4_sweep(&sizes, 2, sweep_reps, jobs);

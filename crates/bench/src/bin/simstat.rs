@@ -1,0 +1,74 @@
+//! simstat — human report over `timeline-v1` telemetry artifacts.
+//!
+//! Loads one or two timeline JSONs (written by the `--timeline` option of
+//! `fig9_rmw`, `fig11_nwchem_scf`, `simbench`, `fig_fault`) and prints, per
+//! run: a text sparkline per series, numeric headlines, and the health
+//! findings of `desim::health` (congestion onset, retry storms, queue
+//! runaway, progress starvation). With two files it appends a
+//! window-aligned A/B diff. Output is a pure function of the input bytes,
+//! so reports are byte-identical across runs and hosts.
+//!
+//! Exit status: 0 = report printed (findings are informational), 2 = usage
+//! or I/O error.
+
+use bgq_bench::simstat::{diff_report, report};
+use bgq_bench::{usage_text, FlagSpec};
+use desim::{HealthConfig, TimelineDoc};
+
+const BIN: &str = "simstat <a.json> [b.json]";
+const ABOUT: &str = "report + health-check timeline-v1 telemetry (A/B diff with two files)";
+const FLAGS: &[FlagSpec] = &[("--width", true, "max sparkline width in chars (default 64)")];
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("simstat: {msg}");
+    eprint!("{}", usage_text(BIN, ABOUT, FLAGS));
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> TimelineDoc {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("simstat: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    TimelineDoc::parse(&src).unwrap_or_else(|e| {
+        eprintln!("simstat: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut width = 64usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage_text(BIN, ABOUT, FLAGS));
+                return;
+            }
+            "--width" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+                    fail_usage("--width needs a numeric value");
+                };
+                width = v.max(1);
+                i += 1;
+            }
+            a if a.starts_with('-') => fail_usage(&format!("unknown option '{a}'")),
+            a => files.push(a.to_string()),
+        }
+        i += 1;
+    }
+    if files.is_empty() || files.len() > 2 {
+        fail_usage("expected one or two timeline-v1 JSON files");
+    }
+
+    let cfg = HealthConfig::default();
+    let a = load(&files[0]);
+    print!("{}", report(&files[0], &a, &cfg, width));
+    if let Some(bp) = files.get(1) {
+        let b = load(bp);
+        print!("\n{}", report(bp, &b, &cfg, width));
+        print!("{}", diff_report(&a, &b, width));
+    }
+}

@@ -90,6 +90,21 @@ pub fn run_cell(
     rate_ppm: u64,
     seed: u64,
 ) -> FaultCell {
+    run_cell_timeline(procs, size, msgs_per_rank, rate_ppm, seed, None).0
+}
+
+/// Like [`run_cell`], but with windowed telemetry at `timeline_window_ps`
+/// when set: link occupancy, retry/timeout rates, retry backlog and
+/// links-down get a time axis, so `simstat` can pinpoint the retry storm
+/// around the link-down window.
+pub fn run_cell_timeline(
+    procs: usize,
+    size: usize,
+    msgs_per_rank: usize,
+    rate_ppm: u64,
+    seed: u64,
+    timeline_window_ps: Option<u64>,
+) -> (FaultCell, Option<desim::TimelineSnapshot>) {
     assert!(
         procs > 16 && procs.is_multiple_of(16),
         "need >=2 nodes of 16 ranks"
@@ -106,6 +121,9 @@ pub fn run_cell(
     }
     let sim = Sim::new();
     let m = Machine::new(sim.clone(), mcfg);
+    if let Some(w) = timeline_window_ps {
+        m.enable_timeline(w, 512);
+    }
     let lat_ps: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
     for r in 0..procs {
         let target = (r + 16) % procs;
@@ -126,6 +144,7 @@ pub fn run_cell(
     }
     let end = sim.run();
     m.flush_net_stats();
+    let timeline = timeline_window_ps.map(|_| m.timeline().snapshot());
     let stats = m.stats();
     let mut lats = Rc::try_unwrap(lat_ps).expect("all tasks done").into_inner();
     lats.sort_unstable();
@@ -134,7 +153,7 @@ pub fn run_cell(
     let delivered_msgs = stats.counter("net.messages");
     let total_bytes = (procs * msgs_per_rank * size) as f64;
     let secs = (end.as_ps() as f64 / 1e12).max(1e-12);
-    FaultCell {
+    let cell = FaultCell {
         rate_ppm,
         size,
         sim_time_ps: end.as_ps(),
@@ -145,7 +164,8 @@ pub fn run_cell(
         gave_up: stats.counter("pami.gave_up"),
         link_down_ps: stats.counter("fault.link_down_ps"),
         messages: delivered_msgs,
-    }
+    };
+    (cell, timeline)
 }
 
 /// Render a full sweep as the fixed-schema `fault-v1` JSON document.

@@ -8,7 +8,10 @@
 //! without a [`FaultPlan`] installed and compare outputs byte-for-byte.
 
 use armci::{ArmciConfig, ProgressMode};
-use desim::{analyze, ChromeTrace, CritPath, FaultPlan, MetricsSnapshot, SimDuration};
+use desim::{
+    analyze, ChromeTrace, CritPath, FaultPlan, HealthConfig, MetricsSnapshot, SimDuration,
+    TimelineSnapshot,
+};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -25,6 +28,8 @@ pub struct RunOut {
     /// Chrome-trace fragment recorded in-run (worker thread local), merged
     /// into the sweep-wide trace afterwards in input order.
     pub chrome: Option<ChromeTrace>,
+    /// Windowed-telemetry snapshot, when `timeline_window_ps` was set.
+    pub timeline: Option<TimelineSnapshot>,
 }
 
 /// Run one Fig 9 configuration: `p` ranks, `k` fetch-and-adds per
@@ -32,7 +37,11 @@ pub struct RunOut {
 /// `breakdown` turns on the flight recorder; `fault` installs a fault plan
 /// on the machine (with `None` and with an *empty* plan the run is
 /// byte-identical — the zero-cost-when-idle contract, asserted by
-/// `tests/fault_zero_cost.rs`).
+/// `tests/fault_zero_cost.rs`); `timeline_window_ps` turns on windowed
+/// telemetry at the given sample width. When both tracing and a timeline
+/// are active, the Chrome fragment additionally carries Perfetto counter
+/// tracks and health-finding instants.
+#[allow(clippy::too_many_arguments)]
 pub fn run(
     p: usize,
     progress: ProgressMode,
@@ -41,6 +50,7 @@ pub fn run(
     trace: Option<(u64, &str)>,
     breakdown: bool,
     fault: Option<FaultPlan>,
+    timeline_window_ps: Option<u64>,
 ) -> RunOut {
     let contexts = if progress == ProgressMode::AsyncThread {
         2
@@ -60,6 +70,9 @@ pub fn run(
     }
     if breakdown {
         f.armci.machine().enable_flight(1 << 20);
+    }
+    if let Some(w) = timeline_window_ps {
+        f.armci.enable_timeline(w, 512);
     }
     let owner = f.armci.machine().rank(0);
     let counter = owner.alloc(8);
@@ -104,9 +117,19 @@ pub fn run(
     f.finish();
     f.armci.machine().flush_net_stats();
     let snapshot = f.armci.machine().stats().snapshot();
+    let timeline = timeline_window_ps.map(|_| f.armci.machine().timeline().snapshot());
     let chrome = trace.map(|(pid, name)| {
+        // Health findings become instants on the traced timeline, and the
+        // windowed series ride along as Perfetto counter tracks.
+        if let Some(tl) = &timeline {
+            let findings = desim::health::analyze(tl, &HealthConfig::default());
+            desim::health::emit_instants(&tracer, &findings, tl.window_ps);
+        }
         let mut ct = ChromeTrace::new();
         ct.add_process(pid, name, &tracer);
+        if let Some(tl) = &timeline {
+            ct.add_counters(pid, tl);
+        }
         tracer.disable();
         ct
     });
@@ -116,5 +139,6 @@ pub fn run(
         snapshot,
         crit,
         chrome,
+        timeline,
     }
 }

@@ -25,6 +25,7 @@ pub mod fault_bench;
 pub mod fig9;
 pub mod perfdiff;
 pub mod simbench;
+pub mod simstat;
 pub mod sweep;
 
 /// The `--jobs` CLI option shared by every bench binary: parallel sweep
@@ -34,6 +35,17 @@ pub const JOBS_FLAG: FlagSpec = (
     "--jobs",
     true,
     "parallel sweep workers (default: available cores)",
+);
+
+/// Sample width for `--timeline` windowed telemetry: 100 µs windows keep
+/// even the large sweeps under the series cap without coarsening.
+pub const TIMELINE_WINDOW_PS: u64 = 100_000_000;
+
+/// The `--timeline` CLI option shared by the timeline-capable binaries.
+pub const TIMELINE_FLAG: FlagSpec = (
+    "--timeline",
+    true,
+    "write windowed-telemetry JSON (timeline-v1)",
 );
 
 /// Parse the `--jobs` option (default: available parallelism).

@@ -30,7 +30,12 @@ pub enum Leaf {
 }
 
 /// Flatten a JSON document into `(dotted.path, leaf)` pairs, arrays indexed
-/// as `path[i]`. Order follows the document; callers sort as needed.
+/// as `path[i]`. Every array additionally contributes a `path.len` pseudo-
+/// leaf with its element count: without it an array *growing* only surfaces
+/// as candidate-extra leaves, which never fail the gate — with it, any
+/// length change is a hard numeric violation (essential for the timeline
+/// goldens, where a series quietly gaining windows is drift). Order follows
+/// the document; callers sort as needed.
 pub fn flatten(v: &JsonValue) -> Vec<(String, Leaf)> {
     let mut out = Vec::new();
     walk(v, String::new(), &mut out);
@@ -50,6 +55,7 @@ fn walk(v: &JsonValue, path: String, out: &mut Vec<(String, Leaf)>) {
             }
         }
         JsonValue::Arr(items) => {
+            out.push((format!("{path}.len"), Leaf::Num(items.len() as f64)));
             for (i, val) in items.iter().enumerate() {
                 walk(val, format!("{path}[{i}]"), out);
             }
@@ -153,6 +159,7 @@ mod tests {
             flat,
             vec![
                 ("a.b".to_string(), Leaf::Num(1.5)),
+                ("a.c.len".to_string(), Leaf::Num(2.0)),
                 ("a.c[0]".to_string(), Leaf::Bool(true)),
                 ("a.c[1]".to_string(), Leaf::Str("x".to_string())),
                 ("d".to_string(), Leaf::Null),
@@ -161,11 +168,29 @@ mod tests {
     }
 
     #[test]
+    fn array_len_pseudo_leaf_gates_length_changes() {
+        let base = v(r#"{"w":[1,2]}"#);
+        let grown = v(r#"{"w":[1,2,3]}"#);
+        let shrunk = v(r#"{"w":[1]}"#);
+        // Growth used to pass (new indices are candidate-extra); the `.len`
+        // pseudo-leaf turns it into a numeric violation.
+        let r = diff(&base, &grown, TOL);
+        assert!(!r.ok());
+        assert!(
+            r.violations.iter().any(|s| s.contains("w.len")),
+            "{:?}",
+            r.violations
+        );
+        assert!(!diff(&base, &shrunk, TOL).ok());
+        assert!(diff(&base, &base, TOL).ok());
+    }
+
+    #[test]
     fn identical_documents_pass() {
         let a = v(r#"{"x":1,"y":{"z":[2,3]}}"#);
         let r = diff(&a, &a, TOL);
         assert!(r.ok());
-        assert_eq!(r.checked, 3);
+        assert_eq!(r.checked, 4); // x, y.z.len, y.z[0], y.z[1]
         assert!(r.extra.is_empty());
     }
 

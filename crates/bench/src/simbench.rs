@@ -126,11 +126,30 @@ pub fn net_churn(procs: usize, msgs: usize) -> KernelLoad {
 /// byte-identical to [`net_churn`] — asserted by
 /// `tests/fault_zero_cost.rs`.
 pub fn net_churn_with_faults(procs: usize, msgs: usize, plan: Option<FaultPlan>) -> KernelLoad {
+    net_churn_timeline(procs, msgs, plan, None).0
+}
+
+/// [`net_churn_with_faults`] with optional windowed telemetry: a standalone
+/// [`desim::Timeline`] (no kernel needed) attached straight to the
+/// [`NetState`], sampling per-window message/byte counts, link busy/wait
+/// time and detours so `simstat` can spot the congestion onset as the
+/// staggered injection schedule outruns link capacity.
+pub fn net_churn_timeline(
+    procs: usize,
+    msgs: usize,
+    plan: Option<FaultPlan>,
+    timeline_window_ps: Option<u64>,
+) -> (KernelLoad, Option<desim::TimelineSnapshot>) {
     let topo = Topology::for_procs(procs, 16);
     let mut net = NetState::new(topo, BgqParams::default(), true);
     if let Some(plan) = plan {
         net.install_faults(plan);
     }
+    let tl = desim::Timeline::new();
+    if let Some(w) = timeline_window_ps {
+        tl.enable(w, 512);
+    }
+    net.set_timeline(&tl);
     let mut rng = SimRng::new(0x4E45_7443);
     // Pre-generate the schedule so the timed loop measures delivery alone.
     let mut sched = Vec::with_capacity(msgs);
@@ -163,11 +182,13 @@ pub fn net_churn_with_faults(procs: usize, msgs: usize, plan: Option<FaultPlan>)
         }
     }
     let wall = t0.elapsed();
-    KernelLoad {
+    let snap = timeline_window_ps.map(|_| tl.snapshot());
+    let load = KernelLoad {
         events: net.messages(),
         sim_time_ps: last.as_ps(),
         wall,
-    }
+    };
+    (load, snap)
 }
 
 /// Fig 4-style bandwidth sweep (get+put per size), run through the parallel

@@ -82,6 +82,41 @@ fn fig9_rmw_is_jobs_invariant() {
 }
 
 #[test]
+fn fig9_rmw_timeline_is_jobs_invariant_and_repeatable() {
+    // The timeline-v1 artifact must be byte-identical across worker counts
+    // and across repeated invocations — it feeds a zero-tolerance perfdiff
+    // gate in CI.
+    let bin = env!("CARGO_BIN_EXE_fig9_rmw");
+    let run_tl = |jobs: &str, tag: &str| -> String {
+        let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+        p.push(format!("det_fig9_tl_{tag}.json"));
+        let out = Command::new(bin)
+            .args(["--procs", "2,8", "--ops", "3", "--jobs", jobs, "--timeline"])
+            .arg(&p)
+            .output()
+            .expect("spawn fig9_rmw");
+        assert!(
+            out.status.success(),
+            "fig9_rmw --timeline failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+    };
+    let j1 = run_tl("1", "j1");
+    let j4 = run_tl("4", "j4");
+    let j4_again = run_tl("4", "j4_again");
+    assert_eq!(j1, j4, "timeline JSON must not depend on --jobs");
+    assert_eq!(j4, j4_again, "timeline JSON must be repeatable");
+    assert!(j1.contains("\"schema\":\"timeline-v1\""));
+    // All four configurations recorded at the smallest p.
+    for run_name in ["\"D\"", "\"AT\"", "\"D+compute\"", "\"AT+compute\""] {
+        assert!(j1.contains(run_name), "missing run {run_name}");
+    }
+    assert!(j1.contains("\"pami.queue_depth\""), "gauge series missing");
+    assert!(j1.contains("\"net.msgs\""), "counter series missing");
+}
+
+#[test]
 fn simbench_event_counts_are_deterministic() {
     // Two runs of the same workload must count the same events and reach
     // the same simulated time — wall-clock varies, virtual time never does.

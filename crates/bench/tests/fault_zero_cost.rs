@@ -16,8 +16,17 @@ use desim::FaultPlan;
 #[test]
 fn fig9_with_empty_plan_is_byte_identical_to_no_plan() {
     for mode in [ProgressMode::Default, ProgressMode::AsyncThread] {
-        let bare = run(32, mode, true, 4, None, false, None);
-        let empty = run(32, mode, true, 4, None, false, Some(FaultPlan::new(99)));
+        let bare = run(32, mode, true, 4, None, false, None, None);
+        let empty = run(
+            32,
+            mode,
+            true,
+            4,
+            None,
+            false,
+            Some(FaultPlan::new(99)),
+            None,
+        );
         assert_eq!(
             bare.latency_us, empty.latency_us,
             "{mode:?}: latency must not move"

@@ -1,0 +1,63 @@
+//! The health rules catch real pathologies in real workloads — and do so
+//! deterministically. `net_churn`'s staggered all-to-all storm must trip
+//! the congestion-onset rule (injection outruns link capacity); `fig_fault`
+//! at a stormy corruption rate must trip the retry-storm rule around the
+//! fault plan's link-down window. Running the same workload twice must
+//! produce byte-identical findings (they feed trace instants and `simstat`
+//! reports that CI compares).
+
+use bgq_bench::fault_bench::run_cell_timeline;
+use bgq_bench::simbench::net_churn_timeline;
+use bgq_bench::TIMELINE_WINDOW_PS;
+use desim::health::analyze;
+use desim::HealthConfig;
+
+fn render(findings: &[desim::Finding]) -> String {
+    findings
+        .iter()
+        .map(|f| {
+            format!(
+                "[{}] w{} {}: {}\n",
+                f.severity.as_str(),
+                f.window,
+                f.rule,
+                f.evidence
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn net_churn_trips_congestion_onset_deterministically() {
+    let cfg = HealthConfig::default();
+    let run = || {
+        let (_, snap) = net_churn_timeline(128, 20_000, None, Some(TIMELINE_WINDOW_PS / 100));
+        analyze(&snap.expect("timeline on"), &cfg)
+    };
+    let a = run();
+    assert!(
+        a.iter().any(|f| f.rule == "congestion-onset"),
+        "the delivery storm must saturate links: {}",
+        render(&a)
+    );
+    assert_eq!(render(&a), render(&run()), "findings must be reproducible");
+}
+
+#[test]
+fn fig_fault_storm_trips_retry_storm_deterministically() {
+    let cfg = HealthConfig::default();
+    // 5% per-traversal corruption + the plan's mid-run link-down window:
+    // the same designated cell `fig_fault --fault-rate 0,50000 --msgs 32
+    // --timeline` records.
+    let run = || {
+        let (_, snap) = run_cell_timeline(32, 4096, 32, 50_000, 42, Some(TIMELINE_WINDOW_PS));
+        analyze(&snap.expect("timeline on"), &cfg)
+    };
+    let a = run();
+    assert!(
+        a.iter().any(|f| f.rule == "retry-storm"),
+        "sustained corruption must register as a retry storm: {}",
+        render(&a)
+    );
+    assert_eq!(render(&a), render(&run()), "findings must be reproducible");
+}

@@ -37,6 +37,7 @@ use crate::event::Completion;
 use crate::flight::FlightRecorder;
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
+use crate::timeline::Timeline;
 use crate::trace::Tracer;
 use crate::wheel::TimerWheel;
 
@@ -193,6 +194,7 @@ pub(crate) struct Kernel {
     stats: Stats,
     tracer: Tracer,
     flight: FlightRecorder,
+    timeline: Timeline,
 }
 
 impl Kernel {
@@ -212,6 +214,7 @@ impl Kernel {
             stats: Stats::new(),
             tracer: Tracer::new(),
             flight: FlightRecorder::new(),
+            timeline: Timeline::new(),
         })
     }
 
@@ -398,6 +401,12 @@ impl Sim {
     /// (and free) unless [`FlightRecorder::enable`] is called.
     pub fn flight(&self) -> FlightRecorder {
         self.k.flight.clone()
+    }
+
+    /// Shared windowed telemetry timeline for this simulation. Disabled (and
+    /// free) unless [`Timeline::enable`] is called.
+    pub fn timeline(&self) -> Timeline {
+        self.k.timeline.clone()
     }
 
     /// Number of events (task polls + timer firings) processed so far.

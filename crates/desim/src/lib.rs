@@ -36,12 +36,14 @@ pub mod event;
 pub mod fault;
 pub mod flight;
 pub mod futures;
+pub mod health;
 pub mod json;
 pub mod kernel;
 pub mod rng;
 pub mod stats;
 pub mod sync;
 pub mod time;
+pub mod timeline;
 pub mod trace;
 pub mod waker_set;
 mod wheel;
@@ -51,8 +53,10 @@ pub use event::Completion;
 pub use fault::{FaultEvent, FaultPlan, FaultSpec};
 pub use flight::{FlightRecorder, OpId, SegCategory};
 pub use futures::{race, Either};
+pub use health::{Finding, HealthConfig, Severity};
 pub use kernel::{JoinHandle, Sim, TaskId};
 pub use rng::SimRng;
 pub use stats::{MetricsSnapshot, Stats};
 pub use time::{SimDuration, SimTime};
+pub use timeline::{SeriesId, SeriesKind, Timeline, TimelineDoc, TimelineSnapshot, WindowSample};
 pub use trace::{ChromeTrace, TraceValue, Tracer, TrackId};

@@ -16,9 +16,15 @@
 //! [`ChromeTrace`] serializes one or more tracers into the Chrome
 //! trace-event JSON format, loadable in Perfetto (<https://ui.perfetto.dev>)
 //! or `chrome://tracing`. Each tracer becomes a *process*; each track a
-//! *thread*. Because events are stamped with virtual time and stored in
-//! recording order, two runs of the same seeded simulation serialize to
-//! byte-identical JSON.
+//! *thread*. Events are exported sorted by `(virtual time, recording
+//! sequence)` — the per-tracer sequence number breaks ties between events at
+//! the same instant deterministically, so late-recorded events with in-run
+//! timestamps (timeline counters, health instants) merge into time order and
+//! two runs of the same seeded simulation serialize to byte-identical JSON.
+//! [`ChromeTrace::add_counters`] additionally serializes a
+//! [`crate::timeline::TimelineSnapshot`] as Perfetto *counter tracks*
+//! (`"ph":"C"`), one counter per series, so windowed telemetry renders as
+//! graphs time-aligned with the spans.
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -72,6 +78,9 @@ struct TraceEvent {
     name: &'static str,
     at: SimTime,
     track: TrackId,
+    /// Monotone per-tracer recording sequence; tie-breaks events recorded at
+    /// the same virtual time so export order is fully specified.
+    seq: u64,
     args: Vec<(&'static str, TraceValue)>,
 }
 
@@ -80,6 +89,7 @@ struct TracerInner {
     enabled: Cell<bool>,
     capacity: Cell<usize>,
     events: RefCell<VecDeque<TraceEvent>>,
+    next_seq: Cell<u64>,
     dropped: Cell<u64>,
     /// Track names in creation order; index == `TrackId`. Creation order is
     /// deterministic because the simulation is.
@@ -134,7 +144,9 @@ impl Tracer {
         TrackId((tracks.len() - 1) as u32)
     }
 
-    fn push(&self, ev: TraceEvent) {
+    fn push(&self, mut ev: TraceEvent) {
+        ev.seq = self.inner.next_seq.get();
+        self.inner.next_seq.set(ev.seq + 1);
         let mut events = self.inner.events.borrow_mut();
         if events.len() >= self.inner.capacity.get() {
             events.pop_front();
@@ -160,6 +172,7 @@ impl Tracer {
             name,
             at,
             track,
+            seq: 0, // assigned in push()
             args: args.to_vec(),
         });
     }
@@ -182,6 +195,7 @@ impl Tracer {
             name,
             at,
             track,
+            seq: 0, // assigned in push()
             args: args.to_vec(),
         });
     }
@@ -203,6 +217,7 @@ impl Tracer {
             name,
             at,
             track,
+            seq: 0, // assigned in push()
             args: args.to_vec(),
         });
     }
@@ -314,7 +329,16 @@ impl ChromeTrace {
             json::push_u64(&mut self.out, tracer.dropped());
             self.out.push_str("}}");
         }
-        for ev in tracer.inner.events.borrow().iter() {
+        // Export in `(at, seq)` order rather than raw recording order: the
+        // sequence number is monotone in recording order, so this is a
+        // stable time sort. Events recorded after the fact with in-run
+        // timestamps (health instants, late annotations) merge into their
+        // proper place, and same-instant events keep a specified order.
+        let events = tracer.inner.events.borrow();
+        let mut order: Vec<usize> = (0..events.len()).collect();
+        order.sort_by_key(|&i| (events[i].at, events[i].seq));
+        for &i in &order {
+            let ev = &events[i];
             self.sep();
             let ph = match ev.phase {
                 Phase::Begin => "B",
@@ -341,6 +365,42 @@ impl ChromeTrace {
                 Self::push_args(&mut self.out, &ev.args);
             }
             self.out.push('}');
+        }
+    }
+
+    /// Serialize a timeline snapshot as Perfetto counter tracks under
+    /// process `pid`: one `"ph":"C"` event per recorded window per series,
+    /// stamped at the window's start time. Counter series plot the
+    /// per-window delta sum; gauge series plot the window's last sample.
+    /// Perfetto keys counters by `(pid, name)`, so merging these next to
+    /// [`ChromeTrace::add_process`] spans of the same `pid` renders the
+    /// telemetry graphs time-aligned with the span lanes.
+    pub fn add_counters(&mut self, pid: u64, snap: &crate::timeline::TimelineSnapshot) {
+        use crate::timeline::SeriesKind;
+        for s in &snap.series {
+            for w in &s.windows {
+                self.sep();
+                self.out.push_str("{\"ph\":\"C\",\"pid\":");
+                json::push_u64(&mut self.out, pid);
+                self.out.push_str(",\"tid\":0,\"ts\":");
+                let ts_ps = w.idx * snap.window_ps;
+                json::push_f64(&mut self.out, ts_ps as f64 / 1e6);
+                self.out.push_str(",\"name\":");
+                json::push_str(&mut self.out, &s.name);
+                self.out.push_str(",\"args\":{\"value\":");
+                match s.kind {
+                    SeriesKind::Counter => json::push_u64(&mut self.out, w.sum),
+                    SeriesKind::Gauge => {
+                        if w.last < 0 {
+                            self.out.push('-');
+                            json::push_u64(&mut self.out, w.last.unsigned_abs());
+                        } else {
+                            json::push_u64(&mut self.out, w.last as u64);
+                        }
+                    }
+                }
+                self.out.push_str("}}");
+            }
         }
     }
 
@@ -530,6 +590,71 @@ mod tests {
         let mut ct = ChromeTrace::new();
         ct.add_process(1, "run", &tr);
         assert!(!ct.finish().contains("trace_dropped_events"));
+    }
+
+    #[test]
+    fn export_sorts_by_time_with_stable_seq_tiebreak() {
+        let tr = Tracer::new();
+        tr.enable(16);
+        let track = tr.track("rank 0");
+        // Three instants at the identical (time, track): export must keep
+        // recording order, which the per-event seq pins down explicitly.
+        tr.instant(track, "first", t(5), &[]);
+        tr.instant(track, "second", t(5), &[]);
+        tr.instant(track, "third", t(5), &[]);
+        // Recorded last with an *earlier* timestamp (the health-instant
+        // pattern: analysis after the run, stamps inside it) — must be
+        // exported before the t=5 cluster, not trail at the end.
+        tr.instant(track, "late-recorded", t(2), &[]);
+        let mut ct = ChromeTrace::new();
+        ct.add_process(1, "run", &tr);
+        let out = ct.finish();
+        let doc = crate::json::parse(&out).expect("valid JSON");
+        let crate::json::JsonValue::Arr(evs) = doc.get("traceEvents").unwrap() else {
+            panic!("array")
+        };
+        let names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert_eq!(names, ["late-recorded", "first", "second", "third"]);
+    }
+
+    #[test]
+    fn counter_tracks_export_values_per_window() {
+        use crate::timeline::{SeriesKind, Timeline};
+        let tl = Timeline::new();
+        tl.enable(1_000_000, 64); // 1 µs windows
+        let c = tl.series("net.msgs", SeriesKind::Counter);
+        let g = tl.series("queue", SeriesKind::Gauge);
+        tl.add(c, t(0), 3);
+        tl.add(c, t(2), 7);
+        tl.gauge(g, t(1), -4);
+        let mut ct = ChromeTrace::new();
+        ct.add_counters(9, &tl.snapshot());
+        let out = ct.finish();
+        let doc = crate::json::parse(&out).expect("counter export must be valid JSON");
+        let crate::json::JsonValue::Arr(evs) = doc.get("traceEvents").unwrap() else {
+            panic!("array")
+        };
+        assert_eq!(evs.len(), 3);
+        for e in evs {
+            assert_eq!(e.get("ph").and_then(|p| p.as_str()), Some("C"));
+            assert_eq!(e.get("pid").and_then(|p| p.as_f64()), Some(9.0));
+        }
+        let get = |name: &str, ts: f64| -> f64 {
+            evs.iter()
+                .find(|e| {
+                    e.get("name").and_then(|n| n.as_str()) == Some(name)
+                        && e.get("ts").and_then(|v| v.as_f64()) == Some(ts)
+                })
+                .and_then(|e| e.get("args")?.get("value")?.as_f64())
+                .unwrap()
+        };
+        assert_eq!(get("net.msgs", 0.0), 3.0);
+        assert_eq!(get("net.msgs", 2.0), 7.0);
+        assert_eq!(get("queue", 1.0), -4.0);
     }
 
     #[test]

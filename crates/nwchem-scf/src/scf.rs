@@ -47,6 +47,9 @@ pub struct ScfConfig {
     pub procs_per_node: usize,
     /// Workload RNG seed.
     pub seed: u64,
+    /// Windowed-telemetry sample width in picoseconds (`None` = timelines
+    /// off; the run stays allocation-free on the telemetry paths).
+    pub timeline_window_ps: Option<u64>,
 }
 
 impl ScfConfig {
@@ -71,6 +74,7 @@ impl ScfConfig {
             },
             procs_per_node: 16,
             seed: 20130520,
+            timeline_window_ps: None,
         }
     }
 
@@ -94,6 +98,7 @@ impl ScfConfig {
             },
             procs_per_node: 1,
             seed: 7,
+            timeline_window_ps: None,
         }
     }
 
@@ -134,6 +139,17 @@ pub fn run_scf_flight(
     cfg: &ScfConfig,
     flight_capacity: usize,
 ) -> (ScfReport, Option<CritPath>) {
+    let (report, crit, _) = run_scf_timeline(nprocs, cfg, flight_capacity);
+    (report, crit)
+}
+
+/// Like [`run_scf_flight`], but additionally returns the windowed-telemetry
+/// snapshot when `cfg.timeline_window_ps` is set (`None` otherwise).
+pub fn run_scf_timeline(
+    nprocs: usize,
+    cfg: &ScfConfig,
+    flight_capacity: usize,
+) -> (ScfReport, Option<CritPath>, Option<desim::TimelineSnapshot>) {
     let sim = Sim::new();
     let machine = Machine::new(
         sim.clone(),
@@ -145,6 +161,9 @@ pub fn run_scf_flight(
         machine.enable_flight(flight_capacity);
     }
     let armci = Armci::new(machine, ArmciConfig::default().progress(cfg.progress));
+    if let Some(w) = cfg.timeline_window_ps {
+        armci.enable_timeline(w, 512);
+    }
     let density = Ga::create(&armci, "density", cfg.nbf, cfg.nbf);
     let fock = Ga::create(&armci, "fock", cfg.nbf, cfg.nbf);
     density.fill(0.1);
@@ -284,6 +303,9 @@ pub fn run_scf_flight(
 
     let end = sim.run();
     let crit = (flight_capacity > 0).then(|| desim::analyze(&armci.machine().flight(), end));
+    let timeline = cfg
+        .timeline_window_ps
+        .map(|_| armci.machine().timeline().snapshot());
     let stats = armci.machine().stats();
     let rmw_count = stats.counter("armci.rmw");
     armci.finalize();
@@ -314,7 +336,7 @@ pub fn run_scf_flight(
         tasks_max: tallies.iter().map(|t| t.tasks).max().unwrap_or(0),
         rmw_count,
     };
-    (report, crit)
+    (report, crit, timeline)
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::rc::Rc;
 
+use desim::timeline::{SeriesKind, Timeline};
 use desim::{FaultPlan, FlightRecorder, OpId, Sim, SimTime, Stats};
 use torus5d::{BgqParams, Mapping, NetState, Topology};
 
@@ -222,6 +223,30 @@ pub(crate) struct MachineInner {
     /// which the retry machinery arms itself. Cached so the fault-free hot
     /// path costs a single bool read.
     pub faults_active: bool,
+    /// Pre-interned timeline series, set by [`Machine::enable_timeline`].
+    /// `None` (the default) keeps every producer at one `Option` check.
+    pub tl_ids: Cell<Option<TlIds>>,
+    /// Retries scheduled but not yet resumed, mirrored into the
+    /// `pami.retry_backlog` gauge while the timeline is enabled.
+    pub retry_backlog: Cell<i64>,
+}
+
+/// Pre-interned timeline series handles for the PAMI-layer producers.
+/// `Copy` so instrumentation sites read them out of a `Cell` for free.
+#[derive(Clone, Copy)]
+pub struct TlIds {
+    /// `pami.ctx.lock_wait_ps` — context-lock wait per window.
+    pub lock_wait: desim::SeriesId,
+    /// `pami.ctx.lock_hold_ps` — context-lock hold per window.
+    pub lock_hold: desim::SeriesId,
+    /// `pami.queue_depth` — gauge of the deepest context queue sampled.
+    pub queue_depth: desim::SeriesId,
+    /// `pami.retries` — retransmissions per window.
+    pub retries: desim::SeriesId,
+    /// `pami.timeouts` — delivery deadline hits per window.
+    pub timeouts: desim::SeriesId,
+    /// `pami.retry_backlog` — gauge of scheduled-but-unsent retries.
+    pub retry_backlog: desim::SeriesId,
 }
 
 /// A simulated Blue Gene/Q partition running `nprocs` PGAS processes.
@@ -279,6 +304,8 @@ impl Machine {
                 ranks,
                 stats,
                 faults_active,
+                tl_ids: Cell::new(None),
+                retry_backlog: Cell::new(0),
             }),
         }
     }
@@ -352,6 +379,48 @@ impl Machine {
     /// budget. Convenience for `self.flight().enable(capacity)`.
     pub fn enable_flight(&self, capacity: usize) {
         self.inner.sim.flight().enable(capacity);
+    }
+
+    /// Turn on windowed telemetry: enable the simulation's [`Timeline`] with
+    /// `window_ps`-wide windows (capped at `max_windows` per series, with
+    /// deterministic coarsening past that), wire the network producers, and
+    /// pre-intern the PAMI-layer series. Until this is called, every
+    /// instrumentation site costs a single `Option`/flag check.
+    pub fn enable_timeline(&self, window_ps: u64, max_windows: usize) {
+        let tl = self.inner.sim.timeline();
+        tl.enable(window_ps, max_windows);
+        self.inner.net.borrow_mut().set_timeline(&tl);
+        self.inner.tl_ids.set(Some(TlIds {
+            lock_wait: tl.series("pami.ctx.lock_wait_ps", SeriesKind::Counter),
+            lock_hold: tl.series("pami.ctx.lock_hold_ps", SeriesKind::Counter),
+            queue_depth: tl.series("pami.queue_depth", SeriesKind::Gauge),
+            retries: tl.series("pami.retries", SeriesKind::Counter),
+            timeouts: tl.series("pami.timeouts", SeriesKind::Counter),
+            retry_backlog: tl.series("pami.retry_backlog", SeriesKind::Gauge),
+        }));
+        self.inner.retry_backlog.set(0);
+    }
+
+    /// The simulation's shared timeline (disabled unless
+    /// [`Machine::enable_timeline`] or `Sim::timeline().enable(..)` ran).
+    pub fn timeline(&self) -> Timeline {
+        self.inner.sim.timeline()
+    }
+
+    /// Pre-interned PAMI series handles, `Some` only after
+    /// [`Machine::enable_timeline`].
+    #[inline]
+    pub(crate) fn tl_ids(&self) -> Option<TlIds> {
+        self.inner.tl_ids.get()
+    }
+
+    /// Adjust the retry-backlog mirror and record the gauge.
+    pub(crate) fn tl_retry_backlog(&self, at: SimTime, delta: i64) {
+        if let Some(ids) = self.tl_ids() {
+            let n = self.inner.retry_backlog.get() + delta;
+            self.inner.retry_backlog.set(n);
+            self.inner.sim.timeline().gauge(ids.retry_backlog, at, n);
+        }
     }
 
     /// Handle for one rank.

@@ -82,6 +82,9 @@ fn deliver_then(
         }
         Delivery::Dropped { .. } => {
             stats.incr("pami.timeouts");
+            if let Some(ids) = m.tl_ids() {
+                sim.timeline().add(ids.timeouts, inject, 1);
+            }
             let policy = m.retry_policy();
             if attempt >= policy.max_retries {
                 match policy.failure {
@@ -102,9 +105,14 @@ fn deliver_then(
                 sim.flight()
                     .segment(op, SegCategory::Retry, "pami.retry", inject, resume);
             }
+            m.tl_retry_backlog(inject, 1);
             let m2 = m.clone();
             sim.schedule(resume, move || {
                 m2.stats().incr("pami.retries");
+                if let Some(ids) = m2.tl_ids() {
+                    m2.sim().timeline().add(ids.retries, resume, 1);
+                }
+                m2.tl_retry_backlog(resume, -1);
                 deliver_then(
                     &m2,
                     resume,
@@ -398,6 +406,9 @@ impl PamiRank {
                 }
                 Delivery::Dropped { .. } => {
                     stats.incr("pami.timeouts");
+                    if let Some(ids) = self.m.tl_ids() {
+                        sim.timeline().add(ids.timeouts, inject, 1);
+                    }
                     if attempt >= policy.max_retries {
                         match policy.failure {
                             FailureMode::FailFast => panic!(
@@ -420,8 +431,13 @@ impl PamiRank {
                         sim.flight()
                             .segment(op, SegCategory::Retry, "pami.retry", inject, resume);
                     }
+                    self.m.tl_retry_backlog(inject, 1);
                     sim.sleep_until(resume).await;
                     stats.incr("pami.retries");
+                    if let Some(ids) = self.m.tl_ids() {
+                        sim.timeline().add(ids.retries, resume, 1);
+                    }
+                    self.m.tl_retry_backlog(resume, -1);
                     attempt += 1;
                     inject = sim.now();
                 }
@@ -544,8 +560,18 @@ impl PamiRank {
     ) {
         let inner = Rc::clone(&self.m.inner);
         let ctx_idx = self.m.target_ctx();
+        let tl = self
+            .m
+            .tl_ids()
+            .map(|ids| (self.m.sim().timeline(), ids.queue_depth));
         self.m.sim().schedule(arrival, move || {
-            inner.ranks[target].contexts[ctx_idx].push(item, op, arrival);
+            let ctx = &inner.ranks[target].contexts[ctx_idx];
+            ctx.push(item, op, arrival);
+            // Sample the post-push depth: the per-window gauge max is the
+            // deepest any sampled context queue got inside that window.
+            if let Some((tl, id)) = &tl {
+                tl.gauge(*id, arrival, ctx.depth() as i64);
+            }
         });
     }
 
@@ -982,6 +1008,9 @@ impl PamiRank {
             // Someone else held the progress lock: the ρ=1 contention.
             stats.record_time("pami.ctx.lock_wait", lock_wait);
             stats.incr("pami.ctx.lock_contended");
+            if let Some(ids) = self.m.tl_ids() {
+                sim.timeline().add(ids.lock_wait, t_req, lock_wait.as_ps());
+            }
             if let Some(op) = driver_op {
                 fl.segment(
                     op,
@@ -1050,6 +1079,13 @@ impl PamiRank {
         if n > 0 {
             stats.record_time("pami.ctx.lock_hold", sim.now().since(t_hold));
             stats.record_hist("pami.advance_batch", n as u64);
+            if let Some(ids) = self.m.tl_ids() {
+                let tl = sim.timeline();
+                tl.add(ids.lock_hold, t_hold, sim.now().since(t_hold).as_ps());
+                // Post-batch depth sample: captures drain (toward zero) as
+                // well as the build-up sampled at push time.
+                tl.gauge(ids.queue_depth, sim.now(), ctx.depth() as i64);
+            }
         }
         n
     }

@@ -21,7 +21,10 @@
 //! original HashMap-based implementation — simulated times are bit-for-bit
 //! unchanged (pinned by the differential tests and the `results/` goldens).
 
+use std::cell::Cell;
+
 use desim::fault::{FaultEvent, FaultPlan};
+use desim::timeline::{SeriesId, SeriesKind, Timeline};
 use desim::{FlightRecorder, OpId, SegCategory, SimDuration, SimRng, SimTime, TraceValue, Tracer};
 
 use crate::cost::BgqParams;
@@ -158,6 +161,32 @@ pub struct NetState {
     /// Tracer for fault instants (link down/up, node hangs); `None` or a
     /// disabled tracer costs nothing.
     tracer: Option<Tracer>,
+    /// Windowed-telemetry handles, populated by [`NetState::set_timeline`]
+    /// only when the attached timeline is *enabled*: the disabled case is
+    /// `None` and costs a single `Option` check per delivery.
+    tl: Option<NetTimeline>,
+}
+
+/// Pre-interned timeline series for the network producers.
+struct NetTimeline {
+    tl: Timeline,
+    /// `net.msgs` — messages delivered per window.
+    msgs: SeriesId,
+    /// `net.bytes` — payload bytes delivered per window.
+    bytes: SeriesId,
+    /// `net.link_busy_ps` — aggregate link occupancy (hop + serialization),
+    /// spread exactly over the windows each reservation covers.
+    busy: SeriesId,
+    /// `net.link_wait_ps` — aggregate head-blocking wait (granted − request);
+    /// the direct congestion signal.
+    wait: SeriesId,
+    /// `net.detours` — contended deliveries whose live route is longer than
+    /// the fault-free dimension-ordered route.
+    detours: SeriesId,
+    /// `fault.links_down` — gauge of physically-down links.
+    links_down: SeriesId,
+    /// Running count mirrored into the `links_down` gauge.
+    down_now: Cell<i64>,
 }
 
 impl NetState {
@@ -185,6 +214,7 @@ impl NetState {
             flight_ids: vec![NO_FLIGHT_ID; nlinks],
             faults: None,
             tracer: None,
+            tl: None,
         }
     }
 
@@ -239,6 +269,33 @@ impl NetState {
         self.tracer = Some(tracer);
     }
 
+    /// Attach a windowed-telemetry timeline. Series handles are interned
+    /// eagerly; when `timeline` is disabled nothing is stored, keeping the
+    /// per-delivery cost at one `Option` check (and the warm delivery path
+    /// allocation-free). Call again after enabling to start recording.
+    ///
+    /// Series produced: `net.msgs`, `net.bytes` (per-window delivery
+    /// counts), `net.link_busy_ps` (aggregate occupancy spread over the
+    /// windows it covers), `net.link_wait_ps` (aggregate head-blocking
+    /// wait — the congestion signal), `net.detours` (deliveries routed
+    /// around faults), and the `fault.links_down` gauge.
+    pub fn set_timeline(&mut self, timeline: &Timeline) {
+        if !timeline.on() {
+            self.tl = None;
+            return;
+        }
+        self.tl = Some(NetTimeline {
+            msgs: timeline.series("net.msgs", SeriesKind::Counter),
+            bytes: timeline.series("net.bytes", SeriesKind::Counter),
+            busy: timeline.series("net.link_busy_ps", SeriesKind::Counter),
+            wait: timeline.series("net.link_wait_ps", SeriesKind::Counter),
+            detours: timeline.series("net.detours", SeriesKind::Counter),
+            links_down: timeline.series("fault.links_down", SeriesKind::Gauge),
+            down_now: Cell::new(0),
+            tl: timeline.clone(),
+        });
+    }
+
     /// Cumulative fault accounting, with still-open link-down windows
     /// counted up to `now`. `None` when no plan is installed or the
     /// installed plan is empty (so fault-free metric snapshots stay
@@ -289,6 +346,11 @@ impl NetState {
                         f.phys_up[li] = false;
                         f.down_since[li] = at;
                         f.link_down_events += 1;
+                        if let Some(t) = &self.tl {
+                            let n = t.down_now.get() + 1;
+                            t.down_now.set(n);
+                            t.tl.gauge(t.links_down, at, n);
+                        }
                         if let Some(tr) = &self.tracer {
                             let track = tr.track("net.faults");
                             tr.instant(
@@ -305,6 +367,11 @@ impl NetState {
                     if !f.phys_up[li] {
                         f.phys_up[li] = true;
                         f.downtime += at.since(f.down_since[li]);
+                        if let Some(t) = &self.tl {
+                            let n = t.down_now.get() - 1;
+                            t.down_now.set(n);
+                            t.tl.gauge(t.links_down, at, n);
+                        }
                         if let Some(tr) = &self.tracer {
                             let track = tr.track("net.faults");
                             tr.instant(
@@ -552,6 +619,10 @@ impl NetState {
         }
         self.messages += 1;
         self.bytes += payload as u64;
+        if let Some(t) = &self.tl {
+            t.tl.add(t.msgs, inject, 1);
+            t.tl.add(t.bytes, inject, payload as u64);
+        }
         Delivery::Delivered(arrival)
     }
 
@@ -592,6 +663,18 @@ impl NetState {
         let wire = self.params.wire_time(payload);
         let hop = self.params.hop_latency;
         let record = self.flight.on();
+        // Copy out the timeline handles (Rc bump, no allocation) so the
+        // reservation loop below can mutate `link_busy` freely.
+        let tlh = self.tl.as_ref().map(|t| (t.tl.clone(), t.busy, t.wait));
+        if check_faults {
+            if let Some(t) = &self.tl {
+                // A live route longer than the fault-free dimension-ordered
+                // one means the message detoured around a lost link.
+                if u32::from(len) > self.rt.hops(src, dst) {
+                    t.tl.add(t.detours, inject, 1);
+                }
+            }
+        }
         let mut t = inject + self.params.base_latency;
         if let (Some(op), true) = (op, record) {
             self.flight
@@ -615,6 +698,10 @@ impl NetState {
             self.link_busy[li] = t + wire;
             self.link_util[li] += hop + wire;
             self.link_touched[li] = true;
+            if let Some((tl, busy, wait)) = &tlh {
+                tl.add_range(*busy, granted, t + wire);
+                tl.add(*wait, request, granted.since(request).as_ps());
+            }
             if record {
                 let id = self.flight_link_id(link);
                 self.flight.link_use(id, request, granted, t + wire, op);

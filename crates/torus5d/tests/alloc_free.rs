@@ -114,4 +114,27 @@ fn deliver_is_allocation_free_once_routes_are_warm() {
         0,
         "an empty fault plan must not add allocations to warm deliveries"
     );
+
+    // Same contract with a *disabled* timeline attached (the production
+    // default: every producer holds no handles, so the telemetry branches
+    // collapse to one `Option` check).
+    let mut tnet = NetState::new(Topology::for_procs(procs, 16), BgqParams::default(), true);
+    let tl = desim::Timeline::new();
+    tnet.set_timeline(&tl);
+    let mut inject = SimTime::ZERO;
+    for &(src, dst, payload, class) in &sched {
+        inject += SimDuration::from_ns(100);
+        tnet.deliver(inject, src, dst, payload, class);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for &(src, dst, payload, class) in &sched {
+        inject += SimDuration::from_ns(100);
+        tnet.deliver(inject, src, dst, payload, class);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "a disabled timeline must not add allocations to warm deliveries"
+    );
 }

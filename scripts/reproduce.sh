@@ -36,10 +36,10 @@ run fig5_latency_per_byte
 run fig6_efficiency
 run fig7_rank_latency
 run fig8_strided
-run fig9_rmw "--json results/fig9_rmw.json --trace results/fig9_rmw.trace.json --breakdown results/fig9_rmw.breakdown.json"
-check_json results/fig9_rmw.json results/fig9_rmw.trace.json results/fig9_rmw.breakdown.json
-run fig11_nwchem_scf "--json results/fig11_nwchem_scf.json --breakdown results/fig11_nwchem_scf.breakdown.json"
-check_json results/fig11_nwchem_scf.json results/fig11_nwchem_scf.breakdown.json
+run fig9_rmw "--json results/fig9_rmw.json --trace results/fig9_rmw.trace.json --breakdown results/fig9_rmw.breakdown.json --timeline results/fig9_rmw.timeline.json"
+check_json results/fig9_rmw.json results/fig9_rmw.trace.json results/fig9_rmw.breakdown.json results/fig9_rmw.timeline.json
+run fig11_nwchem_scf "--json results/fig11_nwchem_scf.json --breakdown results/fig11_nwchem_scf.breakdown.json --timeline results/fig11_nwchem_scf.timeline.json"
+check_json results/fig11_nwchem_scf.json results/fig11_nwchem_scf.breakdown.json results/fig11_nwchem_scf.timeline.json
 run abl_fallback
 run abl_contexts
 run abl_consistency
@@ -47,8 +47,8 @@ run abl_region_cache
 run abl_strided_pack
 run abl_contention
 run abl_mapping
-run fig_fault "--json results/fig_fault.json"
-check_json results/fig_fault.json
+run fig_fault "--json results/fig_fault.json --timeline results/fig_fault.timeline.json"
+check_json results/fig_fault.json results/fig_fault.timeline.json
 echo "== simulator self-benchmark (simbench; wall-clock, host-dependent)"
 ./target/release/simbench --quick $JOBS --json results/simbench.json \
   > results/simbench.txt
@@ -61,14 +61,21 @@ check_json results/simbench.json
 echo "== perf-regression gate (quick configs vs results/BENCH_* goldens)"
 ./target/release/fig9_rmw --procs 2,8,32 --ops 5 $JOBS \
   --json results/gate_fig9_rmw.json \
-  --breakdown results/gate_fig9_rmw.breakdown.json > /dev/null
+  --breakdown results/gate_fig9_rmw.breakdown.json \
+  --timeline results/gate_fig9_rmw.timeline.json > /dev/null
 ./target/release/fig11_nwchem_scf --quick --procs 32 $JOBS \
   --json results/gate_fig11_nwchem_scf.json \
   --breakdown results/gate_fig11_nwchem_scf.breakdown.json > /dev/null
 check_json results/gate_fig9_rmw.json results/gate_fig9_rmw.breakdown.json \
+  results/gate_fig9_rmw.timeline.json \
   results/gate_fig11_nwchem_scf.json results/gate_fig11_nwchem_scf.breakdown.json
 ./target/release/perfdiff results/BENCH_fig9_rmw.json results/gate_fig9_rmw.json --check
 ./target/release/perfdiff results/BENCH_fig9_rmw.breakdown.json results/gate_fig9_rmw.breakdown.json --check
+# Timeline artifacts are pure virtual-time telemetry — every window index
+# and counter delta is deterministic, so this gate runs at zero tolerance.
+./target/release/perfdiff results/BENCH_fig9_rmw.timeline.json results/gate_fig9_rmw.timeline.json --tol 0 --check
+# Non-gating human report over the same artifact (sparklines + health rules).
+./target/release/simstat results/gate_fig9_rmw.timeline.json > results/simstat.txt || true
 ./target/release/perfdiff results/BENCH_fig11_nwchem_scf.json results/gate_fig11_nwchem_scf.json --check
 ./target/release/perfdiff results/BENCH_fig11_nwchem_scf.breakdown.json results/gate_fig11_nwchem_scf.breakdown.json --check
 # Fault-injection sweep: every fault-v1 field is deterministic, so this
