@@ -10,8 +10,12 @@
 //! (Eq. 9) unless the contiguous chunk is below the pack threshold
 //! (tall-skinny), in which case the packed typed-datatype path is used.
 
+use desim::memprof::{self, MemTag};
 use desim::{Completion, FlightRecorder, OpId, SimDuration, TraceValue, Tracer, TrackId};
 use pami_sim::{PamiRank, RmwOp};
+
+/// Implicit-handle sets and non-blocking handle state.
+static HANDLES_TAG: MemTag = MemTag::new("armci.handles");
 
 use crate::handle::{NbHandle, OpKind};
 use crate::region_cache::RemoteRegion;
@@ -327,6 +331,7 @@ impl ArmciRank {
             remote: None,
             op,
         };
+        let _mem = memprof::scope(&HANDLES_TAG);
         self.rt().implicit.borrow_mut().push(h.done.clone());
         h
     }
@@ -394,6 +399,7 @@ impl ArmciRank {
             remote: Some(handles.remote),
             op,
         };
+        let _mem = memprof::scope(&HANDLES_TAG);
         self.rt().implicit.borrow_mut().push(h.done.clone());
         h
     }
@@ -455,6 +461,7 @@ impl ArmciRank {
             remote: Some(handles.remote),
             op,
         };
+        let _mem = memprof::scope(&HANDLES_TAG);
         self.rt().implicit.borrow_mut().push(h.done.clone());
         h
     }
@@ -551,6 +558,7 @@ impl ArmciRank {
             remote: None,
             op,
         };
+        let _mem = memprof::scope(&HANDLES_TAG);
         self.rt().implicit.borrow_mut().push(h.done.clone());
         h
     }
@@ -633,6 +641,7 @@ impl ArmciRank {
             remote: Some(remote_done),
             op,
         };
+        let _mem = memprof::scope(&HANDLES_TAG);
         self.rt().implicit.borrow_mut().push(h.done.clone());
         h
     }
@@ -681,6 +690,7 @@ impl ArmciRank {
             remote: Some(h.remote),
             op,
         };
+        let _mem = memprof::scope(&HANDLES_TAG);
         self.rt().implicit.borrow_mut().push(handle.done.clone());
         handle
     }
@@ -766,6 +776,7 @@ impl ArmciRank {
             remote: None,
             op,
         };
+        let _mem = memprof::scope(&HANDLES_TAG);
         self.rt().implicit.borrow_mut().push(h.done.clone());
         h
     }
@@ -841,6 +852,7 @@ impl ArmciRank {
             remote: Some(remote_done),
             op,
         };
+        let _mem = memprof::scope(&HANDLES_TAG);
         self.rt().implicit.borrow_mut().push(h.done.clone());
         h
     }

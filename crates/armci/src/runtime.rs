@@ -4,8 +4,12 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::{Rc, Weak};
 
+use desim::memprof::{self, MemTag};
 use desim::{Completion, Sim};
 use pami_sim::{AsyncThread, Machine, PamiRank};
+
+/// Per-rank ARMCI runtime state (caches, implicit sets, reply maps).
+static HANDLES_TAG: MemTag = MemTag::new("armci.handles");
 
 use crate::collectives::CollectiveEngine;
 use crate::consistency::{ConsistencyMode, ConsistencyTracker};
@@ -154,6 +158,7 @@ impl Armci {
     /// per rank on the designated context.
     pub fn new(machine: Machine, cfg: ArmciConfig) -> Armci {
         let p = machine.nprocs();
+        let _mem = memprof::scope(&HANDLES_TAG);
         let ranks: Vec<Rc<RankRt>> = (0..p).map(|_| Rc::new(RankRt::new(&cfg))).collect();
         let inner = Rc::new(ArmciInner {
             machine: machine.clone(),

@@ -10,8 +10,8 @@
 
 use armci::ProgressMode;
 use bgq_bench::{
-    arg_flag, arg_jobs, arg_list, arg_str, arg_usize, check_args, sweep, write_text, JOBS_FLAG,
-    TIMELINE_FLAG, TIMELINE_WINDOW_PS,
+    append_json_field, arg_flag, arg_jobs, arg_list, arg_str, arg_usize, check_args, peak_rss_kb,
+    sweep, write_text, JOBS_FLAG, TIMELINE_FLAG, TIMELINE_WINDOW_PS,
 };
 use nwchem_scf::{run_scf_timeline, ScfConfig};
 
@@ -136,6 +136,9 @@ fn main() {
             .map(|r| format!("  {}", r.to_json()))
             .collect::<Vec<_>>()
             .join(",\n");
-        write_text(&path, &format!("[\n{body}\n]\n"));
+        // The document is a golden-locked array, so the ungated host-context
+        // field rides in the final row (candidate-only leaves never gate).
+        let doc = append_json_field(&format!("[\n{body}\n]\n"), "peak_rss_kb", peak_rss_kb());
+        write_text(&path, &doc);
     }
 }

@@ -20,8 +20,8 @@
 use armci::ProgressMode;
 use bgq_bench::fig9::run;
 use bgq_bench::{
-    arg_jobs, arg_list, arg_str, arg_usize, check_args, sweep, write_text, JOBS_FLAG,
-    TIMELINE_FLAG, TIMELINE_WINDOW_PS,
+    append_json_field, arg_jobs, arg_list, arg_str, arg_usize, check_args, peak_rss_kb, sweep,
+    write_text, JOBS_FLAG, TIMELINE_FLAG, TIMELINE_WINDOW_PS,
 };
 use desim::{ChromeTrace, Stats, TimelineDoc};
 
@@ -149,7 +149,10 @@ fn main() {
         write_text(&path, &doc.to_json());
     }
     if let Some(path) = json_path {
-        write_text(&path, &merged.snapshot().to_json());
+        // peak_rss_kb is host context, not a gated metric: candidate-only
+        // leaves never fail perfdiff, so the committed golden stays as-is.
+        let doc = append_json_field(&merged.snapshot().to_json(), "peak_rss_kb", peak_rss_kb());
+        write_text(&path, &doc);
     }
     if let (Some(path), Some(ct)) = (trace_path, chrome) {
         write_text(&path, &ct.finish());

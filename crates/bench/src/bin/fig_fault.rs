@@ -15,8 +15,8 @@
 
 use bgq_bench::fault_bench::{run_cell_timeline, sweep_json, FaultCell};
 use bgq_bench::{
-    arg_jobs, arg_list, arg_str, arg_usize, check_args, fmt_size, sweep, write_text, JOBS_FLAG,
-    TIMELINE_FLAG, TIMELINE_WINDOW_PS,
+    append_json_field, arg_jobs, arg_list, arg_str, arg_usize, check_args, fmt_size, peak_rss_kb,
+    sweep, write_text, JOBS_FLAG, TIMELINE_FLAG, TIMELINE_WINDOW_PS,
 };
 
 fn main() {
@@ -88,7 +88,14 @@ fn main() {
     }
     println!("expected: MB/s falls and p99 rises smoothly with rate; rate 0 == fault-free");
     if let Some(path) = json_path {
-        write_text(&path, &sweep_json(procs, msgs, seed, &cells));
+        // Host context, never gated: the fault-v1 golden diffs at tol 0 but
+        // candidate-only leaves are ignored by perfdiff.
+        let doc = append_json_field(
+            &sweep_json(procs, msgs, seed, &cells),
+            "peak_rss_kb",
+            peak_rss_kb(),
+        );
+        write_text(&path, &doc);
     }
     if let Some(path) = timeline_path {
         let runs = outs

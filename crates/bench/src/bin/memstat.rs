@@ -1,0 +1,53 @@
+//! memstat — human report over `memscale-v1` memory-scaling artifacts.
+//!
+//! Loads a JSON document written by `fig_mem --json` (by default the
+//! committed `results/BENCH_memscale.json`) and prints, per workload, the
+//! top allocator sites grouped by subsystem at the largest swept process
+//! count: peak bytes, bytes-per-rank and the fitted growth class per
+//! allocation tag. Output is a pure function of the input bytes.
+//!
+//! Exit status: 0 = report printed, 2 = usage or I/O error.
+
+use bgq_bench::memscale::memstat_report;
+use bgq_bench::{usage_text, FlagSpec};
+
+const BIN: &str = "memstat [memscale.json]";
+const ABOUT: &str = "report per-subsystem memory scaling from fig_mem output";
+const FLAGS: &[FlagSpec] = &[];
+const DEFAULT_PATH: &str = "results/BENCH_memscale.json";
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("memstat: {msg}");
+    eprint!("{}", usage_text(BIN, ABOUT, FLAGS));
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage_text(BIN, ABOUT, FLAGS));
+                return;
+            }
+            a if a.starts_with('-') => fail_usage(&format!("unknown option '{a}'")),
+            a => files.push(a.to_string()),
+        }
+    }
+    if files.len() > 1 {
+        fail_usage("expected at most one memscale-v1 JSON file");
+    }
+    let path = files.pop().unwrap_or_else(|| DEFAULT_PATH.to_string());
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("memstat: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    match memstat_report(&src) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("memstat: {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -23,6 +23,7 @@ use pami_sim::{Machine, MachineConfig};
 
 pub mod fault_bench;
 pub mod fig9;
+pub mod memscale;
 pub mod perfdiff;
 pub mod simbench;
 pub mod simstat;
@@ -306,6 +307,33 @@ pub fn write_text(path: &str, contents: &str) {
     }
 }
 
+/// Peak resident-set size of this process in kilobytes (`VmHWM` from
+/// `/proc/self/status`); 0 when the platform does not expose it. Reported
+/// by the bench binaries as an *ungated* context field — it varies by host
+/// and allocator, so CI never compares it.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Splice an extra numeric field into the top level of a JSON document:
+/// `,"key":value` is inserted immediately before the document's final `}`
+/// (trailing whitespace preserved). Used to attach ungated context fields
+/// like `peak_rss_kb` to snapshots whose schema is otherwise fixed —
+/// `perfdiff` ignores candidate-only leaves, so goldens stay untouched.
+pub fn append_json_field(doc: &str, key: &str, value: u64) -> String {
+    match doc.rfind('}') {
+        Some(i) => format!("{},\"{}\":{}{}", &doc[..i], key, value, &doc[i..]),
+        None => doc.to_string(),
+    }
+}
+
 /// Human-friendly byte-size label.
 pub fn fmt_size(bytes: usize) -> String {
     if bytes >= 1 << 20 {
@@ -386,5 +414,27 @@ mod tests {
         assert_eq!(fmt_size(16), "16");
         assert_eq!(fmt_size(2048), "2K");
         assert_eq!(fmt_size(1 << 20), "1M");
+    }
+
+    #[test]
+    fn append_json_field_splices_before_final_brace() {
+        assert_eq!(
+            append_json_field("{\"a\":1}\n", "rss", 42),
+            "{\"a\":1,\"rss\":42}\n"
+        );
+        // Nested closing braces: only the *last* one is the document end.
+        assert_eq!(
+            append_json_field("{\"a\":{\"b\":2}\n}\n", "rss", 7),
+            "{\"a\":{\"b\":2}\n,\"rss\":7}\n"
+        );
+        // No brace at all: document returned unchanged.
+        assert_eq!(append_json_field("[]", "rss", 1), "[]");
+    }
+
+    #[test]
+    fn peak_rss_is_nonzero_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0);
+        }
     }
 }

@@ -171,6 +171,12 @@ pub fn net_churn_timeline(
     }
     let t0 = Instant::now();
     let mut last = SimTime::ZERO;
+    // With the allocation profiler on, sample per-tag live-bytes gauges at
+    // most once per timeline window (there is no kernel here to do it).
+    let sample_mem = desim::memprof::enabled() && tl.on();
+    let mem_window = tl.window_ps().max(1);
+    let mut mem_next = 0u64;
+    let mut mem_ids = Vec::new();
     for &(at, src, dst, len, class) in &sched {
         match net.try_deliver_op(at, src, dst, len, class, None) {
             Delivery::Delivered(arrival) => {
@@ -179,6 +185,10 @@ pub fn net_churn_timeline(
                 }
             }
             Delivery::Dropped { .. } => {} // lost to the fault plan
+        }
+        if sample_mem && at.as_ps() >= mem_next {
+            mem_next = (at.as_ps() / mem_window + 1) * mem_window;
+            desim::memprof::record_live_gauges(&tl, at, &mut mem_ids);
         }
     }
     let wall = t0.elapsed();
@@ -208,18 +218,7 @@ pub fn fig4_sweep(
     (rows, t0.elapsed())
 }
 
-/// Peak resident-set size of this process in kilobytes (`VmHWM` from
-/// `/proc/self/status`); 0 when the platform does not expose it.
-pub fn peak_rss_kb() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    status
-        .lines()
-        .find_map(|l| l.strip_prefix("VmHWM:"))
-        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
-        .unwrap_or(0)
-}
+pub use crate::peak_rss_kb;
 
 #[cfg(test)]
 mod tests {

@@ -9,6 +9,14 @@ use desim::health::analyze;
 use desim::timeline::{SeriesKind, SeriesSnapshot, TimelineDoc};
 use desim::HealthConfig;
 
+use crate::memscale::fmt_bytes;
+
+/// Memory-profiler series (`mem.live_bytes.<tag>` gauges emitted by
+/// `desim::memprof`) get humanized byte units and their own diff section.
+fn is_mem_series(name: &str) -> bool {
+    name.starts_with("mem.")
+}
+
 /// Sparkline glyphs, lowest to highest.
 const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
 
@@ -66,7 +74,16 @@ fn series_stats(s: &SeriesSnapshot) -> String {
             let lo = s.windows.iter().map(|w| w.min).min().unwrap_or(0);
             let hi = s.windows.iter().map(|w| w.max).max().unwrap_or(0);
             let last = s.windows.last().map_or(0, |w| w.last);
-            format!("gauge, min {lo}, max {hi}, final {last}")
+            if is_mem_series(&s.name) {
+                format!(
+                    "gauge, min {}, max {}, final {}",
+                    fmt_bytes(lo),
+                    fmt_bytes(hi),
+                    fmt_bytes(last)
+                )
+            } else {
+                format!("gauge, min {lo}, max {hi}, final {last}")
+            }
         }
     }
 }
@@ -137,10 +154,64 @@ pub fn report(label: &str, doc: &TimelineDoc, cfg: &HealthConfig, width: usize) 
     out
 }
 
+/// One diff line for a series pair: totals, percentage change, and (when
+/// window-aligned) a differing-window count with a |B-A| delta sparkline.
+/// `humanize` formats the totals as byte sizes (memory gauges).
+fn diff_series_line(
+    s: &SeriesSnapshot,
+    t: &SeriesSnapshot,
+    name_w: usize,
+    aligned: bool,
+    width: usize,
+    humanize: bool,
+) -> String {
+    let (ta, tb) = (series_total(s), series_total(t));
+    let pct = if ta != 0.0 {
+        format!("{:+.1}%", 100.0 * (tb - ta) / ta)
+    } else if tb == 0.0 {
+        "+0.0%".to_string()
+    } else {
+        "new".to_string()
+    };
+    let mut line = if humanize {
+        format!(
+            "  {:<name_w$}  {} -> {} ({pct})",
+            s.name,
+            fmt_bytes(ta as i64),
+            fmt_bytes(tb as i64)
+        )
+    } else {
+        format!("  {:<name_w$}  {ta} -> {tb} ({pct})", s.name)
+    };
+    if aligned {
+        let (da, db) = (dense(s), dense(t));
+        let span = da.len().max(db.len());
+        let differing = (0..span)
+            .filter(|&i| da.get(i).copied().unwrap_or(0.0) != db.get(i).copied().unwrap_or(0.0))
+            .count();
+        line.push_str(&format!("  {differing}/{span} windows differ"));
+        if differing > 0 {
+            let delta: Vec<f64> = (0..span)
+                .map(|i| {
+                    (db.get(i).copied().unwrap_or(0.0) - da.get(i).copied().unwrap_or(0.0)).abs()
+                })
+                .collect();
+            line.push_str(&format!(
+                "\n  {:<name_w$}  {}  (|B-A| per window)",
+                "",
+                sparkline(&delta, SeriesKind::Gauge, width)
+            ));
+        }
+    }
+    line.push('\n');
+    line
+}
+
 /// Render the window-aligned A/B diff of two documents: for each run name
 /// present in both, compare every series by total (counter sum / gauge max)
 /// and count the windows whose headline values differ. Series present on
-/// one side only are listed as such.
+/// one side only are listed as such. Memory-profiler series (`mem.*`) get
+/// their own section per run, with totals in humanized byte units.
 pub fn diff_report(a: &TimelineDoc, b: &TimelineDoc, width: usize) -> String {
     let mut out = String::from("\n== A/B diff (window-aligned) ==\n");
     if a.bench != b.bench {
@@ -171,49 +242,40 @@ pub fn diff_report(a: &TimelineDoc, b: &TimelineDoc, width: usize) -> String {
             .max()
             .unwrap_or(0)
             .max(8);
-        for s in &sa.series {
-            let Some(t) = sb.series(&s.name) else {
-                out.push_str(&format!("  {:<name_w$}  only in A\n", s.name));
-                continue;
-            };
-            let (ta, tb) = (series_total(s), series_total(t));
-            let pct = if ta != 0.0 {
-                format!("{:+.1}%", 100.0 * (tb - ta) / ta)
-            } else if tb == 0.0 {
-                "+0.0%".to_string()
-            } else {
-                "new".to_string()
-            };
-            let mut line = format!("  {:<name_w$}  {ta} -> {tb} ({pct})", s.name);
-            if aligned {
-                let (da, db) = (dense(s), dense(t));
-                let span = da.len().max(db.len());
-                let differing = (0..span)
-                    .filter(|&i| {
-                        da.get(i).copied().unwrap_or(0.0) != db.get(i).copied().unwrap_or(0.0)
-                    })
-                    .count();
-                line.push_str(&format!("  {differing}/{span} windows differ"));
-                if differing > 0 {
-                    let delta: Vec<f64> = (0..span)
-                        .map(|i| {
-                            (db.get(i).copied().unwrap_or(0.0) - da.get(i).copied().unwrap_or(0.0))
-                                .abs()
-                        })
-                        .collect();
-                    line.push_str(&format!(
-                        "\n  {:<name_w$}  {}  (|B-A| per window)",
-                        "",
-                        sparkline(&delta, SeriesKind::Gauge, width)
-                    ));
+        // Two passes over the same machinery: ordinary series first, then
+        // the memory section (peak live bytes per tag, humanized).
+        for mem_pass in [false, true] {
+            if mem_pass {
+                let any_mem = sa
+                    .series
+                    .iter()
+                    .chain(sb.series.iter())
+                    .any(|s| is_mem_series(&s.name));
+                if !any_mem {
+                    break;
+                }
+                out.push_str("  -- memory (peak live bytes per window) --\n");
+            }
+            for s in sa
+                .series
+                .iter()
+                .filter(|s| is_mem_series(&s.name) == mem_pass)
+            {
+                match sb.series(&s.name) {
+                    Some(t) => {
+                        out.push_str(&diff_series_line(s, t, name_w, aligned, width, mem_pass))
+                    }
+                    None => out.push_str(&format!("  {:<name_w$}  only in A\n", s.name)),
                 }
             }
-            line.push('\n');
-            out.push_str(&line);
-        }
-        for t in &sb.series {
-            if sa.series(&t.name).is_none() {
-                out.push_str(&format!("  {:<name_w$}  only in B\n", t.name));
+            for t in sb
+                .series
+                .iter()
+                .filter(|t| is_mem_series(&t.name) == mem_pass)
+            {
+                if sa.series(&t.name).is_none() {
+                    out.push_str(&format!("  {:<name_w$}  only in B\n", t.name));
+                }
             }
         }
     }
@@ -297,5 +359,54 @@ mod tests {
         assert!(d.contains("15 -> 19"));
         assert!(d.contains("1/3 windows differ"));
         assert!(d.contains("only in B"));
+    }
+
+    fn mem_gauge(name: &str, wins: &[(u64, i64)]) -> SeriesSnapshot {
+        SeriesSnapshot {
+            name: name.to_string(),
+            kind: SeriesKind::Gauge,
+            windows: wins
+                .iter()
+                .map(|&(idx, v)| WindowSample {
+                    idx,
+                    sum: 0,
+                    min: v,
+                    max: v,
+                    last: v,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn mem_series_are_humanized_and_get_their_own_diff_section() {
+        let snap_a = TimelineSnapshot {
+            window_ps: 1_000_000,
+            series: vec![
+                counter("net.msgs", &[(0, 10)]),
+                mem_gauge("mem.live_bytes.pami.queues", &[(0, 4096), (1, 6144)]),
+            ],
+        };
+        let snap_b = TimelineSnapshot {
+            window_ps: 1_000_000,
+            series: vec![
+                counter("net.msgs", &[(0, 10)]),
+                mem_gauge("mem.live_bytes.pami.queues", &[(0, 4096), (1, 8192)]),
+            ],
+        };
+        let a = doc(vec![("run", snap_a)]);
+        let b = doc(vec![("run", snap_b)]);
+        let cfg = HealthConfig::default();
+        let r = report("a.json", &a, &cfg, 64);
+        // Gauge headline uses byte units for mem.* series only.
+        assert!(r.contains("min 4.0KiB, max 6.0KiB, final 6.0KiB"));
+        assert!(r.contains("total 10"));
+        let d = diff_report(&a, &b, 64);
+        assert!(d.contains("-- memory (peak live bytes per window) --"));
+        assert!(d.contains("6.0KiB -> 8.0KiB"));
+        // The ordinary section still lists the non-memory series first.
+        let net = d.find("net.msgs").unwrap();
+        let mem = d.find("-- memory").unwrap();
+        assert!(net < mem);
     }
 }

@@ -1,0 +1,81 @@
+//! The allocation profiler's zero-cost contract, end to end: memory
+//! profiling must *observe* a run, never perturb it. With [`MemProf`]
+//! installed as this binary's global allocator, every simulated result
+//! (virtual times, latencies, metrics counters) must be byte-identical
+//! whether the profiler is disabled (the production default — one relaxed
+//! atomic load per allocation) or fully enabled with scope attribution and
+//! side-table accounting on every allocation. This is what keeps the
+//! committed goldens valid while `fig_mem` profiles the same workloads.
+
+use armci::ProgressMode;
+use bgq_bench::fig9::run;
+use bgq_bench::simbench::net_churn;
+use desim::memprof::{self, MemProf};
+
+#[global_allocator]
+static ALLOC: MemProf = MemProf;
+
+/// One test body (not two `#[test]`s): enable/disable is process-global, so
+/// the phases must be strictly ordered.
+#[test]
+fn results_are_identical_with_profiling_off_and_on() {
+    // Phase 1: profiler disabled — the baseline.
+    assert!(!memprof::enabled());
+    let churn_off = net_churn(64, 2000);
+    let fig9_off = run(
+        16,
+        ProgressMode::AsyncThread,
+        false,
+        4,
+        None,
+        false,
+        None,
+        None,
+    );
+
+    // Phase 2: profiler fully on — worst case, every allocation attributed.
+    memprof::enable();
+    let churn_on = net_churn(64, 2000);
+    let fig9_on = run(
+        16,
+        ProgressMode::AsyncThread,
+        false,
+        4,
+        None,
+        false,
+        None,
+        None,
+    );
+    memprof::disable();
+
+    assert_eq!(churn_off.events, churn_on.events);
+    assert_eq!(
+        churn_off.sim_time_ps, churn_on.sim_time_ps,
+        "profiling must not move a single delivery time"
+    );
+    assert_eq!(
+        fig9_off.latency_us, fig9_on.latency_us,
+        "fetch-and-add latency must not move when profiling is on"
+    );
+    assert_eq!(
+        fig9_off.snapshot.to_json(),
+        fig9_on.snapshot.to_json(),
+        "metrics snapshot must be byte-identical"
+    );
+
+    // And the enabled phase really was observing: the workload's subsystem
+    // tags accumulated activity in the global plane.
+    let snap = memprof::global_snapshot();
+    for tag in ["pami.queues", "armci.handles", "torus5d.links"] {
+        assert!(
+            snap.get(tag).is_some_and(|t| t.allocs > 0),
+            "expected allocations under {tag} while enabled"
+        );
+    }
+
+    // Phase 3: disabled again — results still match the baseline, so an
+    // enable/disable cycle leaves no residue in the simulation.
+    let churn_after = net_churn(64, 2000);
+    assert_eq!(churn_off.events, churn_after.events);
+    assert_eq!(churn_off.sim_time_ps, churn_after.sim_time_ps);
+}

@@ -18,7 +18,11 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use crate::memprof::{self, MemTag};
 use crate::time::SimTime;
+
+/// Flight-recorder op/segment/link-use storage.
+static FLIGHT_TAG: MemTag = MemTag::new("desim.flight");
 
 /// Unique identifier of one application-level operation (e.g. one ARMCI get,
 /// put, accumulate or atomic). Allocated by [`FlightRecorder::begin_op`] and
@@ -195,6 +199,7 @@ impl FlightRecorder {
         if !self.on() {
             return None;
         }
+        let _mem = memprof::scope(&FLIGHT_TAG);
         let mut ops = self.inner.ops.borrow_mut();
         if ops.len() >= self.inner.capacity.get() {
             self.inner.dropped.set(self.inner.dropped.get() + 1);
@@ -238,6 +243,7 @@ impl FlightRecorder {
         if !self.on() || end <= start {
             return;
         }
+        let _mem = memprof::scope(&FLIGHT_TAG);
         let mut segs = self.inner.segments.borrow_mut();
         if segs.len() >= self.inner.capacity.get() {
             self.inner.dropped.set(self.inner.dropped.get() + 1);
@@ -260,6 +266,7 @@ impl FlightRecorder {
         if !self.on() {
             return 0;
         }
+        let _mem = memprof::scope(&FLIGHT_TAG);
         let mut links = self.inner.links.borrow_mut();
         let mut index = self.inner.link_index.borrow_mut();
         match index.binary_search_by(|&id| links[id as usize].as_str().cmp(name)) {
@@ -295,6 +302,7 @@ impl FlightRecorder {
         if !self.on() {
             return;
         }
+        let _mem = memprof::scope(&FLIGHT_TAG);
         let mut uses = self.inner.link_uses.borrow_mut();
         if uses.len() >= self.inner.capacity.get() {
             self.inner.dropped.set(self.inner.dropped.get() + 1);

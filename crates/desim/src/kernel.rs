@@ -35,11 +35,17 @@ use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 
 use crate::event::Completion;
 use crate::flight::FlightRecorder;
+use crate::memprof::{self, MemTag};
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
-use crate::timeline::Timeline;
+use crate::timeline::{SeriesId, Timeline};
 use crate::trace::Tracer;
 use crate::wheel::TimerWheel;
+
+/// Task futures, slots, hooks and wakers.
+static KERNEL_TAG: MemTag = MemTag::new("desim.kernel");
+/// Timer-wheel levels, far-future heap and boxed callbacks.
+static WHEEL_TAG: MemTag = MemTag::new("desim.wheel");
 
 /// Identifier of a spawned task within a [`Sim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -195,6 +201,11 @@ pub(crate) struct Kernel {
     tracer: Tracer,
     flight: FlightRecorder,
     timeline: Timeline,
+    /// Next virtual time (ps) at which live-bytes gauges should be sampled
+    /// into the timeline. Only consulted when the memory profiler is on.
+    mem_next: Cell<u64>,
+    /// Cached `mem.live_bytes.<tag>` series ids, indexed by tag id.
+    mem_ids: RefCell<Vec<Option<SeriesId>>>,
 }
 
 impl Kernel {
@@ -215,6 +226,8 @@ impl Kernel {
             tracer: Tracer::new(),
             flight: FlightRecorder::new(),
             timeline: Timeline::new(),
+            mem_next: Cell::new(0),
+            mem_ids: RefCell::new(Vec::new()),
         })
     }
 
@@ -230,6 +243,7 @@ impl Kernel {
 
     pub(crate) fn add_timer_waker(&self, at: SimTime, waker: Waker) {
         debug_assert!(at >= self.now.get(), "timer scheduled in the past");
+        let _mem = memprof::scope(&WHEEL_TAG);
         self.timers
             .borrow_mut()
             .insert(at.as_ps(), self.bump_seq(), TimerKind::Waker(waker));
@@ -237,6 +251,7 @@ impl Kernel {
 
     pub(crate) fn add_timer_callback(&self, at: SimTime, cb: Box<dyn FnOnce()>) {
         debug_assert!(at >= self.now.get(), "callback scheduled in the past");
+        let _mem = memprof::scope(&WHEEL_TAG);
         self.timers
             .borrow_mut()
             .insert(at.as_ps(), self.bump_seq(), TimerKind::Callback(cb));
@@ -350,6 +365,7 @@ impl Kernel {
             Some(entry) => {
                 debug_assert!(entry.at >= self.now.get().as_ps());
                 self.now.set(SimTime(entry.at));
+                self.maybe_sample_mem();
                 self.events_processed.set(self.events_processed.get() + 1);
                 match entry.payload {
                     TimerKind::Waker(w) => w.wake(),
@@ -359,6 +375,26 @@ impl Kernel {
             }
             None => false,
         }
+    }
+
+    /// Record `mem.live_bytes.<tag>` gauges into the timeline at most once
+    /// per timeline window. The disabled-path cost on the timer hot path is
+    /// the single relaxed load inside `memprof::enabled()`.
+    fn maybe_sample_mem(&self) {
+        if !memprof::enabled() || !self.timeline.on() {
+            return;
+        }
+        let now_ps = self.now.get().as_ps();
+        if now_ps < self.mem_next.get() {
+            return;
+        }
+        let w = self.timeline.window_ps().max(1);
+        self.mem_next.set((now_ps / w + 1) * w);
+        memprof::record_live_gauges(
+            &self.timeline,
+            self.now.get(),
+            &mut self.mem_ids.borrow_mut(),
+        );
     }
 }
 
@@ -427,6 +463,7 @@ impl Sim {
     {
         let done = Completion::new();
         let done2 = done.clone();
+        let _mem = memprof::scope_default(&KERNEL_TAG);
         let id = self.k.alloc_task(Box::pin(async move {
             let out = future.await;
             done2.complete(out);
@@ -440,6 +477,7 @@ impl Sim {
 
     /// Schedule `cb` to run at absolute time `at` (must not be in the past).
     pub fn schedule<F: FnOnce() + 'static>(&self, at: SimTime, cb: F) {
+        let _mem = memprof::scope_default(&KERNEL_TAG);
         self.k.add_timer_callback(at, Box::new(cb));
     }
 

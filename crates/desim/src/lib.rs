@@ -39,6 +39,7 @@ pub mod futures;
 pub mod health;
 pub mod json;
 pub mod kernel;
+pub mod memprof;
 pub mod rng;
 pub mod stats;
 pub mod sync;
@@ -55,6 +56,7 @@ pub use flight::{FlightRecorder, OpId, SegCategory};
 pub use futures::{race, Either};
 pub use health::{Finding, HealthConfig, Severity};
 pub use kernel::{JoinHandle, Sim, TaskId};
+pub use memprof::{MemProf, MemScope, MemSnapshot, MemTag};
 pub use rng::SimRng;
 pub use stats::{MetricsSnapshot, Stats};
 pub use time::{SimDuration, SimTime};

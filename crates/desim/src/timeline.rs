@@ -26,7 +26,11 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use crate::json::{self, JsonValue};
+use crate::memprof::{self, MemTag};
 use crate::time::SimTime;
+
+/// Series storage and window vectors (memory-profiler attribution).
+static TIMELINE_TAG: MemTag = MemTag::new("desim.timeline");
 
 /// Interned handle for one series. Copy, cheap, stable for the lifetime of
 /// the timeline. The sentinel value (from interning on a disabled timeline)
@@ -158,6 +162,7 @@ impl Timeline {
         if !self.on() {
             return SeriesId(NO_SERIES);
         }
+        let _mem = memprof::scope(&TIMELINE_TAG);
         let mut series = self.inner.series.borrow_mut();
         if let Some(i) = series.iter().position(|s| s.name == name) {
             let have = match series[i].windows {
@@ -190,6 +195,7 @@ impl Timeline {
     }
 
     fn add_slow(&self, id: SeriesId, at: SimTime, delta: u64) {
+        let _mem = memprof::scope(&TIMELINE_TAG);
         let w = self.inner.window_ps.get();
         let idx = at.as_ps() / w;
         {
@@ -235,6 +241,7 @@ impl Timeline {
     }
 
     fn gauge_slow(&self, id: SeriesId, at: SimTime, value: i64) {
+        let _mem = memprof::scope(&TIMELINE_TAG);
         let w = self.inner.window_ps.get();
         let t = at.as_ps();
         let idx = t / w;

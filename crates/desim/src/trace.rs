@@ -32,7 +32,11 @@ use std::fmt;
 use std::rc::Rc;
 
 use crate::json;
+use crate::memprof::{self, MemTag};
 use crate::time::SimTime;
+
+/// Trace ring buffer, track names and event payloads.
+static TRACE_TAG: MemTag = MemTag::new("desim.trace");
 
 /// A typed attribute value attached to a trace event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -136,6 +140,7 @@ impl Tracer {
         if !self.on() {
             return TrackId(0);
         }
+        let _mem = memprof::scope(&TRACE_TAG);
         let mut tracks = self.inner.tracks.borrow_mut();
         if let Some(i) = tracks.iter().position(|t| t == name) {
             return TrackId(i as u32);
@@ -145,6 +150,7 @@ impl Tracer {
     }
 
     fn push(&self, mut ev: TraceEvent) {
+        let _mem = memprof::scope(&TRACE_TAG);
         ev.seq = self.inner.next_seq.get();
         self.inner.next_seq.set(ev.seq + 1);
         let mut events = self.inner.events.borrow_mut();

@@ -3,8 +3,12 @@
 use std::rc::Rc;
 
 use armci::{Armci, ArmciRank, Strided};
+use desim::memprof::{self, MemTag};
 
 use crate::distribution::BlockDist;
+
+/// Distributed-array metadata and staging buffers.
+static GA_TAG: MemTag = MemTag::new("ga.arrays");
 
 struct GaInner {
     #[allow(dead_code)]
@@ -28,6 +32,7 @@ pub struct Ga {
 impl Ga {
     /// Create an `rows × cols` array distributed over all ranks of `armci`.
     pub fn create(armci: &Armci, name: &str, rows: usize, cols: usize) -> Ga {
+        let _mem = memprof::scope(&GA_TAG);
         let p = armci.nprocs();
         let dist = BlockDist::new(rows, cols, p);
         let mut bases = Vec::with_capacity(p);
@@ -225,6 +230,7 @@ impl Ga {
 
     /// Fill the whole array with `v` (setup helper, no simulated time).
     pub fn fill(&self, v: f64) {
+        let _mem = memprof::scope(&GA_TAG);
         for r in 0..self.inner.dist.nprocs() {
             let elems = self.inner.dist.local_elems(r);
             let pr = self.inner.armci.machine().rank(r);

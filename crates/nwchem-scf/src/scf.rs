@@ -6,7 +6,11 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use armci::{Armci, ArmciConfig, ProgressMode};
+use desim::memprof::{self, MemTag};
 use desim::{CritPath, Sim, SimDuration, SimRng};
+
+/// SCF driver state: per-rank tallies and rank-program captures.
+static SCF_TAG: MemTag = MemTag::new("scf");
 use global_arrays::{Ga, SharedCounter};
 use pami_sim::{Machine, MachineConfig};
 
@@ -170,6 +174,7 @@ pub fn run_scf_timeline(
     fock.fill(0.0);
     let counter = SharedCounter::create(&armci, 0);
 
+    let _mem = memprof::scope(&SCF_TAG);
     let tallies: Rc<RefCell<Vec<RankTally>>> =
         Rc::new(RefCell::new(vec![RankTally::default(); nprocs]));
     let root_rng = SimRng::new(cfg.seed);

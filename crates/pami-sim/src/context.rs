@@ -11,8 +11,12 @@ use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
+use desim::memprof::{self, MemTag};
 use desim::sync::{Notify, SimMutex};
 use desim::{Completion, OpId, SimTime};
+
+/// Context work queues and dispatch tables.
+static QUEUES_TAG: MemTag = MemTag::new("pami.queues");
 
 /// Atomic read-modify-write operations (paper §III-D).
 ///
@@ -228,6 +232,7 @@ pub struct CtxState {
 impl CtxState {
     /// Create an idle context.
     pub fn new() -> CtxState {
+        let _mem = memprof::scope(&QUEUES_TAG);
         CtxState {
             queue: RefCell::new(VecDeque::new()),
             arrived: Notify::new(),
@@ -241,6 +246,7 @@ impl CtxState {
 
     /// Enqueue arrived work and signal the progress thread.
     pub fn push(&self, item: WorkItem, op: Option<OpId>, enqueued: SimTime) {
+        let _mem = memprof::scope(&QUEUES_TAG);
         let depth = {
             let mut q = self.queue.borrow_mut();
             q.push_back(Queued { item, op, enqueued });

@@ -4,8 +4,12 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::rc::Rc;
 
+use desim::memprof::{self, MemTag};
 use desim::timeline::{SeriesKind, Timeline};
 use desim::{FaultPlan, FlightRecorder, OpId, Sim, SimTime, Stats};
+
+/// Per-rank backing memory, region tables and endpoint sets.
+static RANKMEM_TAG: MemTag = MemTag::new("pami.rankmem");
 use torus5d::{BgqParams, Mapping, NetState, Topology};
 
 use crate::context::CtxState;
@@ -169,6 +173,7 @@ pub(crate) struct RankState {
 
 impl RankState {
     fn new(contexts: usize) -> RankState {
+        let _mem = memprof::scope(&RANKMEM_TAG);
         RankState {
             memory: RefCell::new(Vec::new()),
             next_alloc: Cell::new(0),
@@ -185,6 +190,7 @@ impl RankState {
         let mut mem = self.memory.borrow_mut();
         let end = off + data.len();
         if mem.len() < end {
+            let _mem_tag = memprof::scope(&RANKMEM_TAG);
             mem.resize(end, 0);
         }
         mem[off..end].copy_from_slice(data);
@@ -194,6 +200,7 @@ impl RankState {
         let mut mem = self.memory.borrow_mut();
         let end = off + len;
         if mem.len() < end {
+            let _mem_tag = memprof::scope(&RANKMEM_TAG);
             mem.resize(end, 0);
         }
         mem[off..end].to_vec()

@@ -4,7 +4,11 @@
 use std::rc::Rc;
 
 use desim::futures::{race, Either};
+use desim::memprof::{self, MemTag};
 use desim::{Completion, OpId, SegCategory, SimDuration, SimTime};
+
+/// Scheduled-but-unsent retransmit state (boxed retry continuations).
+static RETRY_TAG: MemTag = MemTag::new("pami.retry");
 use torus5d::{Delivery, MsgClass};
 
 use crate::context::{AmEnv, AmHandler, AmMsg, CtxState, RmwOp, WorkItem};
@@ -107,6 +111,7 @@ fn deliver_then(
             }
             m.tl_retry_backlog(inject, 1);
             let m2 = m.clone();
+            let _mem = memprof::scope(&RETRY_TAG);
             sim.schedule(resume, move || {
                 m2.stats().incr("pami.retries");
                 if let Some(ids) = m2.tl_ids() {

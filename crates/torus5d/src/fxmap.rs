@@ -8,9 +8,15 @@
 //! deletion (the network state only ever monotonically adds pairs), and
 //! amortized O(1) insertion with zero allocations between growths.
 
+use desim::memprof::{self, MemTag};
+
 /// The Firefox hash multiplier (`π`-derived odd constant used by rustc's
 /// FxHasher).
 const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxMap slot tables (only ever allocated in [`FxMap64::grow`], so the
+/// probe/insert hot path carries no profiler cost at all).
+static FXMAP_TAG: MemTag = MemTag::new("torus5d.fxmap");
 
 /// Sentinel for an empty slot. `u64::MAX` cannot be a packed rank pair
 /// (ranks are `u32` values, and `u32::MAX` ranks do not exist).
@@ -128,6 +134,7 @@ impl<V: Copy + Default> FxMap64<V> {
     }
 
     fn grow(&mut self) {
+        let _mem = memprof::scope(&FXMAP_TAG);
         let cap = (self.slots.len() * 2).max(16);
         let old = std::mem::replace(&mut self.slots, vec![(EMPTY, V::default()); cap]);
         let mask = cap - 1;

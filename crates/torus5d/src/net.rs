@@ -32,6 +32,10 @@ use crate::fxmap::FxMap64;
 use crate::route_table::{LinkId, RouteTable};
 use crate::routing::Link;
 use crate::Topology;
+use desim::memprof::{self, MemTag};
+
+/// Dense per-link/per-rank delivery state and the fault engine.
+static LINKS_TAG: MemTag = MemTag::new("torus5d.links");
 
 /// Ordering class of a message (paper §III-A4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,6 +199,7 @@ impl NetState {
     /// analytic (LogGP).
     pub fn new(topo: Topology, params: BgqParams, contention: bool) -> NetState {
         let rt = RouteTable::new(&topo);
+        let _mem = memprof::scope(&LINKS_TAG);
         let nlinks = rt.num_link_ids();
         let capacity = rt.capacity();
         NetState {
@@ -231,6 +236,7 @@ impl NetState {
     /// that observed it. This is a detection-granularity approximation, and
     /// it is deterministic.
     pub fn install_faults(&mut self, plan: FaultPlan) {
+        let _mem = memprof::scope(&LINKS_TAG);
         let nlinks = self.rt.num_link_ids();
         let nodes = self.rt.num_nodes();
         let corrupt = if plan.any_corruption() {

@@ -23,6 +23,10 @@ use crate::coords::Coord;
 use crate::routing::{route_avoiding, route_with, Link};
 use crate::shape::TorusShape;
 use crate::Topology;
+use desim::memprof::{self, MemTag};
+
+/// Rank table, span table and link arena of the route cache.
+static ROUTES_TAG: MemTag = MemTag::new("torus5d.routes");
 
 /// Links per node: 5 dimensions × 2 directions.
 const LINKS_PER_NODE: u32 = 10;
@@ -66,6 +70,7 @@ impl RouteTable {
     /// Build the table for a topology (precomputes the rank table; routes
     /// fill in lazily as traffic touches node pairs).
     pub fn new(topo: &Topology) -> RouteTable {
+        let _mem = memprof::scope(&ROUTES_TAG);
         let shape = topo.shape;
         let capacity = topo.capacity();
         let ranks = (0..capacity)
@@ -155,6 +160,7 @@ impl RouteTable {
     #[inline]
     pub fn route_span(&mut self, src_node: u32, dst_node: u32) -> (u32, u16) {
         if self.spans.is_empty() {
+            let _mem = memprof::scope(&ROUTES_TAG);
             self.spans = vec![(UNCACHED, 0); (self.nodes as usize).pow(2)];
         }
         let idx = src_node as usize * self.nodes as usize + dst_node as usize;
@@ -182,9 +188,11 @@ impl RouteTable {
         live: F,
     ) -> Option<(u32, u16)> {
         if self.spans.is_empty() {
+            let _mem = memprof::scope(&ROUTES_TAG);
             self.spans = vec![(UNCACHED, 0); (self.nodes as usize).pow(2)];
         }
         if self.span_epochs.len() != self.spans.len() {
+            let _mem = memprof::scope(&ROUTES_TAG);
             self.span_epochs = vec![0; self.spans.len()];
         }
         let idx = src_node as usize * self.nodes as usize + dst_node as usize;
@@ -219,6 +227,7 @@ impl RouteTable {
 
     #[cold]
     fn fill_route(&mut self, idx: usize, src_node: u32, dst_node: u32) -> (u32, u16) {
+        let _mem = memprof::scope(&ROUTES_TAG);
         let off = self.arena.len() as u32;
         let src = self.shape.node_coord(src_node as usize);
         let dst = self.shape.node_coord(dst_node as usize);
@@ -250,6 +259,7 @@ impl RouteTable {
         epoch: u32,
         live: F,
     ) -> Option<(u32, u16)> {
+        let _mem = memprof::scope(&ROUTES_TAG);
         let shape = self.shape;
         let src = shape.node_coord(src_node as usize);
         let dst = shape.node_coord(dst_node as usize);

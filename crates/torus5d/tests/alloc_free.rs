@@ -1,42 +1,26 @@
-//! Proof that message delivery is allocation-free once warm: a counting
-//! global allocator wraps `System`, the delivery state is warmed (route
-//! arena + pair map populated), and a second batch of deliveries must not
-//! allocate at all.
+//! Proof that message delivery is allocation-free once warm: the tracking
+//! allocator from `desim::memprof` is installed as the global allocator,
+//! the delivery state is warmed (route arena + pair map populated), and a
+//! second batch of deliveries must not allocate at all —
+//! [`desim::memprof::total_allocs`] counts every `alloc`/`alloc_zeroed`/
+//! `realloc` process-wide, exactly like the private counting allocator this
+//! test used to carry.
+//!
+//! This doubles as an end-to-end check of the profiler itself: with it
+//! *enabled* (the worst case — full attribution and side-table accounting on
+//! every allocation), the warm path still performs zero heap operations, so
+//! the profiler cannot have added any of its own.
 //!
 //! This lives in its own integration-test binary because `#[global_allocator]`
 //! is process-wide, and it holds a single `#[test]` so no concurrent test can
 //! pollute the counter.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
+use desim::memprof::{self, MemProf};
 use desim::{SimDuration, SimRng, SimTime};
 use torus5d::{BgqParams, MsgClass, NetState, Topology};
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-struct Counting;
-
-unsafe impl GlobalAlloc for Counting {
-    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(l)
-    }
-    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(l)
-    }
-    unsafe fn realloc(&self, p: *mut u8, l: Layout, new: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(p, l, new)
-    }
-    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
-        System.dealloc(p, l)
-    }
-}
-
 #[global_allocator]
-static COUNTING: Counting = Counting;
+static ALLOC: MemProf = MemProf;
 
 fn schedule(procs: usize, msgs: usize, seed: u64) -> Vec<(usize, usize, usize, MsgClass)> {
     let mut rng = SimRng::new(seed);
@@ -60,6 +44,7 @@ fn schedule(procs: usize, msgs: usize, seed: u64) -> Vec<(usize, usize, usize, M
 
 #[test]
 fn deliver_is_allocation_free_once_routes_are_warm() {
+    memprof::enable();
     let procs = 256;
     let topo = Topology::for_procs(procs, 16);
     let mut net = NetState::new(topo, BgqParams::default(), true);
@@ -75,13 +60,25 @@ fn deliver_is_allocation_free_once_routes_are_warm() {
     let routes_warm = net.route_table().routes_cached();
     let arena_warm = net.route_table().arena_len();
 
+    // The warm pass must have charged the network tags, not `untagged` —
+    // the scope wiring in `NetState`/`RouteTable` is live.
+    let global = memprof::global_snapshot();
+    assert!(
+        global.get("torus5d.links").is_some_and(|t| t.allocs > 0),
+        "link state allocations must carry the torus5d.links tag"
+    );
+    assert!(
+        global.get("torus5d.routes").is_some_and(|t| t.allocs > 0),
+        "route arena allocations must carry the torus5d.routes tag"
+    );
+
     // Hot pass: same pairs again — zero heap activity allowed.
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = memprof::total_allocs();
     for &(src, dst, payload, class) in &sched {
         inject += SimDuration::from_ns(100);
         net.deliver(inject, src, dst, payload, class);
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = memprof::total_allocs();
     assert_eq!(
         after - before,
         0,
@@ -103,12 +100,12 @@ fn deliver_is_allocation_free_once_routes_are_warm() {
         inject += SimDuration::from_ns(100);
         fnet.deliver(inject, src, dst, payload, class);
     }
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = memprof::total_allocs();
     for &(src, dst, payload, class) in &sched {
         inject += SimDuration::from_ns(100);
         fnet.deliver(inject, src, dst, payload, class);
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = memprof::total_allocs();
     assert_eq!(
         after - before,
         0,
@@ -126,12 +123,12 @@ fn deliver_is_allocation_free_once_routes_are_warm() {
         inject += SimDuration::from_ns(100);
         tnet.deliver(inject, src, dst, payload, class);
     }
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = memprof::total_allocs();
     for &(src, dst, payload, class) in &sched {
         inject += SimDuration::from_ns(100);
         tnet.deliver(inject, src, dst, payload, class);
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = memprof::total_allocs();
     assert_eq!(
         after - before,
         0,

@@ -84,4 +84,14 @@ check_json results/gate_fig9_rmw.json results/gate_fig9_rmw.breakdown.json \
   --json results/gate_fig_fault.json > /dev/null
 check_json results/gate_fig_fault.json
 ./target/release/perfdiff results/BENCH_fig_fault.json results/gate_fig_fault.json --tol 0 --check
+# Memory-scaling sweep (fig_mem): per-subsystem peak/live bytes per rank
+# across a p-sweep, plus the memstat report. Split gate: schema, tag set and
+# growth classes are keys/strings and compare exactly at any tolerance;
+# absolute byte counts may drift across compiler/std versions, so they get a
+# loose relative band plus per-leaf absolute slack.
+./target/release/fig_mem $JOBS --json results/fig_mem.json \
+  --timeline results/fig_mem.timeline.json > results/fig_mem.txt
+check_json results/fig_mem.json results/fig_mem.timeline.json
+./target/release/perfdiff results/BENCH_memscale.json results/fig_mem.json --tol 0.35 --abs 8192 --check
+./target/release/memstat results/fig_mem.json > results/memstat.txt
 echo "perf gate passed; all results in results/"
