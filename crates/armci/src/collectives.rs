@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use desim::Completion;
+use desim::{Completion, FxHashMap};
 
 use crate::ops::ArmciRank;
 
@@ -46,24 +46,22 @@ pub(crate) struct CollectiveOp {
     done: Completion<Rc<(Vec<f64>, Vec<u8>)>>,
 }
 
-/// Shared collective-engine state (one per runtime).
+/// Shared collective-engine state (one per runtime). Per-rank sequence
+/// counters are sparse: ranks that never join a collective carry no slot.
 #[derive(Default)]
 pub(crate) struct CollectiveEngine {
-    reduce_seq: RefCell<Vec<u64>>,
+    reduce_seq: RefCell<FxHashMap<usize, u64>>,
     reduces: RefCell<HashMap<u64, CollectiveOp>>,
-    bcast_seq: RefCell<Vec<u64>>,
+    bcast_seq: RefCell<FxHashMap<usize, u64>>,
     bcasts: RefCell<HashMap<u64, CollectiveOp>>,
 }
 
-impl CollectiveEngine {
-    pub(crate) fn new(p: usize) -> CollectiveEngine {
-        CollectiveEngine {
-            reduce_seq: RefCell::new(vec![0; p]),
-            reduces: RefCell::new(HashMap::new()),
-            bcast_seq: RefCell::new(vec![0; p]),
-            bcasts: RefCell::new(HashMap::new()),
-        }
-    }
+fn next_seq(seqs: &RefCell<FxHashMap<usize, u64>>, rank: usize) -> u64 {
+    let mut s = seqs.borrow_mut();
+    let e = s.entry(rank).or_insert(0);
+    let v = *e;
+    *e += 1;
+    v
 }
 
 impl ArmciRank {
@@ -72,12 +70,7 @@ impl ArmciRank {
     pub async fn allreduce_f64(&self, xs: &[f64], op: ReduceOp) -> Vec<f64> {
         let p = self.armci().nprocs();
         let eng = &self.armci().inner.coll;
-        let seq = {
-            let mut s = eng.reduce_seq.borrow_mut();
-            let v = s[self.id()];
-            s[self.id()] += 1;
-            v
-        };
+        let seq = next_seq(&eng.reduce_seq, self.id());
         let (done, ready) = {
             let mut reds = eng.reduces.borrow_mut();
             let st = reds.entry(seq).or_insert_with(|| CollectiveOp {
@@ -124,12 +117,7 @@ impl ArmciRank {
             "exactly the root provides data"
         );
         let eng = &self.armci().inner.coll;
-        let seq = {
-            let mut s = eng.bcast_seq.borrow_mut();
-            let v = s[self.id()];
-            s[self.id()] += 1;
-            v
-        };
+        let seq = next_seq(&eng.bcast_seq, self.id());
         let (done, ready, nbytes) = {
             let mut bc = eng.bcasts.borrow_mut();
             let st = bc.entry(seq).or_insert_with(|| CollectiveOp {

@@ -10,6 +10,8 @@
 //! (Eq. 9) unless the contiguous chunk is below the pack threshold
 //! (tall-skinny), in which case the packed typed-datatype path is used.
 
+use std::rc::Rc;
+
 use desim::memprof::{self, MemTag};
 use desim::{Completion, FlightRecorder, OpId, SimDuration, TraceValue, Tracer, TrackId};
 use pami_sim::{PamiRank, RmwOp};
@@ -50,8 +52,8 @@ impl ArmciRank {
         &self.pami
     }
 
-    fn rt(&self) -> &RankRt {
-        &self.a.inner.ranks[self.r]
+    fn rt(&self) -> Rc<RankRt> {
+        self.a.rank_rt(self.r)
     }
 
     fn stats(&self) -> desim::Stats {
@@ -144,8 +146,9 @@ impl ArmciRank {
         }
         let seq = {
             let mut seqs = self.a.inner.collective_seq.borrow_mut();
-            let s = seqs[self.r];
-            seqs[self.r] += 1;
+            let e = seqs.entry(self.r).or_insert(0);
+            let s = *e;
+            *e += 1;
             s
         };
         let (done, ready) = {
@@ -1051,7 +1054,7 @@ impl ArmciRank {
     /// Acquire mutex `idx` hosted at `owner` (CAS spin with linear backoff).
     pub async fn lock(&self, idx: usize, owner: usize) {
         assert!(idx < self.a.inner.nmutexes.get(), "mutex {idx} not created");
-        let off = self.a.inner.ranks[owner].mutex_off.get() + idx * 8;
+        let off = self.a.rank_rt(owner).mutex_off.get() + idx * 8;
         assert_ne!(off, usize::MAX, "mutexes not created on owner");
         let me = self.r as i64 + 1;
         let mut attempts: u64 = 0;
@@ -1070,7 +1073,7 @@ impl ArmciRank {
 
     /// Release mutex `idx` hosted at `owner`.
     pub async fn unlock(&self, idx: usize, owner: usize) {
-        let off = self.a.inner.ranks[owner].mutex_off.get() + idx * 8;
+        let off = self.a.rank_rt(owner).mutex_off.get() + idx * 8;
         let old = self.rmw_swap(owner, off, 0).await;
         debug_assert_eq!(old, self.r as i64 + 1, "unlocking a mutex we don't hold");
     }
@@ -1083,7 +1086,8 @@ impl ArmciRank {
     /// number (1-based, monotonically increasing per target).
     pub async fn notify(&self, target: usize) -> i64 {
         let seq = {
-            let mut m = self.rt().notify_seq.borrow_mut();
+            let rt = self.rt();
+            let mut m = rt.notify_seq.borrow_mut();
             let e = m.entry(target).or_insert(0);
             *e += 1;
             *e
@@ -1092,7 +1096,7 @@ impl ArmciRank {
         // into the target's notify slot for this rank.
         let scratch = self.pami.alloc(8);
         self.pami.write_i64(scratch, seq);
-        let dst = self.a.inner.ranks[target].notify_off.get() + 8 * self.r;
+        let dst = self.a.rank_rt(target).notify_off.get() + 8 * self.r;
         let h = self.pami.sw_put(target, scratch, dst, 8).await;
         self.rt()
             .consistency

@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use std::rc::{Rc, Weak};
 
 use desim::memprof::{self, MemTag};
-use desim::{Completion, Sim};
-use pami_sim::{AsyncThread, Machine, PamiRank};
+use desim::{Completion, FxHashMap, Sim};
+use pami_sim::{Machine, PamiRank};
 
 /// Per-rank ARMCI runtime state (caches, implicit sets, reply maps).
 static HANDLES_TAG: MemTag = MemTag::new("armci.handles");
@@ -88,7 +88,6 @@ pub(crate) struct RankRt {
     pub implicit: RefCell<Vec<Completion<()>>>,
     pub pending_replies: RefCell<HashMap<u64, Completion<Option<RemoteRegion>>>>,
     pub next_reply: Cell<u64>,
-    pub at: RefCell<Option<AsyncThread>>,
     /// Offset of this rank's mutex array (usize::MAX = not created).
     pub mutex_off: Cell<usize>,
     /// Offset of this rank's notify cells (one i64 per peer).
@@ -105,7 +104,6 @@ impl RankRt {
             implicit: RefCell::new(Vec::new()),
             pending_replies: RefCell::new(HashMap::new()),
             next_reply: Cell::new(0),
-            at: RefCell::new(None),
             mutex_off: Cell::new(usize::MAX),
             notify_off: Cell::new(usize::MAX),
             notify_seq: RefCell::new(HashMap::new()),
@@ -129,13 +127,17 @@ pub(crate) struct CollectiveAlloc {
 pub(crate) struct ArmciInner {
     pub machine: Machine,
     pub cfg: ArmciConfig,
-    pub ranks: Vec<Rc<RankRt>>,
+    /// Lazily materialized per-rank runtime state, keyed by rank id and
+    /// created by the machine's rank-init hook — an untouched rank has no
+    /// entry (and costs no bytes) here.
+    pub ranks: RefCell<FxHashMap<usize, Rc<RankRt>>>,
     pub barrier: RefCell<BarrierSt>,
     pub nmutexes: Cell<usize>,
     /// In-flight collective allocations, keyed by call sequence number.
     pub collective: RefCell<HashMap<u64, CollectiveAlloc>>,
-    /// Per-rank count of `malloc_collective` calls (the ordering key).
-    pub collective_seq: RefCell<Vec<u64>>,
+    /// Per-rank count of `malloc_collective` calls (the ordering key);
+    /// ranks that never allocate collectively carry no slot.
+    pub collective_seq: RefCell<FxHashMap<usize, u64>>,
     /// Collective-network engine (allreduce/broadcast).
     pub coll: CollectiveEngine,
     /// `armci.inflight` gauge handle, interned by [`Armci::enable_timeline`].
@@ -152,41 +154,37 @@ pub struct Armci {
 }
 
 impl Armci {
-    /// Initialize ARMCI over `machine`: installs the region-query active
-    /// messages, allocates notification cells, and (in
-    /// [`ProgressMode::AsyncThread`]) starts one asynchronous progress thread
-    /// per rank on the designated context.
+    /// Initialize ARMCI over `machine`. Per-rank setup — region-query
+    /// active messages, notification cells, async-progress arming — is
+    /// deferred to the machine's rank-init hook, so it runs only for ranks
+    /// the program actually touches; initialization itself is O(1) in
+    /// `nprocs`.
     pub fn new(machine: Machine, cfg: ArmciConfig) -> Armci {
-        let p = machine.nprocs();
         let _mem = memprof::scope(&HANDLES_TAG);
-        let ranks: Vec<Rc<RankRt>> = (0..p).map(|_| Rc::new(RankRt::new(&cfg))).collect();
         let inner = Rc::new(ArmciInner {
             machine: machine.clone(),
-            cfg: cfg.clone(),
-            ranks,
+            cfg,
+            ranks: RefCell::new(FxHashMap::default()),
             barrier: RefCell::new(BarrierSt {
                 arrived: 0,
                 current: None,
             }),
             nmutexes: Cell::new(0),
             collective: RefCell::new(HashMap::new()),
-            collective_seq: RefCell::new(vec![0; p]),
-            coll: CollectiveEngine::new(p),
+            collective_seq: RefCell::new(FxHashMap::default()),
+            coll: CollectiveEngine::default(),
             tl_inflight: Cell::new(None),
             inflight: Cell::new(0),
         });
         let weak = Rc::downgrade(&inner);
-        let target_ctx = machine.target_ctx();
-        for r in 0..p {
-            let pr = machine.rank(r);
-            // Notification cells: one i64 per peer.
-            inner.ranks[r].notify_off.set(pr.alloc(p * 8));
-            install_dispatch(&pr, target_ctx, &weak);
-            if cfg.progress == ProgressMode::AsyncThread {
-                *inner.ranks[r].at.borrow_mut() = Some(pr.start_progress_thread(target_ctx));
-            }
+        machine.set_rank_init(Rc::new(move |pr| init_rank(&weak, pr)));
+        // Ranks that materialized before this runtime existed missed the
+        // hook: bring them up now, in rank order, exactly as the hook would.
+        let a = Armci { inner };
+        for r in machine.materialized_ranks() {
+            init_rank(&Rc::downgrade(&a.inner), machine.rank(r));
         }
-        Armci { inner }
+        a
     }
 
     /// The simulation driving this runtime.
@@ -241,20 +239,38 @@ impl Armci {
         }
     }
 
+    /// This rank's ARMCI runtime state, materializing the underlying PAMI
+    /// rank (and hence running the init hook) on first touch.
+    pub(crate) fn rank_rt(&self, r: usize) -> Rc<RankRt> {
+        if let Some(rt) = self.inner.ranks.borrow().get(&r) {
+            return Rc::clone(rt);
+        }
+        self.inner.machine.materialize_rank(r);
+        if let Some(rt) = self.inner.ranks.borrow().get(&r) {
+            return Rc::clone(rt);
+        }
+        // The rank materialized under an older hook (e.g. a second runtime
+        // over the same machine): run this runtime's init directly.
+        init_rank(&Rc::downgrade(&self.inner), self.inner.machine.rank(r));
+        Rc::clone(
+            self.inner
+                .ranks
+                .borrow()
+                .get(&r)
+                .expect("init_rank inserts the rank"),
+        )
+    }
+
     /// Stop all asynchronous progress threads (finalize).
     pub fn finalize(&self) {
-        for rt in &self.inner.ranks {
-            if let Some(at) = rt.at.borrow_mut().take() {
-                at.stop();
-            }
-        }
+        self.inner.machine.stop_progress_threads();
     }
 
     /// Region-cache statistics summed over all ranks: `(hits, misses,
     /// evictions)`.
     pub fn region_cache_totals(&self) -> (u64, u64, u64) {
         let mut t = (0, 0, 0);
-        for rt in &self.inner.ranks {
+        for rt in self.inner.ranks.borrow().values() {
             let c = rt.region_cache.borrow();
             t.0 += c.hits();
             t.1 += c.misses();
@@ -270,7 +286,7 @@ impl Armci {
     /// query round trip; this is the σ·ζ·γ term of Eq. 5. The query-on-miss
     /// path remains for non-collective allocations and evicted entries.
     pub fn seed_region(&self, rank: usize, target: usize, off: usize, len: usize) {
-        self.inner.ranks[rank]
+        self.rank_rt(rank)
             .region_cache
             .borrow_mut()
             .insert(target, RemoteRegion { off, len });
@@ -292,9 +308,33 @@ impl Armci {
     pub fn induced_fences(&self) -> u64 {
         self.inner
             .ranks
-            .iter()
+            .borrow()
+            .values()
             .map(|rt| rt.consistency.borrow().induced_fences())
             .sum()
+    }
+}
+
+/// Bring up one rank's ARMCI state: runtime struct, notification cells,
+/// region-query dispatch, async-progress arming. Runs as the machine's
+/// rank-init hook the moment the rank's PAMI state materializes — the rank's
+/// notification cells are its very first allocation, exactly as they were
+/// when initialization looped over every rank eagerly.
+fn init_rank(weak: &Weak<ArmciInner>, pr: PamiRank) {
+    let Some(inner) = weak.upgrade() else { return };
+    if inner.ranks.borrow().contains_key(&pr.id()) {
+        return;
+    }
+    let _mem = memprof::scope(&HANDLES_TAG);
+    let rt = Rc::new(RankRt::new(&inner.cfg));
+    inner.ranks.borrow_mut().insert(pr.id(), Rc::clone(&rt));
+    // Notification cells: one i64 per peer (offsets only — the backing
+    // memory grows on first write).
+    rt.notify_off.set(pr.alloc(inner.machine.nprocs() * 8));
+    let target_ctx = inner.machine.target_ctx();
+    install_dispatch(&pr, target_ctx, weak);
+    if inner.cfg.progress == ProgressMode::AsyncThread {
+        pr.enable_async_progress(target_ctx);
     }
 }
 
@@ -342,10 +382,11 @@ fn install_dispatch(pr: &PamiRank, ctx: usize, weak: &Weak<ArmciInner>) {
                 let found = msg.header[8] != 0;
                 let off = u64::from_le_bytes(msg.header[9..17].try_into().expect("8")) as usize;
                 let len = u64::from_le_bytes(msg.header[17..25].try_into().expect("8")) as usize;
-                let pending = inner.ranks[env.rank]
-                    .pending_replies
-                    .borrow_mut()
-                    .remove(&reply_id);
+                let pending = inner
+                    .ranks
+                    .borrow()
+                    .get(&env.rank)
+                    .and_then(|rt| rt.pending_replies.borrow_mut().remove(&reply_id));
                 if let Some(c) = pending {
                     c.complete(found.then_some(RemoteRegion { off, len }));
                 }

@@ -17,7 +17,8 @@
 
 use bgq_bench::memscale::{self, DEFAULT_MSGS_PER_RANK, DEFAULT_OPS, DEFAULT_PROCS};
 use bgq_bench::{
-    arg_jobs, arg_list, arg_str, arg_usize, check_args, write_text, JOBS_FLAG, TIMELINE_FLAG,
+    arg_flag, arg_jobs, arg_list, arg_str, arg_usize, check_args, write_text, JOBS_FLAG,
+    TIMELINE_FLAG,
 };
 use desim::memprof;
 use desim::TimelineDoc;
@@ -38,6 +39,11 @@ fn main() {
                 "net_churn messages per rank (default 64)",
             ),
             ("--json", true, "write the memscale-v1 JSON document"),
+            (
+                "--no-timing",
+                false,
+                "omit ungated wall_ms/events_per_sec point fields (golden regen)",
+            ),
             TIMELINE_FLAG,
             JOBS_FLAG,
         ],
@@ -53,7 +59,7 @@ fn main() {
 
     memprof::enable();
     let out = memscale::run_sweep(&procs, ops, msgs, jobs, timeline_path.is_some());
-    let doc = memscale::scale_json(&out.fig9, &out.churn, ops, msgs);
+    let doc = memscale::scale_json(&out.fig9, &out.churn, ops, msgs, !arg_flag("--no-timing"));
     print!(
         "{}",
         memscale::memstat_report(&doc).expect("fresh document renders")

@@ -1,0 +1,93 @@
+//! fig_scale — million-rank scaling of the event-driven rank runtime.
+//!
+//! Sweeps the Fig 9 fetch-and-add storm (all ranks active) and a synthetic
+//! all-to-all over a fixed active set (everyone else idle) up to
+//! p = 1,000,000 ranks in a single process, measuring what scaling to a
+//! full Blue Gene/Q partition costs in host memory: tagged peak bytes and
+//! bytes/rank (via the [`desim::memprof`] allocator), peak RSS, wall time
+//! and kernel events/s, plus the deterministic run signature (virtual end
+//! time, event count, materialized ranks, task-table high-water mark).
+//!
+//! Points run **serially in ascending p** — the 1M-rank point needs the
+//! whole address space to itself and serial order makes the running
+//! peak-RSS column meaningful.
+//!
+//! `--json` writes the full `scale-v1` document (committed as
+//! `results/BENCH_scale.json`, curves ungated); `--gate-json` writes the
+//! deterministic-leaves-only `scale-gate-v1` subset that CI compares with
+//! `perfdiff --tol 0` at small p against `results/BENCH_scale_gate.json`.
+
+use bgq_bench::scale::{self, DEFAULT_ACTIVE, DEFAULT_OPS, DEFAULT_PROCS};
+use bgq_bench::{arg_list, arg_str, arg_usize, check_args, write_text};
+use desim::memprof;
+
+#[global_allocator]
+static ALLOC: memprof::MemProf = memprof::MemProf;
+
+fn main() {
+    check_args(
+        "fig_scale",
+        "memory and throughput scaling of lazily materialized rank state to p=1M",
+        &[
+            (
+                "--procs",
+                true,
+                "comma-separated process counts (default up to 1,000,000)",
+            ),
+            (
+                "--active",
+                true,
+                "alltoall active-set size (default 256; capped at p)",
+            ),
+            (
+                "--ops",
+                true,
+                "fetch-and-adds per requester / all-to-all rounds (default 1)",
+            ),
+            ("--json", true, "write the full scale-v1 JSON document"),
+            (
+                "--gate-json",
+                true,
+                "write the deterministic scale-gate-v1 JSON document",
+            ),
+        ],
+    );
+    let mut procs = arg_list("--procs", &DEFAULT_PROCS);
+    procs.sort_unstable();
+    procs.dedup();
+    let ops = arg_usize("--ops", DEFAULT_OPS).max(1);
+    let active = arg_usize("--active", DEFAULT_ACTIVE).max(2);
+    let json_path = arg_str("--json");
+    let gate_path = arg_str("--gate-json");
+
+    memprof::enable();
+    println!(
+        "fig_scale: p = {procs:?}, ops = {ops}, active = {active} (serial sweep)\n\
+         {:<9} {:>9} {:>12} {:>12} {:>11} {:>10} {:>11} {:>12}",
+        "workload", "p", "sim_ms", "events", "materialized", "tasks", "rss_mb", "events/s"
+    );
+    let (rmw, a2a) = scale::run_sweep(&procs, ops, active, |name, pt| {
+        let eps = if pt.mem.wall_ms > 0.0 {
+            pt.mem.events as f64 / (pt.mem.wall_ms / 1e3)
+        } else {
+            0.0
+        };
+        println!(
+            "{:<9} {:>9} {:>12.3} {:>12} {:>11} {:>10} {:>11.1} {:>12.0}",
+            name,
+            pt.mem.procs,
+            pt.sim_time_ps as f64 / 1e9,
+            pt.mem.events,
+            pt.materialized,
+            pt.task_slots,
+            pt.peak_rss_kb as f64 / 1024.0,
+            eps
+        );
+    });
+    if let Some(path) = json_path {
+        write_text(&path, &scale::scale_json(&rmw, &a2a, ops, active));
+    }
+    if let Some(path) = gate_path {
+        write_text(&path, &scale::gate_json(&rmw, &a2a, ops, active));
+    }
+}

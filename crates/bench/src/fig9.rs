@@ -21,6 +21,15 @@ use crate::Fixture;
 pub struct RunOut {
     /// Mean fetch-and-add latency over all requester operations (µs).
     pub latency_us: f64,
+    /// Virtual end time of the run (ps) — deterministic.
+    pub sim_time_ps: u64,
+    /// Kernel events processed — deterministic for a given binary.
+    pub events: u64,
+    /// Ranks whose state materialized (in Fig 9 every rank is active, so
+    /// this equals `p`; the scale sweep asserts it).
+    pub materialized: usize,
+    /// Kernel task-table high-water mark (concurrently live tasks).
+    pub task_slots: usize,
     /// The machine's full metrics snapshot at the end of the run.
     pub snapshot: MetricsSnapshot,
     /// Critical-path decomposition, when `breakdown` was requested.
@@ -115,6 +124,12 @@ pub fn run(
         });
     }
     f.finish();
+    // `run_until` leaves the clock at the last fired event, so this is the
+    // deterministic completion time of the workload (not the 600 s bound).
+    let sim_time_ps = f.sim.now().as_ps();
+    let events = f.sim.events_processed();
+    let materialized = f.armci.machine().materialized_count();
+    let task_slots = f.sim.task_slots();
     f.armci.machine().flush_net_stats();
     let snapshot = f.armci.machine().stats().snapshot();
     let timeline = timeline_window_ps.map(|_| f.armci.machine().timeline().snapshot());
@@ -136,6 +151,10 @@ pub fn run(
     let crit = breakdown.then(|| analyze(&f.armci.machine().flight(), f.sim.now()));
     RunOut {
         latency_us: total_wait.get().as_us() / ops as f64,
+        sim_time_ps,
+        events,
+        materialized,
+        task_slots,
         snapshot,
         crit,
         chrome,

@@ -15,6 +15,7 @@
 //! | `fig8_strided` | Fig 8 — strided bandwidth vs contiguous chunk size |
 //! | `fig9_rmw` | Fig 9 — fetch-and-add latency vs process count |
 //! | `fig11_nwchem_scf` | Fig 11 — NWChem SCF, D vs AT |
+//! | `fig_scale` | Million-rank scaling of lazily materialized rank state |
 //! | `abl_*` | §III design-choice ablations |
 
 use armci::{Armci, ArmciConfig, ArmciRank};
@@ -25,6 +26,7 @@ pub mod fault_bench;
 pub mod fig9;
 pub mod memscale;
 pub mod perfdiff;
+pub mod scale;
 pub mod simbench;
 pub mod simstat;
 pub mod sweep;

@@ -38,12 +38,18 @@ pub const DEFAULT_OPS: usize = 4;
 /// Default `net_churn` messages injected per rank.
 pub const DEFAULT_MSGS_PER_RANK: usize = 64;
 
-/// One measured sweep point: the per-tag allocation deltas of a single run.
+/// One measured sweep point: the per-tag allocation deltas of a single run,
+/// plus the run's wall time and kernel event count so memory and throughput
+/// curves come from a single sweep.
 pub struct MemPoint {
     /// Process count of this run.
     pub procs: usize,
     /// Per-tag deltas over the run's `mark`/`since` bracket.
     pub snap: MemSnapshot,
+    /// Host wall time of the run in milliseconds (ungated: host-dependent).
+    pub wall_ms: f64,
+    /// Kernel events processed by the run (task polls + timer firings).
+    pub events: u64,
 }
 
 /// Everything one `fig_mem` sweep produces.
@@ -77,7 +83,8 @@ pub fn run_sweep(
         // Mark/since inside the worker closure: thread-local deltas over
         // exactly this run, so --jobs never changes the accounting.
         let m = memprof::mark();
-        let tl_snap = if wi == 0 {
+        let t0 = std::time::Instant::now();
+        let (tl_snap, events) = if wi == 0 {
             let out = fig9::run(
                 p,
                 ProgressMode::AsyncThread,
@@ -88,22 +95,26 @@ pub fn run_sweep(
                 None,
                 tl,
             );
-            out.timeline
+            (out.timeline, out.events)
             // the rest of `out` drops here, before the snapshot
         } else {
-            simbench::net_churn_timeline(p, msgs_per_rank * p, None, tl).1
+            let (load, tl) = simbench::net_churn_timeline(p, msgs_per_rank * p, None, tl);
+            (tl, load.events)
         };
-        (memprof::since(&m), tl_snap)
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        (memprof::since(&m), tl_snap, wall_ms, events)
     });
     let mut fig9_pts = Vec::with_capacity(n);
     let mut churn_pts = Vec::with_capacity(n);
     let mut timelines = Vec::new();
-    for (idx, (snap, tl_snap)) in outs.into_iter().enumerate() {
+    for (idx, (snap, tl_snap, wall_ms, events)) in outs.into_iter().enumerate() {
         let (wi, pi) = (idx / n, idx % n);
         let name = if wi == 0 { "fig9_rmw" } else { "net_churn" };
         let pt = MemPoint {
             procs: procs[pi],
             snap,
+            wall_ms,
+            events,
         };
         if wi == 0 {
             fig9_pts.push(pt);
@@ -170,7 +181,7 @@ pub fn slopes(points: &[MemPoint]) -> Vec<(&'static str, f64, &'static str)> {
         .collect()
 }
 
-fn workload_json(points: &[MemPoint]) -> String {
+fn workload_json(points: &[MemPoint], timing: bool) -> String {
     let mut o = String::from("{\"points\":{");
     for (i, pt) in points.iter().enumerate() {
         if i > 0 {
@@ -190,7 +201,22 @@ fn workload_json(points: &[MemPoint]) -> String {
                 t.name, t.peak_bytes, t.live_bytes, t.allocs, bpr
             ));
         }
-        o.push_str("}}");
+        o.push('}');
+        if timing {
+            // Ungated context fields (host-dependent): the committed golden
+            // is written with `--no-timing`, so perfdiff never compares them
+            // — candidate-only leaves pass.
+            let eps = if pt.wall_ms > 0.0 {
+                pt.events as f64 / (pt.wall_ms / 1e3)
+            } else {
+                0.0
+            };
+            o.push_str(&format!(
+                ",\"wall_ms\":{:.1},\"events_per_sec\":{:.0}",
+                pt.wall_ms, eps
+            ));
+        }
+        o.push('}');
     }
     o.push_str("},\"slopes\":{");
     for (i, (tag, exp, class)) in slopes(points).iter().enumerate() {
@@ -210,19 +236,23 @@ fn workload_json(points: &[MemPoint]) -> String {
 /// Every collection is a JSON **object** (keyed `"p<procs>"` / tag name),
 /// never an array, and growth classes are strings — so a single
 /// `perfdiff --tol ... --check` pass gates schema, tag set and classes
-/// exactly while leaving the byte counts their loose tolerance.
+/// exactly while leaving the byte counts their loose tolerance. With
+/// `timing`, every point additionally carries ungated `wall_ms` and
+/// `events_per_sec` fields (host-dependent; goldens are regenerated with
+/// `--no-timing` so perfdiff never sees them in the baseline).
 pub fn scale_json(
     fig9: &[MemPoint],
     churn: &[MemPoint],
     ops: usize,
     msgs_per_rank: usize,
+    timing: bool,
 ) -> String {
     format!(
         "{{\"schema\":\"memscale-v1\",\"bench\":\"fig_mem\",\"ops\":{ops},\
          \"msgs_per_rank\":{msgs_per_rank},\"workloads\":{{\"fig9_rmw\":{},\
          \"net_churn\":{}}}}}\n",
-        workload_json(fig9),
-        workload_json(churn)
+        workload_json(fig9, timing),
+        workload_json(churn, timing)
     )
 }
 
@@ -330,6 +360,8 @@ mod tests {
                     })
                     .collect(),
             },
+            wall_ms: 2.0,
+            events: 1000,
         }
     }
 
@@ -380,7 +412,21 @@ mod tests {
             pt(32, &[("torus5d.links", 10_000)]),
             pt(64, &[("torus5d.links", 20_000)]),
         ];
-        let doc = scale_json(&fig9, &churn, 4, 64);
+        let doc = scale_json(&fig9, &churn, 4, 64, false);
+        assert!(!doc.contains("wall_ms"), "timing off leaves no trace");
+        let timed = scale_json(&fig9, &churn, 4, 64, true);
+        let tv = json::parse(&timed).expect("valid JSON with timing");
+        let p32 = tv
+            .get("workloads")
+            .and_then(|w| w.get("fig9_rmw"))
+            .and_then(|w| w.get("points"))
+            .and_then(|p| p.get("p32"))
+            .expect("p32 point");
+        assert_eq!(p32.get("wall_ms").and_then(JsonValue::as_f64), Some(2.0));
+        assert_eq!(
+            p32.get("events_per_sec").and_then(JsonValue::as_f64),
+            Some(500000.0)
+        );
         let v = json::parse(&doc).expect("valid JSON");
         assert_eq!(
             v.get("schema").and_then(JsonValue::as_str),

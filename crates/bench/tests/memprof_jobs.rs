@@ -25,9 +25,11 @@ fn per_run_accounting_is_jobs_invariant() {
     for (s, p) in serial.churn.iter().zip(&parallel.churn) {
         assert_eq!(s.snap, p.snap, "net_churn p={} snapshot moved", s.procs);
     }
+    // Timing fields are host wall time, the one intentionally ungated,
+    // non-deterministic part — compare the document without them.
     assert_eq!(
-        memscale::scale_json(&serial.fig9, &serial.churn, 2, 16),
-        memscale::scale_json(&parallel.fig9, &parallel.churn, 2, 16),
+        memscale::scale_json(&serial.fig9, &serial.churn, 2, 16, false),
+        memscale::scale_json(&parallel.fig9, &parallel.churn, 2, 16, false),
         "memscale-v1 document must be byte-identical across --jobs"
     );
 

@@ -455,6 +455,14 @@ impl Sim {
         self.k.live_tasks.get()
     }
 
+    /// Size of the task table (live slots plus recycled free slots). Slots
+    /// are never reclaimed individually, so this is the high-water mark of
+    /// *concurrently* live tasks — mass spawn/retire churn must not grow it
+    /// past the widest wave (see `tests/task_churn.rs`).
+    pub fn task_slots(&self) -> usize {
+        self.k.tasks.borrow().len()
+    }
+
     /// Spawn a task. It is scheduled to run at the current virtual time.
     pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
     where

@@ -36,6 +36,7 @@ pub mod event;
 pub mod fault;
 pub mod flight;
 pub mod futures;
+pub mod fxhash;
 pub mod health;
 pub mod json;
 pub mod kernel;
@@ -54,6 +55,7 @@ pub use event::Completion;
 pub use fault::{FaultEvent, FaultPlan, FaultSpec};
 pub use flight::{FlightRecorder, OpId, SegCategory};
 pub use futures::{race, Either};
+pub use fxhash::{FxBuildHasher, FxHashMap};
 pub use health::{Finding, HealthConfig, Severity};
 pub use kernel::{JoinHandle, Sim, TaskId};
 pub use memprof::{MemProf, MemScope, MemSnapshot, MemTag};

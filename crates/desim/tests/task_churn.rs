@@ -1,0 +1,128 @@
+//! Kernel task-slab behavior under mass spawn/retire churn.
+//!
+//! The million-rank scale work leans on one kernel property: spawning and
+//! retiring huge numbers of short-lived tasks must recycle task slots (ids,
+//! hooks, prebuilt wakers) instead of growing the task table without bound.
+//! These tests drive ~1M short-lived tasks through the executor in waves and
+//! pin slab growth, id recycling and live-flag safety.
+
+use desim::{Sim, SimDuration};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// ~1M short-lived tasks in bounded waves: the slab must plateau at the
+/// widest wave, never at the cumulative task count.
+#[test]
+fn million_task_churn_bounds_slab_growth() {
+    const WAVE: usize = 4096;
+    const WAVES: usize = 256; // 4096 * 256 = 1,048,576 tasks total
+    let sim = Sim::new();
+    let completed = Rc::new(Cell::new(0u64));
+    for wave in 0..WAVES {
+        for i in 0..WAVE {
+            let s = sim.clone();
+            let completed = Rc::clone(&completed);
+            sim.spawn(async move {
+                // A short sleep forces a real park/wake cycle (timer insert,
+                // waker clone, re-poll) rather than a single synchronous poll.
+                s.sleep(SimDuration::from_ns(1 + (i % 7) as u64)).await;
+                completed.set(completed.get() + 1);
+            });
+        }
+        // Retire the whole wave before the next spawns: every slot goes
+        // through complete -> free-list -> reuse.
+        sim.run();
+        assert_eq!(sim.pending_tasks(), 0, "wave {wave} left tasks live");
+        assert!(
+            sim.task_slots() <= WAVE,
+            "slab grew past the wave width: {} slots after wave {wave}",
+            sim.task_slots()
+        );
+    }
+    assert_eq!(completed.get(), (WAVE * WAVES) as u64);
+    // The slab high-water mark equals one wave: 1M tasks, 4096 slots.
+    assert_eq!(sim.task_slots(), WAVE);
+}
+
+/// Sequential churn reuses a single slot and hands out the same task id.
+#[test]
+fn sequential_churn_recycles_one_slot() {
+    let sim = Sim::new();
+    let first = sim.spawn(async {}).task_id();
+    sim.run();
+    for _ in 0..10_000 {
+        let h = sim.spawn(async {});
+        sim.run();
+        assert_eq!(h.task_id(), first, "slot not recycled");
+        assert!(h.is_done());
+    }
+    assert_eq!(sim.task_slots(), 1);
+}
+
+/// Interleaved spawn-from-within-task churn: tasks that spawn successors
+/// while the executor is mid-drain still recycle slots correctly.
+#[test]
+fn chained_respawn_churn_stays_bounded() {
+    const CHAIN: u64 = 100_000;
+    let sim = Sim::new();
+    let hops = Rc::new(Cell::new(0u64));
+    fn hop(sim: Sim, hops: Rc<Cell<u64>>) {
+        if hops.get() >= CHAIN {
+            return;
+        }
+        hops.set(hops.get() + 1);
+        let s = sim.clone();
+        sim.clone().spawn(async move {
+            s.sleep(SimDuration::from_ns(1)).await;
+            hop(s.clone(), hops);
+        });
+    }
+    hop(sim.clone(), Rc::clone(&hops));
+    sim.run();
+    assert_eq!(hops.get(), CHAIN);
+    // At most the parent and its successor coexist.
+    assert!(
+        sim.task_slots() <= 2,
+        "chained respawn leaked slots: {}",
+        sim.task_slots()
+    );
+}
+
+/// Live-flag safety across shutdown: slots reaped while their futures are
+/// parked must come back clean — a respawn on the recycled table behaves
+/// exactly like a fresh kernel (ids from 0, no stale wakes, no ghost polls).
+#[test]
+fn shutdown_then_mass_respawn_is_clean() {
+    let sim = Sim::new();
+    // Park a batch of daemons (they never complete on their own).
+    for _ in 0..512 {
+        let s = sim.clone();
+        sim.spawn(async move {
+            loop {
+                s.sleep(SimDuration::from_secs(1)).await;
+            }
+        });
+    }
+    sim.run_until(desim::SimTime::ZERO + SimDuration::from_ms(1));
+    assert_eq!(sim.pending_tasks(), 512);
+    sim.shutdown();
+    assert_eq!(sim.pending_tasks(), 0);
+    assert_eq!(sim.task_slots(), 512, "shutdown must keep slots for reuse");
+    // Respawn over the recycled slots: ids restart at 0 in spawn order.
+    let events_before = sim.events_processed();
+    let done = Rc::new(Cell::new(0u32));
+    let mut ids = Vec::new();
+    for _ in 0..512 {
+        let done = Rc::clone(&done);
+        ids.push(sim.spawn(async move { done.set(done.get() + 1) }).task_id());
+    }
+    sim.run();
+    assert_eq!(done.get(), 512);
+    assert_eq!(sim.task_slots(), 512, "respawn must not grow the slab");
+    let mut sorted = ids.clone();
+    sorted.sort_by_key(|t| format!("{t:?}"));
+    sorted.dedup();
+    assert_eq!(sorted.len(), 512, "recycled ids must stay distinct");
+    // Exactly one poll per respawned task: no stale wakes inflate the count.
+    assert_eq!(sim.events_processed() - events_before, 512);
+}

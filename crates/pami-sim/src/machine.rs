@@ -157,6 +157,10 @@ pub(crate) struct Region {
 }
 
 /// Per-rank simulation state.
+///
+/// Materialized lazily: a rank that is never touched (no allocation, no
+/// memory access, no incoming work) has no `RankState` at all — see
+/// [`Machine::rank_state`].
 pub(crate) struct RankState {
     pub memory: RefCell<Vec<u8>>,
     pub next_alloc: Cell<usize>,
@@ -169,6 +173,14 @@ pub(crate) struct RankState {
     /// down into every message the rank injects while set. `None` when no
     /// attribution is active (flight recorder off, or between operations).
     pub cur_op: Cell<Option<OpId>>,
+    /// Context index the rank's asynchronous progress thread services once
+    /// armed via [`crate::PamiRank::enable_async_progress`]; `None` = the
+    /// rank runs default progress only.
+    pub at_ctx: Cell<Option<usize>>,
+    /// The lazily spawned progress-thread handle, `Some` from the moment
+    /// the first work item targets this armed rank until the machine stops
+    /// its progress threads.
+    pub at: RefCell<Option<crate::AsyncThread>>,
 }
 
 impl RankState {
@@ -183,6 +195,8 @@ impl RankState {
             endpoints: RefCell::new(HashSet::new()),
             space: SpaceAccount::default(),
             cur_op: Cell::new(None),
+            at_ctx: Cell::new(None),
+            at: RefCell::new(None),
         }
     }
 
@@ -216,6 +230,9 @@ impl RankState {
     }
 }
 
+/// Per-rank initialization hook, run once when a rank materializes.
+pub(crate) type RankInitHook = Rc<dyn Fn(crate::PamiRank)>;
+
 pub(crate) struct MachineInner {
     pub sim: Sim,
     pub cfg: MachineConfig,
@@ -224,7 +241,14 @@ pub(crate) struct MachineInner {
     /// and inside `'static` closures without cloning the whole struct.
     pub params: Rc<BgqParams>,
     pub net: RefCell<NetState>,
-    pub ranks: Vec<Rc<RankState>>,
+    /// Lazily materialized per-rank state, keyed by rank id. Ranks the
+    /// program never touches never appear here — the map is sized by the
+    /// *active* rank set, not by `nprocs`.
+    pub ranks: RefCell<desim::FxHashMap<usize, Rc<RankState>>>,
+    /// Hook run once per rank, right after its state materializes (upper
+    /// layers hang their own per-rank init — dispatch tables, notification
+    /// cells — off this instead of looping over all `nprocs` ranks).
+    pub rank_init: RefCell<Option<RankInitHook>>,
     pub stats: Stats,
     /// True when a *non-empty* fault plan is installed: the only case in
     /// which the retry machinery arms itself. Cached so the fault-free hot
@@ -296,9 +320,6 @@ impl Machine {
         if let Some(plan) = &cfg.fault_plan {
             net.install_faults(plan.clone());
         }
-        let ranks = (0..cfg.nprocs)
-            .map(|_| Rc::new(RankState::new(cfg.contexts_per_rank)))
-            .collect();
         let stats = sim.stats();
         let params = Rc::new(cfg.params.clone());
         Machine {
@@ -308,7 +329,8 @@ impl Machine {
                 topo,
                 params,
                 net: RefCell::new(net),
-                ranks,
+                ranks: RefCell::new(desim::FxHashMap::default()),
+                rank_init: RefCell::new(None),
                 stats,
                 faults_active,
                 tl_ids: Cell::new(None),
@@ -430,15 +452,81 @@ impl Machine {
         }
     }
 
-    /// Handle for one rank.
+    /// Handle for one rank. Cheap: no per-rank state is created until the
+    /// handle is actually used.
     pub fn rank(&self, r: usize) -> crate::PamiRank {
         assert!(r < self.nprocs(), "rank {r} out of range");
         crate::PamiRank { m: self.clone(), r }
     }
 
-    /// Space-accounting snapshot for a rank.
+    /// This rank's state, materializing it on first touch. Materialization
+    /// creates the queues/contexts/region tables and then runs the
+    /// registered init hook (if any) with the freshly inserted state already
+    /// visible, so the hook may re-enter for the same rank without looping.
+    pub(crate) fn rank_state(&self, r: usize) -> Rc<RankState> {
+        assert!(r < self.nprocs(), "rank {r} out of range");
+        if let Some(st) = self.inner.ranks.borrow().get(&r) {
+            return Rc::clone(st);
+        }
+        let st = {
+            let _mem = memprof::scope(&RANKMEM_TAG);
+            let st = Rc::new(RankState::new(self.inner.cfg.contexts_per_rank));
+            self.inner.ranks.borrow_mut().insert(r, Rc::clone(&st));
+            st
+        };
+        let hook = self.inner.rank_init.borrow().clone();
+        if let Some(hook) = hook {
+            hook(self.rank(r));
+        }
+        st
+    }
+
+    /// Force rank `r`'s state into existence (runs the init hook if it has
+    /// not run for this rank yet). Upper layers use this when they need a
+    /// rank's runtime state outside any communication path.
+    pub fn materialize_rank(&self, r: usize) {
+        let _ = self.rank_state(r);
+    }
+
+    /// Register the per-rank init hook, run once for every rank as its
+    /// state materializes. At most one hook; registering replaces the old.
+    pub fn set_rank_init(&self, hook: Rc<dyn Fn(crate::PamiRank)>) {
+        *self.inner.rank_init.borrow_mut() = Some(hook);
+    }
+
+    /// Ids of the ranks whose state has materialized, ascending.
+    pub fn materialized_ranks(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.inner.ranks.borrow().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of ranks whose state has materialized.
+    pub fn materialized_count(&self) -> usize {
+        self.inner.ranks.borrow().len()
+    }
+
+    /// Stop every lazily spawned asynchronous progress thread (ascending
+    /// rank order, for determinism). Ranks whose AT never spawned — or never
+    /// materialized at all — cost nothing here.
+    pub fn stop_progress_threads(&self) {
+        for r in self.materialized_ranks() {
+            let st = self.rank_state(r);
+            let at = st.at.borrow_mut().take();
+            if let Some(at) = at {
+                at.stop();
+            }
+        }
+    }
+
+    /// Space-accounting snapshot for a rank. Does **not** materialize: an
+    /// untouched rank reports the all-zero snapshot it would have anyway.
     pub fn space(&self, rank: usize) -> SpaceSnapshot {
-        self.inner.ranks[rank].space.snapshot()
+        assert!(rank < self.nprocs(), "rank {rank} out of range");
+        match self.inner.ranks.borrow().get(&rank) {
+            Some(st) => st.space.snapshot(),
+            None => SpaceSnapshot::default(),
+        }
     }
 
     /// The context index on which *incoming* remote requests are enqueued:
@@ -531,5 +619,40 @@ mod tests {
         let sim = Sim::new();
         let m = Machine::new(sim, MachineConfig::new(2));
         let _ = m.rank(2);
+    }
+
+    #[test]
+    fn ranks_materialize_lazily() {
+        let sim = Sim::new();
+        let m = Machine::new(sim, MachineConfig::new(1 << 20));
+        assert_eq!(m.materialized_count(), 0, "construction touches no rank");
+        // Handles and space snapshots stay free.
+        let _ = m.rank(999_999);
+        assert_eq!(m.space(777_777).total(), 0);
+        assert_eq!(m.materialized_count(), 0);
+        // First real touch materializes exactly that rank.
+        m.rank(42).write_i64(0, 7);
+        assert_eq!(m.materialized_ranks(), vec![42]);
+        assert_eq!(m.rank(42).read_i64(0), 7);
+        assert_eq!(m.materialized_count(), 1);
+    }
+
+    #[test]
+    fn rank_init_hook_runs_once_per_rank() {
+        use std::cell::RefCell;
+        let sim = Sim::new();
+        let m = Machine::new(sim, MachineConfig::new(64));
+        let seen: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let seen2 = Rc::clone(&seen);
+        m.set_rank_init(Rc::new(move |pr| {
+            seen2.borrow_mut().push(pr.id());
+            // Hooks may touch the rank they init without recursing.
+            let _ = pr.alloc(8);
+        }));
+        m.rank(3).write_i64(0, 1);
+        m.rank(3).write_i64(8, 2);
+        m.materialize_rank(5);
+        m.materialize_rank(5);
+        assert_eq!(*seen.borrow(), vec![3, 5]);
     }
 }

@@ -160,12 +160,21 @@ impl PamiRank {
         &self.m
     }
 
-    fn state(&self) -> &Rc<crate::machine::RankState> {
-        &self.m.inner.ranks[self.r]
+    fn state(&self) -> Rc<crate::machine::RankState> {
+        self.m.rank_state(self.r)
     }
 
     fn ctx(&self, idx: usize) -> Rc<CtxState> {
         Rc::clone(&self.state().contexts[idx])
+    }
+
+    /// Arm asynchronous progress for this rank: the progress thread that
+    /// services context `ctx_idx` is spawned lazily, when the first work
+    /// item actually targets this rank — an idle rank armed for async
+    /// progress carries no task. Stopped collectively via
+    /// [`Machine::stop_progress_threads`].
+    pub fn enable_async_progress(&self, ctx_idx: usize) {
+        self.state().at_ctx.set(Some(ctx_idx));
     }
 
     /// The operation id messages injected by this rank are currently
@@ -352,7 +361,8 @@ impl PamiRank {
 
     /// `(offset, len)` bounds of a registered region.
     pub fn region_bounds(&self, id: RegionId) -> (usize, usize) {
-        let regions = self.state().regions.borrow();
+        let st = self.state();
+        let regions = st.regions.borrow();
         let r = &regions[id.0];
         (r.off, r.len)
     }
@@ -482,7 +492,7 @@ impl PamiRank {
             remote: Completion::new(),
         };
         let remote_done = handles.remote.clone();
-        let tgt_state = Rc::clone(&inner.ranks[target]);
+        let tgt_state = self.m.rank_state(target);
         sim.schedule(arrival, move || {
             if delivered {
                 tgt_state.write(remote_off, &data);
@@ -506,7 +516,6 @@ impl PamiRank {
         remote_off: usize,
         len: usize,
     ) -> Completion<()> {
-        let inner = Rc::clone(&self.m.inner);
         let sim = self.m.sim();
         // `p` crosses into the `'static` response closure below: share the
         // Rc rather than cloning the whole parameter struct.
@@ -528,8 +537,8 @@ impl PamiRank {
         }
         let m = self.m.clone();
         sim.schedule(req_arrival, move || {
-            let data = inner.ranks[target].read(remote_off, len);
-            let src_state = Rc::clone(&inner.ranks[src]);
+            let data = m.rank_state(target).read(remote_off, len);
+            let src_state = m.rank_state(src);
             let extra = p.align_penalty(len);
             deliver_then(
                 &m,
@@ -563,14 +572,26 @@ impl PamiRank {
         item: WorkItem,
         op: Option<OpId>,
     ) {
-        let inner = Rc::clone(&self.m.inner);
+        let m = self.m.clone();
         let ctx_idx = self.m.target_ctx();
         let tl = self
             .m
             .tl_ids()
             .map(|ids| (self.m.sim().timeline(), ids.queue_depth));
         self.m.sim().schedule(arrival, move || {
-            let ctx = &inner.ranks[target].contexts[ctx_idx];
+            let st = m.rank_state(target);
+            // First work for an armed-but-idle rank: spawn its progress
+            // thread now, *before* the push, so the freshly enqueued thread
+            // polls ahead of anyone the push's notify wakes — the same order
+            // an eagerly spawned thread (parked on `arrived` since t=0)
+            // would wake in.
+            if let Some(at_ctx) = st.at_ctx.get() {
+                if st.at.borrow().is_none() {
+                    let at = m.rank(target).start_progress_thread(at_ctx);
+                    *st.at.borrow_mut() = Some(at);
+                }
+            }
+            let ctx = &st.contexts[ctx_idx];
             ctx.push(item, op, arrival);
             // Sample the post-push depth: the per-window gauge max is the
             // deepest any sampled context queue got inside that window.
@@ -1111,7 +1132,6 @@ impl PamiRank {
     async fn service_item(&self, item: WorkItem, flight_op: Option<OpId>) {
         let sim = self.m.sim();
         let p = self.m.params();
-        let inner = Rc::clone(&self.m.inner);
         match item {
             WorkItem::SwPut {
                 offset,
@@ -1132,7 +1152,7 @@ impl PamiRank {
             } => {
                 sim.sleep(p.am_dispatch).await;
                 let data = self.state().read(offset, len);
-                let src_state = Rc::clone(&inner.ranks[src]);
+                let src_state = self.m.rank_state(src);
                 deliver_then(
                     &self.m,
                     sim.now(),
@@ -1220,7 +1240,7 @@ impl PamiRank {
                 for &(off, len) in &chunks {
                     data.extend_from_slice(&self.state().read(off, len));
                 }
-                let src_state = Rc::clone(&inner.ranks[src]);
+                let src_state = self.m.rank_state(src);
                 deliver_then(
                     &self.m,
                     sim.now(),

@@ -12,14 +12,16 @@
 //!   payload bytes of the messages crossing it (busy-until reservation with
 //!   cut-through forwarding), exposing hot links under concurrent traffic.
 //!
-//! The per-message hot path is allocation-free and (except for the compact
-//! pair-ordering map) hash-free: routes come from the [`RouteTable`] arena
-//! as cached [`LinkId`] slices, per-link busy/occupancy state lives in flat
-//! `Vec`s indexed by `LinkId`, the injection FIFO in a `Vec` indexed by
-//! rank, and the pair-ordering front in a hand-rolled FxHash map
-//! ([`crate::fxmap::FxMap64`]). Arrival-time arithmetic is identical to the
-//! original HashMap-based implementation — simulated times are bit-for-bit
-//! unchanged (pinned by the differential tests and the `results/` goldens).
+//! The per-message hot path is allocation-free once warm and (except for
+//! the compact pair maps) hash-free: routes come from the [`RouteTable`]
+//! arena as cached [`LinkId`] slices, per-link busy/occupancy state lives
+//! in flat `Vec`s indexed by `LinkId` (per-*link* hardware state — O(nodes),
+//! not O(ranks)), while the per-*rank* injection FIFO and the pair-ordering
+//! front live in hand-rolled FxHash maps ([`crate::fxmap::FxMap64`]) so
+//! ranks that never send cost zero bytes. Arrival-time arithmetic is
+//! identical to the original dense implementation — simulated times are
+//! bit-for-bit unchanged (pinned by the differential tests and the
+//! `results/` goldens).
 
 use std::cell::Cell;
 
@@ -140,9 +142,10 @@ pub struct NetState {
     pair_last: FxMap64<SimTime>,
     /// Busy-until reservation per directed link, indexed by [`LinkId`].
     link_busy: Vec<SimTime>,
-    /// Per-rank NIC injection FIFO: data payloads from one rank serialize
-    /// onto the wire, bounding any stream at link bandwidth.
-    tx_busy: Vec<SimTime>,
+    /// Per-rank NIC injection FIFO front, keyed by sending rank: data
+    /// payloads from one rank serialize onto the wire, bounding any stream
+    /// at link bandwidth. Sparse so idle ranks cost zero bytes.
+    tx_busy: FxMap64<SimTime>,
     /// Accumulated occupancy (header + serialization) per directed link, for
     /// utilization heatmaps. Filled by the contended path always, and by the
     /// analytic path when [`NetState::set_link_tracking`] is on.
@@ -201,7 +204,6 @@ impl NetState {
         let rt = RouteTable::new(&topo);
         let _mem = memprof::scope(&LINKS_TAG);
         let nlinks = rt.num_link_ids();
-        let capacity = rt.capacity();
         NetState {
             topo,
             params,
@@ -209,7 +211,7 @@ impl NetState {
             rt,
             pair_last: FxMap64::new(),
             link_busy: vec![SimTime::ZERO; nlinks],
-            tx_busy: vec![SimTime::ZERO; capacity],
+            tx_busy: FxMap64::new(),
             link_util: vec![SimDuration::ZERO; nlinks],
             link_touched: vec![false; nlinks],
             track_links: false,
@@ -564,8 +566,9 @@ impl NetState {
         // AMOs interleave on their own virtual channels and bypass the data
         // FIFO; pair ordering is enforced below regardless.
         let start = if class == MsgClass::Ordered {
-            let start = inject.max(self.tx_busy[src]);
-            self.tx_busy[src] = start + wire;
+            let front = self.tx_busy.entry(src as u64);
+            let start = inject.max(*front);
+            *front = start + wire;
             start
         } else {
             inject

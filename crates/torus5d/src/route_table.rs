@@ -15,17 +15,22 @@
 //!   route once (via [`crate::routing::route_with`], so it is exact by
 //!   construction) and appends it to a shared arena; every later message
 //!   walks the cached `LinkId` slice with zero allocations.
-//! * **Rank table** — rank → (coordinate, node index) is precomputed for
-//!   the whole partition, turning `coord_of`/`hops`/`same_node` into table
-//!   lookups instead of repeated mapping arithmetic.
+//! * **On-demand rank mapping** — rank → (coordinate, node index) is pure
+//!   mapping arithmetic, computed per call. A precomputed rank table (and a
+//!   dense node² span table) would cost O(p) (and O(nodes²)) bytes up
+//!   front; at the million-rank partitions `fig_scale` targets, every
+//!   per-rank structure must instead cost O(touched). Route spans live in a
+//!   compact [`FxMap64`] keyed by the packed node pair, so only pairs that
+//!   actually exchange traffic occupy memory.
 
 use crate::coords::Coord;
+use crate::fxmap::FxMap64;
 use crate::routing::{route_avoiding, route_with, Link};
 use crate::shape::TorusShape;
-use crate::Topology;
+use crate::{Mapping, Topology};
 use desim::memprof::{self, MemTag};
 
-/// Rank table, span table and link arena of the route cache.
+/// Span map and link arena of the route cache.
 static ROUTES_TAG: MemTag = MemTag::new("torus5d.routes");
 
 /// Links per node: 5 dimensions × 2 directions.
@@ -45,21 +50,49 @@ const UNCACHED: u32 = u32::MAX;
 /// connect at its epoch (destination cut off by dead links).
 const NO_ROUTE: u32 = u32::MAX - 1;
 
-/// Per-partition routing acceleration: rank table, link interning and the
-/// lazily filled route arena. See the module docs.
+/// One cached route span: arena offset, hop count and the liveness epoch it
+/// was last validated at. The `Default` value is the "never cached" state,
+/// so [`FxMap64`] lookups of untouched pairs need no separate sentinel.
+#[derive(Debug, Clone, Copy)]
+struct SpanSlot {
+    off: u32,
+    len: u16,
+    /// Only consulted by [`RouteTable::route_span_live`]; the fault-free
+    /// [`RouteTable::route_span`] never looks at it.
+    epoch: u32,
+}
+
+impl Default for SpanSlot {
+    fn default() -> Self {
+        SpanSlot {
+            off: UNCACHED,
+            len: 0,
+            epoch: 0,
+        }
+    }
+}
+
+/// Pack a `(src node, dst node)` pair into one span-map key.
+#[inline]
+fn span_key(src_node: u32, dst_node: u32) -> u64 {
+    (u64::from(src_node) << 32) | u64::from(dst_node)
+}
+
+/// Per-partition routing acceleration: link interning and the lazily filled
+/// route arena. See the module docs.
 pub struct RouteTable {
     shape: TorusShape,
     nodes: u32,
-    /// Rank → (node coordinate, node index) for every slot in the partition.
-    ranks: Vec<(Coord, u32)>,
-    /// Dense (src node × dst node) → `(arena offset, hop count)`;
-    /// `UNCACHED` offset = not computed yet. Allocated on first use so
-    /// purely analytic runs never pay nodes² memory.
-    spans: Vec<(u32, u16)>,
-    /// Liveness epoch each span was last validated at, parallel to `spans`.
-    /// Only consulted by [`RouteTable::route_span_live`]; the fault-free
-    /// [`RouteTable::route_span`] never looks at it.
-    span_epochs: Vec<u32>,
+    /// Rank→coordinate mapping, evaluated on demand per lookup.
+    mapping: Mapping,
+    procs_per_node: usize,
+    /// Total process slots of the partition (`nodes * procs_per_node`).
+    capacity: usize,
+    /// Packed (src node, dst node) → cached span. Compact: only pairs that
+    /// exchanged traffic occupy a slot, so idle partitions cost zero and a
+    /// million-rank all-to-all among k active ranks costs O(k²), never
+    /// O(nodes²).
+    spans: FxMap64<SpanSlot>,
     /// Shared arena of cached routes, stored back-to-back.
     arena: Vec<LinkId>,
     /// Number of distinct node pairs whose route has been cached.
@@ -67,24 +100,18 @@ pub struct RouteTable {
 }
 
 impl RouteTable {
-    /// Build the table for a topology (precomputes the rank table; routes
-    /// fill in lazily as traffic touches node pairs).
+    /// Build the table for a topology. Construction is O(1) in the partition
+    /// size: rank coordinates are computed on demand and routes fill in
+    /// lazily as traffic touches node pairs.
     pub fn new(topo: &Topology) -> RouteTable {
-        let _mem = memprof::scope(&ROUTES_TAG);
         let shape = topo.shape;
-        let capacity = topo.capacity();
-        let ranks = (0..capacity)
-            .map(|r| {
-                let (c, _slot) = topo.mapping.rank_to_coord(r, &shape, topo.procs_per_node);
-                (c, shape.node_index(c) as u32)
-            })
-            .collect();
         RouteTable {
             shape,
             nodes: shape.num_nodes() as u32,
-            ranks,
-            spans: Vec::new(),
-            span_epochs: Vec::new(),
+            mapping: topo.mapping.clone(),
+            procs_per_node: topo.procs_per_node,
+            capacity: topo.capacity(),
+            spans: FxMap64::new(),
             arena: Vec::new(),
             routes_cached: 0,
         }
@@ -95,9 +122,9 @@ impl RouteTable {
         &self.shape
     }
 
-    /// Total process slots covered by the rank table.
+    /// Total process slots of the partition.
     pub fn capacity(&self) -> usize {
-        self.ranks.len()
+        self.capacity
     }
 
     /// Number of nodes in the torus.
@@ -110,29 +137,32 @@ impl RouteTable {
         (self.nodes * LINKS_PER_NODE) as usize
     }
 
-    /// Torus coordinate of the node hosting `rank` (table lookup).
+    /// Torus coordinate of the node hosting `rank` (mapping arithmetic).
     #[inline]
     pub fn coord_of(&self, rank: usize) -> Coord {
-        self.ranks[rank].0
+        self.mapping
+            .rank_to_coord(rank, &self.shape, self.procs_per_node)
+            .0
     }
 
-    /// Node index of the node hosting `rank` (table lookup).
+    /// Node index of the node hosting `rank` (mapping arithmetic).
     #[inline]
     pub fn node_of(&self, rank: usize) -> u32 {
-        self.ranks[rank].1
+        self.shape.node_index(self.coord_of(rank)) as u32
     }
 
-    /// True when both ranks live on the same node (table lookup).
+    /// True when both ranks live on the same node.
     #[inline]
     pub fn same_node(&self, a: usize, b: usize) -> bool {
-        self.ranks[a].1 == self.ranks[b].1
+        self.node_of(a) == self.node_of(b)
     }
 
     /// Hop count between the nodes hosting the two ranks (0 if co-located).
-    /// Cached coordinates + wrap arithmetic; no route computation.
+    /// Coordinate mapping + wrap arithmetic; no route computation.
     #[inline]
     pub fn hops(&self, a: usize, b: usize) -> u32 {
-        self.shape.torus_distance(self.ranks[a].0, self.ranks[b].0)
+        self.shape
+            .torus_distance(self.coord_of(a), self.coord_of(b))
     }
 
     /// Intern a [`Link`] (O(1): one node-index linearization, no hashing).
@@ -159,17 +189,13 @@ impl RouteTable {
     /// lifetime of the table (the arena only grows).
     #[inline]
     pub fn route_span(&mut self, src_node: u32, dst_node: u32) -> (u32, u16) {
-        if self.spans.is_empty() {
-            let _mem = memprof::scope(&ROUTES_TAG);
-            self.spans = vec![(UNCACHED, 0); (self.nodes as usize).pow(2)];
+        let key = span_key(src_node, dst_node);
+        let slot = self.spans.get(key).unwrap_or_default();
+        if slot.off != UNCACHED {
+            debug_assert_ne!(slot.off, NO_ROUTE, "fault-free lookups never see NO_ROUTE");
+            return (slot.off, slot.len);
         }
-        let idx = src_node as usize * self.nodes as usize + dst_node as usize;
-        let span = self.spans[idx];
-        if span.0 != UNCACHED {
-            debug_assert_ne!(span.0, NO_ROUTE, "fault-free lookups never see NO_ROUTE");
-            return span;
-        }
-        self.fill_route(idx, src_node, dst_node)
+        self.fill_route(key, src_node, dst_node)
     }
 
     /// Liveness-aware variant of [`RouteTable::route_span`]: the cached span
@@ -187,20 +213,16 @@ impl RouteTable {
         epoch: u32,
         live: F,
     ) -> Option<(u32, u16)> {
-        if self.spans.is_empty() {
-            let _mem = memprof::scope(&ROUTES_TAG);
-            self.spans = vec![(UNCACHED, 0); (self.nodes as usize).pow(2)];
+        let key = span_key(src_node, dst_node);
+        let slot = self.spans.get(key).unwrap_or_default();
+        if slot.off != UNCACHED && slot.epoch == epoch {
+            return if slot.off == NO_ROUTE {
+                None
+            } else {
+                Some((slot.off, slot.len))
+            };
         }
-        if self.span_epochs.len() != self.spans.len() {
-            let _mem = memprof::scope(&ROUTES_TAG);
-            self.span_epochs = vec![0; self.spans.len()];
-        }
-        let idx = src_node as usize * self.nodes as usize + dst_node as usize;
-        let span = self.spans[idx];
-        if span.0 != UNCACHED && self.span_epochs[idx] == epoch {
-            return if span.0 == NO_ROUTE { None } else { Some(span) };
-        }
-        self.fill_route_live(idx, src_node, dst_node, epoch, live)
+        self.fill_route_live(key, src_node, dst_node, epoch, live)
     }
 
     /// The cached route between two node indices as a [`LinkId`] slice.
@@ -226,7 +248,7 @@ impl RouteTable {
     }
 
     #[cold]
-    fn fill_route(&mut self, idx: usize, src_node: u32, dst_node: u32) -> (u32, u16) {
+    fn fill_route(&mut self, key: u64, src_node: u32, dst_node: u32) -> (u32, u16) {
         let _mem = memprof::scope(&ROUTES_TAG);
         let off = self.arena.len() as u32;
         let src = self.shape.node_coord(src_node as usize);
@@ -245,7 +267,7 @@ impl RouteTable {
             self.shape.torus_distance(src, dst),
             "cached route length must equal the torus distance"
         );
-        self.spans[idx] = (off, len);
+        self.spans.insert(key, SpanSlot { off, len, epoch: 0 });
         self.routes_cached += 1;
         (off, len)
     }
@@ -253,7 +275,7 @@ impl RouteTable {
     #[cold]
     fn fill_route_live<F: Fn(LinkId) -> bool>(
         &mut self,
-        idx: usize,
+        key: u64,
         src_node: u32,
         dst_node: u32,
         epoch: u32,
@@ -269,24 +291,31 @@ impl RouteTable {
                 node * LINKS_PER_NODE + u32::from(l.dim) * 2 + u32::from(l.plus),
             ))
         });
-        self.span_epochs[idx] = epoch;
+        let old = self.spans.get(key).unwrap_or_default();
         let Some(links) = fresh else {
-            self.spans[idx] = (NO_ROUTE, 0);
+            self.spans.insert(
+                key,
+                SpanSlot {
+                    off: NO_ROUTE,
+                    len: 0,
+                    epoch,
+                },
+            );
             return None;
         };
-        let old = self.spans[idx];
-        if old.0 != UNCACHED && old.0 != NO_ROUTE {
+        if old.off != UNCACHED && old.off != NO_ROUTE {
             // Re-validate: if the degraded walk reproduces the cached links
             // exactly, keep the old span (the cache stays *exact* without
             // duplicating arena storage on every epoch bump).
-            let (off, len) = (old.0 as usize, old.1 as usize);
+            let (off, len) = (old.off as usize, old.len as usize);
             if len == links.len()
                 && self.arena[off..off + len]
                     .iter()
                     .zip(&links)
                     .all(|(id, l)| *id == self.link_id(*l))
             {
-                return Some(old);
+                self.spans.insert(key, SpanSlot { epoch, ..old });
+                return Some((old.off, old.len));
             }
         }
         let off = self.arena.len() as u32;
@@ -294,10 +323,14 @@ impl RouteTable {
             let id = self.link_id(*l);
             self.arena.push(id);
         }
-        let span = (off, links.len() as u16);
-        self.spans[idx] = span;
+        let span = SpanSlot {
+            off,
+            len: links.len() as u16,
+            epoch,
+        };
+        self.spans.insert(key, span);
         self.routes_cached += 1;
-        Some(span)
+        Some((span.off, span.len))
     }
 }
 

@@ -134,4 +134,47 @@ fn deliver_is_allocation_free_once_routes_are_warm() {
         0,
         "a disabled timeline must not add allocations to warm deliveries"
     );
+
+    // Ranks that never send cost zero bytes: per-rank sender state
+    // (`tx_busy`, the pair-ordering map) lives in lazily-grown hash maps
+    // tagged `torus5d.fxmap`, so the same traffic between the same two
+    // ranks must charge *byte-identical* fxmap allocations whether the
+    // machine has 256 ranks or a million — only the per-link hardware
+    // arrays (`torus5d.links`, O(nodes) by design) may grow with the
+    // partition. `mark`/`since` brackets are thread-local, so this stays
+    // exact inside the one-test binary.
+    let run = |procs: usize| {
+        let m = memprof::mark();
+        let mut net = NetState::new(Topology::for_procs(procs, 16), BgqParams::default(), true);
+        let mut inject = SimTime::ZERO;
+        for i in 0..200 {
+            inject += SimDuration::from_ns(100);
+            // Two cross-node pairs, every class: 0→17, 33→17.
+            let (src, dst) = if i % 2 == 0 { (0, 17) } else { (33, 17) };
+            let class = match i % 3 {
+                0 => MsgClass::Ordered,
+                1 => MsgClass::Control,
+                _ => MsgClass::Unordered,
+            };
+            net.deliver(inject, src, dst, 4096, class);
+        }
+        let snap = memprof::since(&m);
+        let stat = |tag: &str| {
+            snap.get(tag)
+                .map(|t| (t.peak_bytes, t.allocs))
+                .unwrap_or((0, 0))
+        };
+        (stat("torus5d.fxmap"), stat("torus5d.links"))
+    };
+    let (fx_small, links_small) = run(256);
+    let (fx_huge, links_huge) = run(1 << 20);
+    assert_eq!(
+        fx_small, fx_huge,
+        "per-rank sender state must scale with senders, not with p"
+    );
+    assert!(fx_small.1 > 0, "fxmap traffic state was actually exercised");
+    assert!(
+        links_huge.0 > links_small.0,
+        "link arrays are per-node hardware and do grow with the machine"
+    );
 }

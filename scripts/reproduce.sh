@@ -94,4 +94,13 @@ check_json results/gate_fig_fault.json
 check_json results/fig_mem.json results/fig_mem.timeline.json
 ./target/release/perfdiff results/BENCH_memscale.json results/fig_mem.json --tol 0.35 --abs 8192 --check
 ./target/release/memstat results/fig_mem.json > results/memstat.txt
+# Million-rank scaling (fig_scale): the small-p deterministic signature
+# (virtual times, event counts, materialized ranks, task-table size) gates
+# at zero tolerance; the full curves to p=1M are regenerated with the
+# default sweep (`fig_scale --json results/BENCH_scale.json`) when the
+# rank-lifecycle model changes intentionally. Serial by design — no $JOBS.
+./target/release/fig_scale --procs 32,1024,32768 \
+  --gate-json results/gate_fig_scale.json > results/fig_scale.txt
+check_json results/gate_fig_scale.json
+./target/release/perfdiff results/BENCH_scale_gate.json results/gate_fig_scale.json --tol 0 --check
 echo "perf gate passed; all results in results/"
