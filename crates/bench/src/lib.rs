@@ -56,6 +56,21 @@ pub fn arg_jobs() -> usize {
     arg_usize("--jobs", sweep::default_jobs()).max(1)
 }
 
+/// The `--workers` CLI option shared by the parallel-engine-capable
+/// binaries. Unlike `--jobs` (independent sweep points run concurrently),
+/// `--workers` splits **one simulation** across conservative time-windowed
+/// shards; every output stays byte-identical for any value (DESIGN.md §16).
+pub const WORKERS_FLAG: FlagSpec = (
+    "--workers",
+    true,
+    "in-simulation engine shards (default 1; outputs identical)",
+);
+
+/// Parse the `--workers` option (default 1 — the untouched serial hot path).
+pub fn arg_workers() -> usize {
+    arg_usize("--workers", 1).max(1)
+}
+
 /// One CLI option specification: `(name, takes_value, help)`.
 pub type FlagSpec = (&'static str, bool, &'static str);
 

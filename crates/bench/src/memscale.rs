@@ -94,6 +94,7 @@ pub fn run_sweep(
                 false,
                 None,
                 tl,
+                1,
             );
             (out.timeline, out.events)
             // the rest of `out` drops here, before the snapshot

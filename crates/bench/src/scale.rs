@@ -14,12 +14,16 @@
 //! * `alltoall` — a synthetic all-to-all among a fixed-size *active set*
 //!   spread evenly across the rank space: the sparse case, where the other
 //!   `p - active` ranks must never materialize and the footprint must stay
-//!   (near-)constant as p grows.
+//!   (near-)constant as p grows;
+//! * `netstorm` — a fixed seeded delivery schedule pushed through
+//!   [`torus5d::deliver_batch`] at each `--workers` count: the parallel
+//!   engine's speedup curve per p, with worker-count-invariant
+//!   deterministic leaves (deliveries, last arrival).
 //!
 //! Each point records two kinds of fields. **Deterministic** (virtual end
 //! time, kernel events, materialized-rank count, task-table high-water
 //! mark): byte-stable for a given binary, gated at zero tolerance in CI via
-//! the `scale-gate-v1` document at small p. **Ungated context** (tagged
+//! the `scale-gate-v2` document at small p. **Ungated context** (tagged
 //! peak bytes, peak RSS, wall time, events/s): the scaling curves
 //! themselves, committed for the record but host/compiler-dependent, so CI
 //! never compares them exactly — growth *classes* fitted from the tagged
@@ -42,6 +46,12 @@ pub const DEFAULT_ACTIVE: usize = 256;
 /// Default fetch-and-adds per requester (`fig9_rmw`) / all-to-all rounds.
 pub const DEFAULT_OPS: usize = 1;
 
+/// Default worker counts for the `netstorm` parallel-engine curve.
+pub const DEFAULT_WORKERS: [usize; 3] = [1, 2, 4];
+
+/// Default messages in the `netstorm` delivery schedule.
+pub const DEFAULT_STORM_MSGS: usize = 100_000;
+
 /// One measured point of the scale sweep.
 pub struct ScalePoint {
     /// Memory accounting plus wall time and event count (see [`MemPoint`]).
@@ -59,6 +69,57 @@ pub struct ScalePoint {
     pub peak_rss_kb: u64,
 }
 
+/// One measured point of the `netstorm` workload: a fixed seeded delivery
+/// schedule executed by [`torus5d::deliver_batch`] at each worker count.
+/// `events` and `sim_time_ps` are worker-count-invariant (asserted at run
+/// time) and gate at zero tolerance; the per-worker timings are the
+/// parallel engine's speedup curve and are never gated.
+pub struct StormPoint {
+    /// Process count.
+    pub procs: usize,
+    /// Messages delivered — deterministic, worker-count-invariant.
+    pub events: u64,
+    /// Latest arrival time (ps) — deterministic, worker-count-invariant.
+    pub sim_time_ps: u64,
+    /// `(workers, wall_ms)` per configured worker count — host context.
+    pub per_workers: Vec<(usize, f64)>,
+}
+
+/// Run the `netstorm` workload at `p`: deliver the seeded `msgs`-message
+/// churn schedule through a fresh [`torus5d::NetState`] once per entry of
+/// `workers`, asserting that the deterministic outputs never move.
+pub fn run_netstorm(p: usize, msgs: usize, workers: &[usize]) -> StormPoint {
+    use torus5d::{BgqParams, NetState, Topology};
+    let sched = crate::simbench::churn_schedule(p, msgs);
+    let mut point: Option<StormPoint> = None;
+    for &w in workers {
+        let mut net = NetState::new(Topology::for_procs(p, 16), BgqParams::default(), true);
+        let t0 = std::time::Instant::now();
+        let out = torus5d::deliver_batch(&mut net, &sched, w);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (events, sim_time_ps) = (net.messages(), out.last_arrival.as_ps());
+        match &mut point {
+            None => {
+                point = Some(StormPoint {
+                    procs: p,
+                    events,
+                    sim_time_ps,
+                    per_workers: vec![(w, wall_ms)],
+                })
+            }
+            Some(pt) => {
+                assert_eq!(pt.events, events, "netstorm p={p} w={w}: events moved");
+                assert_eq!(
+                    pt.sim_time_ps, sim_time_ps,
+                    "netstorm p={p} w={w}: arrival time moved"
+                );
+                pt.per_workers.push((w, wall_ms));
+            }
+        }
+    }
+    point.expect("at least one worker count")
+}
+
 /// The deterministically spread active set: `n` ranks at even stride over
 /// `0..p` (all of them when `n >= p`), always including rank 0.
 pub fn active_set(p: usize, n: usize) -> Vec<usize> {
@@ -74,6 +135,8 @@ pub fn active_set(p: usize, n: usize) -> Vec<usize> {
 pub fn run_rmw(p: usize, ops: usize) -> ScalePoint {
     let m = memprof::mark();
     let t0 = std::time::Instant::now();
+    // workers pinned to 1: `RunOut::events` is a zero-tolerance gate leaf
+    // and the parallel engine's pump timers would inflate it.
     let out = fig9::run(
         p,
         ProgressMode::AsyncThread,
@@ -83,6 +146,7 @@ pub fn run_rmw(p: usize, ops: usize) -> ScalePoint {
         false,
         None,
         None,
+        1,
     );
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     ScalePoint {
@@ -246,27 +310,80 @@ fn workload_json(points: &[ScalePoint], deterministic_only: bool) -> String {
     o
 }
 
-/// Serialize the sweep as a `scale-v1` JSON document: both workloads, all
-/// fields, plus per-tag growth classes fitted across the sweep.
-pub fn scale_json(rmw: &[ScalePoint], a2a: &[ScalePoint], ops: usize, active: usize) -> String {
+fn storm_json(storm: &[StormPoint], msgs: usize, deterministic_only: bool) -> String {
+    let mut o = format!("{{\"msgs\":{msgs},\"points\":{{");
+    for (i, pt) in storm.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!(
+            "\"p{}\":{{\"procs\":{},\"events\":{},\"sim_time_ps\":{}",
+            pt.procs, pt.procs, pt.events, pt.sim_time_ps
+        ));
+        if !deterministic_only {
+            o.push_str(",\"workers\":{");
+            for (j, (w, wall_ms)) in pt.per_workers.iter().enumerate() {
+                if j > 0 {
+                    o.push(',');
+                }
+                let eps = if *wall_ms > 0.0 {
+                    pt.events as f64 / (wall_ms / 1e3)
+                } else {
+                    0.0
+                };
+                o.push_str(&format!(
+                    "\"w{w}\":{{\"wall_ms\":{wall_ms:.1},\"events_per_sec\":{eps:.0}}}"
+                ));
+            }
+            o.push('}');
+        }
+        o.push('}');
+    }
+    o.push_str("}}");
+    o
+}
+
+/// Serialize the sweep as a `scale-v2` JSON document: all three workloads,
+/// all fields, plus per-tag growth classes fitted across the sweep and the
+/// `netstorm` per-worker timing curves (ungated).
+pub fn scale_json(
+    rmw: &[ScalePoint],
+    a2a: &[ScalePoint],
+    storm: &[StormPoint],
+    ops: usize,
+    active: usize,
+    storm_msgs: usize,
+) -> String {
     format!(
-        "{{\"schema\":\"scale-v1\",\"bench\":\"fig_scale\",\"ops\":{ops},\
-         \"active\":{active},\"workloads\":{{\"fig9_rmw\":{},\"alltoall\":{}}}}}\n",
+        "{{\"schema\":\"scale-v2\",\"bench\":\"fig_scale\",\"ops\":{ops},\
+         \"active\":{active},\"workloads\":{{\"fig9_rmw\":{},\"alltoall\":{},\
+         \"netstorm\":{}}}}}\n",
         workload_json(rmw, false),
-        workload_json(a2a, false)
+        workload_json(a2a, false),
+        storm_json(storm, storm_msgs, false)
     )
 }
 
-/// Serialize only the deterministic per-point fields as a `scale-gate-v1`
+/// Serialize only the deterministic per-point fields as a `scale-gate-v2`
 /// document. Every leaf is byte-stable for a given source tree (virtual
 /// times, event counts, materialization counts, task-table size — never
-/// bytes or wall time), so CI gates it with `perfdiff --tol 0` at small p.
-pub fn gate_json(rmw: &[ScalePoint], a2a: &[ScalePoint], ops: usize, active: usize) -> String {
+/// bytes or wall time; `netstorm` leaves are additionally worker-count-
+/// invariant), so CI gates it with `perfdiff --tol 0` at small p.
+pub fn gate_json(
+    rmw: &[ScalePoint],
+    a2a: &[ScalePoint],
+    storm: &[StormPoint],
+    ops: usize,
+    active: usize,
+    storm_msgs: usize,
+) -> String {
     format!(
-        "{{\"schema\":\"scale-gate-v1\",\"bench\":\"fig_scale\",\"ops\":{ops},\
-         \"active\":{active},\"workloads\":{{\"fig9_rmw\":{},\"alltoall\":{}}}}}\n",
+        "{{\"schema\":\"scale-gate-v2\",\"bench\":\"fig_scale\",\"ops\":{ops},\
+         \"active\":{active},\"workloads\":{{\"fig9_rmw\":{},\"alltoall\":{},\
+         \"netstorm\":{}}}}}\n",
         workload_json(rmw, true),
-        workload_json(a2a, true)
+        workload_json(a2a, true),
+        storm_json(storm, storm_msgs, true)
     )
 }
 
@@ -363,11 +480,25 @@ mod tests {
         };
         let rmw = vec![mk(32, 3200), mk(1024, 102_400)];
         let a2a = vec![mk(32, 800), mk(1024, 800)];
-        let full = scale_json(&rmw, &a2a, 1, 8);
-        let v = json::parse(&full).expect("scale-v1 parses");
+        let storm = vec![
+            StormPoint {
+                procs: 32,
+                events: 5000,
+                sim_time_ps: 999,
+                per_workers: vec![(1, 3.0), (2, 2.0), (4, 1.5)],
+            },
+            StormPoint {
+                procs: 1024,
+                events: 5000,
+                sim_time_ps: 1999,
+                per_workers: vec![(1, 4.0), (2, 3.0), (4, 2.5)],
+            },
+        ];
+        let full = scale_json(&rmw, &a2a, &storm, 1, 8, 5000);
+        let v = json::parse(&full).expect("scale-v2 parses");
         assert_eq!(
             v.get("schema").and_then(JsonValue::as_str),
-            Some("scale-v1")
+            Some("scale-v2")
         );
         let w = v.get("workloads").unwrap();
         let p32 = w
@@ -391,12 +522,23 @@ mod tests {
         };
         assert_eq!(class("fig9_rmw").as_deref(), Some("linear"));
         assert_eq!(class("alltoall").as_deref(), Some("constant"));
+        // netstorm: per-worker timing curve present in the full doc.
+        let storm_p32 = w
+            .get("netstorm")
+            .and_then(|x| x.get("points"))
+            .and_then(|x| x.get("p32"))
+            .expect("netstorm p32 point");
+        assert!(storm_p32
+            .get("workers")
+            .and_then(|x| x.get("w4"))
+            .and_then(|x| x.get("wall_ms"))
+            .is_some());
 
-        let gate = gate_json(&rmw, &a2a, 1, 8);
-        let g = json::parse(&gate).expect("scale-gate-v1 parses");
+        let gate = gate_json(&rmw, &a2a, &storm, 1, 8, 5000);
+        let g = json::parse(&gate).expect("scale-gate-v2 parses");
         assert_eq!(
             g.get("schema").and_then(JsonValue::as_str),
-            Some("scale-gate-v1")
+            Some("scale-gate-v2")
         );
         let gp = g
             .get("workloads")
@@ -405,9 +547,26 @@ mod tests {
             .and_then(|x| x.get("p1024"))
             .expect("gate point");
         assert!(gp.get("events").is_some() && gp.get("materialized").is_some());
+        let sp = g
+            .get("workloads")
+            .and_then(|x| x.get("netstorm"))
+            .and_then(|x| x.get("points"))
+            .and_then(|x| x.get("p32"))
+            .expect("netstorm gate point");
+        assert!(sp.get("events").is_some() && sp.get("sim_time_ps").is_some());
         assert!(
             !gate.contains("wall_ms") && !gate.contains("peak_bytes"),
             "gate doc holds deterministic leaves only"
         );
+    }
+
+    #[test]
+    fn netstorm_point_is_worker_invariant() {
+        // run_netstorm itself asserts the deterministic leaves agree across
+        // worker counts; this exercises that assertion on a real schedule.
+        let pt = run_netstorm(64, 2000, &[1, 2, 4]);
+        assert_eq!(pt.events, 2000);
+        assert!(pt.sim_time_ps > 0);
+        assert_eq!(pt.per_workers.len(), 3);
     }
 }

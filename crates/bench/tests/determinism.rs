@@ -5,6 +5,11 @@
 //! simulations and reassembles results by input index, so worker count can
 //! never leak into the output. These tests run real binaries (quick
 //! configurations) at `--jobs 1` and `--jobs 4` and diff everything.
+//!
+//! `--workers` (the in-simulation conservative parallel engine, DESIGN.md
+//! §16) carries the same contract one level deeper: sharding a *single*
+//! simulation must leave every output byte unchanged. The `*_workers_*`
+//! tests diff `--workers 1` against `--workers 4` with zero tolerance.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -19,6 +24,39 @@ fn run(bin: &str, args: &[&str], jobs: usize, json: Option<&str>) -> (String, Op
     let json_path = json.map(|tag| {
         let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
         p.push(format!("det_{tag}_j{jobs}.json"));
+        p
+    });
+    if let Some(p) = &json_path {
+        cmd.arg("--json").arg(p);
+    }
+    let out = cmd.output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let json_body = json_path.map(|p| {
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+    });
+    (stdout, json_body)
+}
+
+/// Like [`run`], but varying `--workers` (the conservative parallel engine
+/// shard count) instead of `--jobs` (the sweep-harness worker pool).
+fn run_workers(
+    bin: &str,
+    args: &[&str],
+    workers: usize,
+    json: Option<&str>,
+) -> (String, Option<String>) {
+    let mut cmd = Command::new(bin);
+    cmd.args(args);
+    cmd.arg("--workers").arg(workers.to_string());
+    let json_path = json.map(|tag| {
+        let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+        p.push(format!("det_{tag}_w{workers}.json"));
         p
     });
     if let Some(p) = &json_path {
@@ -213,4 +251,103 @@ fn simbench_net_churn_is_jobs_invariant() {
     let b = churn_fields(&json_4.expect("json written"));
     assert_eq!(a.len(), 2, "net_churn events + sim_time_ps present");
     assert_eq!(a, b, "net_churn results must not depend on --jobs");
+}
+
+#[test]
+fn fig9_rmw_is_workers_invariant() {
+    // Sharding the PAMI machine itself (--workers, not the sweep harness)
+    // must leave stdout and the fig9-v2 JSON byte-identical: the
+    // conservative engine's merge path reserves the exact sequence numbers
+    // the serial run would assign.
+    let bin = env!("CARGO_BIN_EXE_fig9_rmw");
+    let args = ["--procs", "2,8", "--ops", "3"];
+    let (out1, json1) = run_workers(bin, &args, 1, Some("fig9w"));
+    let (out4, json4) = run_workers(bin, &args, 4, Some("fig9w"));
+    assert_eq!(
+        stable_stdout(&out1),
+        stable_stdout(&out4),
+        "fig9 stdout must not depend on --workers"
+    );
+    let (json1, json4) = (json1.expect("json written"), json4.expect("json written"));
+    assert_eq!(
+        stable_json(&json1),
+        stable_json(&json4),
+        "fig9 --json must not depend on --workers (peak_rss_kb excepted)"
+    );
+}
+
+#[test]
+fn simbench_net_churn_is_workers_invariant() {
+    // At --workers > 1 the churn storm executes through the parallel batch
+    // engine (`torus5d::deliver_batch`); its delivery count and final
+    // arrival time must match the serial engine exactly.
+    let bin = env!("CARGO_BIN_EXE_simbench");
+    let args = [
+        "--quick",
+        "--tasks",
+        "8",
+        "--steps",
+        "20",
+        "--pairs",
+        "4",
+        "--rounds",
+        "20",
+        "--churn-procs",
+        "128",
+        "--churn-msgs",
+        "20000",
+    ];
+    let (_, json_1) = run_workers(bin, &args, 1, Some("simbench_churn_w"));
+    let (_, json_4) = run_workers(bin, &args, 4, Some("simbench_churn_w"));
+    let churn_fields = |body: &str| -> Vec<String> {
+        let start = body
+            .find("\"net_churn\"")
+            .expect("net_churn section present");
+        body[start..]
+            .split(',')
+            .filter(|f| f.contains("\"events\"") || f.contains("\"sim_time_ps\""))
+            .take(2)
+            .map(str::to_owned)
+            .collect()
+    };
+    let a = churn_fields(&json_1.expect("json written"));
+    let b = churn_fields(&json_4.expect("json written"));
+    assert_eq!(a.len(), 2, "net_churn events + sim_time_ps present");
+    assert_eq!(a, b, "net_churn results must not depend on --workers");
+}
+
+#[test]
+fn fig_scale_gate_is_workers_invariant() {
+    // The scale-gate-v2 document feeds the zero-tolerance CI gate; the
+    // netstorm leaves in it come from the parallel batch engine, so the
+    // whole artifact must be byte-identical at any --workers list.
+    let bin = env!("CARGO_BIN_EXE_fig_scale");
+    let run_gate = |workers: &str, tag: &str| -> String {
+        let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+        p.push(format!("det_scale_gate_{tag}.json"));
+        let out = Command::new(bin)
+            .args([
+                "--procs",
+                "32",
+                "--storm-msgs",
+                "2000",
+                "--workers",
+                workers,
+            ])
+            .arg("--gate-json")
+            .arg(&p)
+            .output()
+            .expect("spawn fig_scale");
+        assert!(
+            out.status.success(),
+            "fig_scale --gate-json failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+    };
+    let w1 = run_gate("1", "w1");
+    let w4 = run_gate("4", "w4");
+    assert_eq!(w1, w4, "scale gate JSON must not depend on --workers");
+    assert!(w1.contains("\"schema\":\"scale-gate-v2\""));
+    assert!(w1.contains("\"netstorm\""), "netstorm workload missing");
 }

@@ -31,6 +31,7 @@ fn results_are_identical_with_profiling_off_and_on() {
         false,
         None,
         None,
+        1,
     );
 
     // Phase 2: profiler fully on — worst case, every allocation attributed.
@@ -45,6 +46,7 @@ fn results_are_identical_with_profiling_off_and_on() {
         false,
         None,
         None,
+        1,
     );
     memprof::disable();
 

@@ -1,0 +1,524 @@
+//! Conservative time-windowed parallel driver: N worker shards, each owning
+//! a private [`Sim`], executing in lockstep lookahead windows.
+//!
+//! # Model
+//!
+//! The BG/Q cost model gives every cross-rank message a hard minimum latency
+//! (≥ one hop at 35 ns; ≥ 815 ns for an internode header), which is exactly
+//! the *lookahead* a conservative parallel discrete-event simulation needs:
+//! if every cross-shard interaction is announced at least `lookahead` of
+//! virtual time before it takes effect, then all events in the window
+//! `[gvt, gvt + lookahead)` — where `gvt` is the global minimum pending
+//! event time — are causally independent across shards and can execute
+//! concurrently without any risk of a straggler message arriving in a
+//! shard's past.
+//!
+//! [`ParSim::run`] drives one [`ShardApp`] per worker:
+//!
+//! 1. **flush** — each shard publishes the [`Envelope`]s its last window
+//!    produced into per-destination mailboxes (the only cross-thread state);
+//! 2. **bound** — each shard publishes `min(next_event_time, earliest
+//!    pending envelope)`; the global minimum of these bounds is `gvt`;
+//! 3. **deliver** — envelopes due before `horizon = gvt + lookahead` are
+//!    drained, sorted by `(at, key)`, and handed to the app, which schedules
+//!    their effects into its own `Sim`;
+//! 4. **run** — `sim.run_until(horizon - 1)` executes the window.
+//!
+//! Each worker creates its `Sim` on its own thread, so the kernel's
+//! `Rc`-waker single-thread invariant holds *per shard* — the enforced
+//! owner-thread check in `kernel.rs` still guards every waker.
+//!
+//! # Determinism
+//!
+//! Within a shard, events run in the kernel's exact `(time, seq)` order.
+//! Across shards, the only communication is envelopes, and those are
+//! delivered in `(at, key)` order at deterministic points (window
+//! boundaries). Provided the app keys envelopes with a deterministic,
+//! per-receiver-unique value (e.g. `origin_rank << 32 | origin_seq`), every
+//! shard observes an identical event sequence regardless of worker count —
+//! so all sim-time outputs are byte-identical from `workers = 1` to
+//! `workers = N`. The windows only batch synchronization; they never decide
+//! ordering.
+//!
+//! # Safety argument (no straggler can arrive in the past)
+//!
+//! An envelope sent while executing window `[gvt, horizon)` satisfies
+//! `at ≥ horizon` (enforced by [`Outbox::send`]: the floor is set to the
+//! window horizon before any app code runs). The receiving shard's clock
+//! never passes `horizon - 1` within the window, and the envelope is
+//! delivered at the next boundary — strictly before the receiver's clock
+//! reaches `at`. Hence no event is ever scheduled in a shard's past, and
+//! because some shard always holds an event at exactly `gvt < horizon`,
+//! every window makes progress: the loop cannot livelock.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::kernel::Sim;
+use crate::time::{SimDuration, SimTime};
+
+/// A cross-shard message: deliver `msg` to `to_shard` at virtual time `at`.
+///
+/// `key` breaks ties among envelopes delivered to the same shard at the same
+/// `at`; it must be deterministic and unique per `(to_shard, at)` — the
+/// conventional encoding is `origin_rank << 32 | origin_seq`.
+pub struct Envelope<M> {
+    /// Virtual time at which the message takes effect on the receiver.
+    pub at: SimTime,
+    /// Receiving shard index in `0..workers`.
+    pub to_shard: usize,
+    /// Deterministic tie-break among same-`(to_shard, at)` envelopes.
+    pub key: u64,
+    /// Application payload.
+    pub msg: M,
+}
+
+/// Shard-local staging buffer for outgoing envelopes. `!Send` by
+/// construction — it belongs to one worker and is flushed into the shared
+/// mailboxes only at window boundaries.
+pub struct Outbox<M> {
+    /// Earliest admissible `at` for a send: the current window's horizon
+    /// (zero before the first window, i.e. during [`ShardApp::start`]).
+    floor: Cell<u64>,
+    buf: RefCell<Vec<Envelope<M>>>,
+}
+
+impl<M> Outbox<M> {
+    fn new() -> Outbox<M> {
+        Outbox {
+            floor: Cell::new(0),
+            buf: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Stage an envelope for delivery at the next window boundary.
+    ///
+    /// Panics if `env.at` lands inside the current window — that would mean
+    /// the app promised less than the configured lookahead, the one
+    /// invariant conservative windowing cannot survive.
+    pub fn send(&self, env: Envelope<M>) {
+        assert!(
+            env.at.as_ps() >= self.floor.get(),
+            "cross-shard envelope at t={} violates the lookahead window \
+             (horizon t={}): sends must target at least `lookahead` past the \
+             window start",
+            env.at.as_ps(),
+            self.floor.get(),
+        );
+        self.buf.borrow_mut().push(env);
+    }
+
+    /// Number of staged envelopes (drained at the next boundary).
+    pub fn staged(&self) -> usize {
+        self.buf.borrow().len()
+    }
+}
+
+/// One shard of a parallel simulation. Implementations are moved onto worker
+/// threads (`Send`), where they receive a thread-local [`Sim`] to populate.
+pub trait ShardApp: Send {
+    /// Cross-shard message payload.
+    type Msg: Send + 'static;
+    /// Per-shard result returned by [`ShardApp::finish`].
+    type Out: Send;
+
+    /// Populate the freshly created shard `Sim` (spawn tasks, schedule the
+    /// initial events). Runs before the first window; `out.send` may target
+    /// any future time here.
+    fn start(&mut self, shard: usize, sim: &Sim, out: &Outbox<Self::Msg>);
+
+    /// Handle one due envelope. Called at a window boundary with the shard
+    /// clock still below `env.at`; the typical reaction is
+    /// `sim.schedule(env.at, …)`. Envelopes arrive in `(at, key)` order.
+    fn deliver(&mut self, sim: &Sim, env: Envelope<Self::Msg>, out: &Outbox<Self::Msg>);
+
+    /// Produce the shard's result after the last window drained.
+    fn finish(&mut self, sim: &Sim) -> Self::Out;
+}
+
+/// Yielding sense-reversal barrier that propagates peer panics instead of
+/// deadlocking: a worker that unwinds flips `poisoned`, and every peer
+/// parked in `wait` panics in turn, letting `thread::scope` join everyone.
+/// (`std::sync::Barrier` would leave the survivors parked forever.)
+struct PanicBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    poisoned: AtomicBool,
+}
+
+impl PanicBarrier {
+    fn new(n: usize) -> PanicBarrier {
+        PanicBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn check(&self) {
+        if self.poisoned.load(Ordering::Acquire) {
+            panic!("parallel shard aborted: a peer shard panicked");
+        }
+    }
+
+    fn wait(&self) {
+        self.check();
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            // yield_now, not spin: the CI container has one core, and a hot
+            // spin here would starve the very workers we are waiting for.
+            while self.generation.load(Ordering::Acquire) == gen {
+                self.check();
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Poisons the barrier if the owning worker unwinds.
+struct PoisonOnPanic<'a>(&'a PanicBarrier);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poisoned.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Cross-thread state: per-shard mailboxes plus the published time bounds
+/// the GVT reduction runs over.
+struct Shared<M> {
+    inboxes: Vec<Mutex<Vec<Envelope<M>>>>,
+    bound: Vec<AtomicU64>,
+    barrier: PanicBarrier,
+}
+
+/// The conservative parallel driver: `workers` shards in lockstep windows of
+/// width `lookahead`.
+pub struct ParSim {
+    workers: usize,
+    lookahead: SimDuration,
+}
+
+impl ParSim {
+    /// `lookahead` must be positive — it is both the window width and the
+    /// minimum cross-shard notice; the BG/Q model's floor is one 35 ns hop.
+    pub fn new(workers: usize, lookahead: SimDuration) -> ParSim {
+        assert!(lookahead.as_ps() > 0, "ParSim lookahead must be positive");
+        ParSim {
+            workers: workers.max(1),
+            lookahead,
+        }
+    }
+
+    /// Number of shards this driver runs.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run one app per shard to completion; returns the per-shard results in
+    /// shard order. `apps.len()` must equal `workers`.
+    pub fn run<A: ShardApp>(&self, apps: Vec<A>) -> Vec<A::Out> {
+        assert_eq!(
+            apps.len(),
+            self.workers,
+            "ParSim::run needs exactly one ShardApp per worker"
+        );
+        let shared: Shared<A::Msg> = Shared {
+            inboxes: (0..self.workers).map(|_| Mutex::new(Vec::new())).collect(),
+            bound: (0..self.workers)
+                .map(|_| AtomicU64::new(u64::MAX))
+                .collect(),
+            barrier: PanicBarrier::new(self.workers),
+        };
+        let lookahead = self.lookahead.as_ps();
+        if self.workers == 1 {
+            // Serial degeneration: same windowed loop, no threads. Keeping
+            // one code path is what makes `--workers 1` vs `--workers N`
+            // comparisons meaningful.
+            let mut apps = apps;
+            return vec![drive(0, apps.pop().unwrap(), &shared, lookahead)];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = apps
+                .into_iter()
+                .enumerate()
+                .map(|(shard, app)| {
+                    let shared = &shared;
+                    scope.spawn(move || drive(shard, app, shared, lookahead))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+}
+
+/// Worker body: the window loop described in the module docs.
+fn drive<A: ShardApp>(shard: usize, mut app: A, shared: &Shared<A::Msg>, lookahead: u64) -> A::Out {
+    let _poison = PoisonOnPanic(&shared.barrier);
+    let sim = Sim::new();
+    let outbox = Outbox::new();
+    app.start(shard, &sim, &outbox);
+    let mut due: Vec<Envelope<A::Msg>> = Vec::new();
+    loop {
+        // 1. flush: publish staged envelopes into destination mailboxes.
+        for env in outbox.buf.borrow_mut().drain(..) {
+            debug_assert!(
+                env.to_shard < shared.inboxes.len(),
+                "envelope to unknown shard"
+            );
+            shared.inboxes[env.to_shard].lock().unwrap().push(env);
+        }
+        shared.barrier.wait(); // every shard's sends are now visible
+                               // 2. bound: earliest local work, own events or pending envelopes.
+        let mut bound = sim.next_event_time().map_or(u64::MAX, |t| t.as_ps());
+        for env in shared.inboxes[shard].lock().unwrap().iter() {
+            bound = bound.min(env.at.as_ps());
+        }
+        shared.bound[shard].store(bound, Ordering::Release);
+        shared.barrier.wait(); // every shard's bound is now visible
+        let mut gvt = u64::MAX;
+        for b in &shared.bound {
+            gvt = gvt.min(b.load(Ordering::Acquire));
+        }
+        if gvt == u64::MAX {
+            break; // globally idle — identical conclusion on every shard
+        }
+        let horizon = gvt.saturating_add(lookahead);
+        // 3. deliver envelopes due inside this window, in (at, key) order.
+        {
+            let mut inbox = shared.inboxes[shard].lock().unwrap();
+            let mut i = 0;
+            while i < inbox.len() {
+                if inbox[i].at.as_ps() < horizon {
+                    due.push(inbox.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        due.sort_unstable_by_key(|e| (e.at, e.key));
+        debug_assert!(
+            due.windows(2)
+                .all(|w| (w[0].at, w[0].key) != (w[1].at, w[1].key)),
+            "envelope keys must be unique per (shard, at) for deterministic delivery"
+        );
+        outbox.floor.set(horizon);
+        for env in due.drain(..) {
+            app.deliver(&sim, env, &outbox);
+        }
+        // 4. run the window: everything strictly below the horizon.
+        sim.run_until(SimTime(horizon - 1));
+    }
+    app.finish(&sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOOKAHEAD_PS: u64 = 815_000; // BG/Q min internode one-way header
+
+    /// Token-passing storm over `n` logical nodes spread across shards with
+    /// the block map the rank sharder uses. Every hop is announced one full
+    /// lookahead ahead and keyed `origin_node << 32 | origin_seq`, so the
+    /// merged, sorted delivery log must not depend on the worker count.
+    struct Storm {
+        workers: usize,
+        n: u64,
+        /// Per-node send counters — the worker-count-invariant `key` source.
+        seq: Vec<u64>,
+        log: Vec<(u64, u64, u64)>, // (t_ps, node, token)
+    }
+
+    fn owner(node: u64, n: u64, workers: usize) -> usize {
+        ((node * workers as u64) / n) as usize
+    }
+
+    impl Storm {
+        fn new(workers: usize, n: u64) -> Storm {
+            Storm {
+                workers,
+                n,
+                seq: vec![0; n as usize],
+                log: Vec::new(),
+            }
+        }
+
+        /// Record a token landing on `node` at `at`, and forward it while it
+        /// still has hops left.
+        fn hop(
+            &mut self,
+            out: &Outbox<(u64, u64, u32)>,
+            at: SimTime,
+            node: u64,
+            token: u64,
+            ttl: u32,
+        ) {
+            self.log.push((at.as_ps(), node, token));
+            if ttl == 0 {
+                return;
+            }
+            let next = (node + token) % self.n;
+            let send_at = at + SimDuration(LOOKAHEAD_PS + (token * 37_000) % 500_000 + 1_000);
+            let seq = &mut self.seq[node as usize];
+            let key = (node << 32) | *seq;
+            *seq += 1;
+            out.send(Envelope {
+                at: send_at,
+                to_shard: owner(next, self.n, self.workers),
+                key,
+                msg: (next, (token * 31 + 7) % 1009 + 1, ttl - 1),
+            });
+        }
+    }
+
+    impl ShardApp for Storm {
+        type Msg = (u64, u64, u32); // (node, token, ttl)
+        type Out = Vec<(u64, u64, u64)>;
+
+        fn start(&mut self, shard: usize, _sim: &Sim, out: &Outbox<Self::Msg>) {
+            // Seed each owned node's first token through the outbox so even
+            // the first delivery flows through the sorted boundary path.
+            for node in 0..self.n {
+                if owner(node, self.n, self.workers) != shard {
+                    continue;
+                }
+                out.send(Envelope {
+                    at: SimTime((node + 1) * 10_000),
+                    to_shard: shard,
+                    key: node << 32,
+                    msg: (node, node + 1, 40),
+                });
+                self.seq[node as usize] = 1;
+            }
+        }
+
+        fn deliver(&mut self, sim: &Sim, env: Envelope<Self::Msg>, out: &Outbox<Self::Msg>) {
+            // Advance the shard clock to the envelope's instant (an empty
+            // timer — the hop itself needs `&mut self`, which a timer
+            // closure cannot borrow), then log with the envelope timestamp:
+            // exactly the values a timer at `env.at` would record.
+            sim.schedule(env.at, || {});
+            let (node, token, ttl) = env.msg;
+            self.hop(out, env.at, node, token, ttl);
+        }
+
+        fn finish(&mut self, _sim: &Sim) -> Self::Out {
+            std::mem::take(&mut self.log)
+        }
+    }
+
+    fn storm_log(workers: usize) -> Vec<(u64, u64, u64)> {
+        let par = ParSim::new(workers, SimDuration(LOOKAHEAD_PS));
+        let apps: Vec<Storm> = (0..workers).map(|_| Storm::new(workers, 24)).collect();
+        let mut merged: Vec<(u64, u64, u64)> = par.run(apps).into_iter().flatten().collect();
+        merged.sort_unstable();
+        merged
+    }
+
+    #[test]
+    fn storm_is_worker_count_invariant() {
+        let serial = storm_log(1);
+        assert_eq!(serial.len(), 24 * 41, "each seed token must hop 40 times");
+        for workers in [2usize, 3, 4] {
+            assert_eq!(storm_log(workers), serial, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "violates the lookahead window")]
+    fn lookahead_violation_panics() {
+        struct Cheater;
+        impl ShardApp for Cheater {
+            type Msg = ();
+            type Out = ();
+            fn start(&mut self, _s: usize, _sim: &Sim, out: &Outbox<()>) {
+                out.send(Envelope {
+                    at: SimTime(2_000),
+                    to_shard: 0,
+                    key: 0,
+                    msg: (),
+                });
+            }
+            fn deliver(&mut self, _sim: &Sim, env: Envelope<()>, out: &Outbox<()>) {
+                // Reacting to a window-1 envelope with a send *inside* the
+                // same window is exactly the bug the floor must catch.
+                out.send(Envelope {
+                    at: env.at,
+                    to_shard: 0,
+                    key: 1,
+                    msg: (),
+                });
+            }
+            fn finish(&mut self, _sim: &Sim) {}
+        }
+        let par = ParSim::new(1, SimDuration(1_000_000));
+        par.run(vec![Cheater]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn peer_panic_does_not_deadlock() {
+        struct Boom;
+        impl ShardApp for Boom {
+            type Msg = ();
+            type Out = ();
+            fn start(&mut self, shard: usize, sim: &Sim, _o: &Outbox<()>) {
+                if shard == 1 {
+                    panic!("shard {shard} exploded");
+                }
+                // The healthy shard has real work: without barrier
+                // poisoning it would park forever and hang the test.
+                for i in 1..100u64 {
+                    sim.schedule(SimTime(i * 1_000_000), || {});
+                }
+            }
+            fn deliver(&mut self, _sim: &Sim, _e: Envelope<()>, _o: &Outbox<()>) {}
+            fn finish(&mut self, _sim: &Sim) {}
+        }
+        let par = ParSim::new(2, SimDuration(1_000_000));
+        par.run(vec![Boom, Boom]);
+    }
+
+    #[test]
+    fn next_event_time_tracks_ready_and_timers() {
+        let sim = Sim::new();
+        assert_eq!(sim.next_event_time(), None);
+        sim.schedule(SimTime(5_000), || {});
+        assert_eq!(sim.next_event_time(), Some(SimTime(5_000)));
+        sim.spawn(async {});
+        assert_eq!(sim.next_event_time(), Some(SimTime::ZERO));
+        sim.run();
+        assert_eq!(sim.next_event_time(), None);
+    }
+
+    #[test]
+    fn schedule_reserved_restores_tie_break_position() {
+        // Reserve a ticket, let a rival grab a later seq at the same time,
+        // then schedule via the ticket: the reserved callback must still win
+        // the tie exactly as an immediate schedule() would have.
+        let log = std::rc::Rc::new(RefCell::new(Vec::new()));
+        let sim = Sim::new();
+        let ticket = sim.reserve_seq();
+        {
+            let log = log.clone();
+            sim.schedule(SimTime(7_000), move || log.borrow_mut().push("rival"));
+        }
+        {
+            let log = log.clone();
+            sim.schedule_reserved(SimTime(7_000), ticket, move || {
+                log.borrow_mut().push("reserved")
+            });
+        }
+        sim.run();
+        assert_eq!(&*log.borrow(), &["reserved", "rival"]);
+    }
+}

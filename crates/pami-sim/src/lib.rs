@@ -43,10 +43,12 @@ pub mod context;
 pub mod machine;
 pub mod rank;
 pub mod retry;
+pub mod shard;
 pub mod space;
 
 pub use context::{AmEnv, AmHandler, AmMsg, CtxState, RmwOp, WorkItem};
 pub use machine::{Machine, MachineConfig, RegionError, RegionId};
 pub use rank::{AsyncThread, PamiRank, PutHandles};
 pub use retry::{FailureMode, RetryPolicy};
+pub use shard::{ShardMap, Shards};
 pub use space::{SpaceAccount, SpaceSnapshot};

@@ -67,7 +67,7 @@ fn deliver_then(
             .borrow_mut()
             .deliver_op(inject, src, dst, payload, class, op)
             + extra;
-        sim.schedule(arrival, move || then(arrival, true));
+        m.schedule_leg(src, dst, arrival, move || then(arrival, true));
         return;
     }
     let stats = m.stats();
@@ -493,7 +493,7 @@ impl PamiRank {
         };
         let remote_done = handles.remote.clone();
         let tgt_state = self.m.rank_state(target);
-        sim.schedule(arrival, move || {
+        self.m.schedule_leg(self.r, target, arrival, move || {
             if delivered {
                 tgt_state.write(remote_off, &data);
             }
@@ -536,7 +536,7 @@ impl PamiRank {
             return done;
         }
         let m = self.m.clone();
-        sim.schedule(req_arrival, move || {
+        self.m.schedule_leg(self.r, target, req_arrival, move || {
             let data = m.rank_state(target).read(remote_off, len);
             let src_state = m.rank_state(src);
             let extra = p.align_penalty(len);
@@ -578,7 +578,7 @@ impl PamiRank {
             .m
             .tl_ids()
             .map(|ids| (self.m.sim().timeline(), ids.queue_depth));
-        self.m.sim().schedule(arrival, move || {
+        self.m.schedule_leg(self.r, target, arrival, move || {
             let st = m.rank_state(target);
             // First work for an armed-but-idle rank: spawn its progress
             // thread now, *before* the push, so the freshly enqueued thread

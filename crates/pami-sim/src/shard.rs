@@ -1,0 +1,230 @@
+//! Rank→shard partitioning and the window-boundary mailbox of the
+//! conservative parallel mode.
+//!
+//! When a machine is configured with `workers > 1`, its ranks are block-
+//! partitioned across that many shards ([`ShardMap`]). Network legs whose
+//! source and destination ranks live on *different* shards are not scheduled
+//! directly: they are posted to a [`Shards`] mailbox keyed by the lookahead
+//! window boundary `⌊arrival/Δ⌋·Δ`, where `Δ` is the minimum cross-shard
+//! latency (`min(intranode, base + hop)` — a shard boundary may split a
+//! node, so the intranode latency bounds the lookahead too). A pump timer at
+//! each boundary drains the bucket into the kernel wheel.
+//!
+//! The exchange is exactly the barrier protocol a multi-worker
+//! [`desim::ParSim`] run performs between windows, executed here inside one
+//! kernel so the *event order* is provably unchanged: every post reserves a
+//! kernel sequence number at post time ([`desim::Sim::reserve_seq`]) — the
+//! very number a direct `schedule` call would have consumed — and the pump
+//! re-inserts the deferred callback under that reserved number
+//! ([`desim::Sim::schedule_reserved`]). The pump's own timer shifts later
+//! sequence numbers by one but never permutes their relative order, so every
+//! `(time, seq)` tie-break resolves exactly as in the serial engine and all
+//! simulation outputs stay byte-identical for any worker count.
+//!
+//! Safety of the deferral: a leg posted at time `t` arrives at
+//! `at ≥ t + Δ`, hence its boundary `b = ⌊at/Δ⌋·Δ > at − Δ ≥ t` lies
+//! strictly in the future — the pump can always still be scheduled, and it
+//! fires no later than the arrival itself.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use desim::memprof::{self, MemTag};
+use desim::{FxHashMap, Sim, SimTime};
+use torus5d::BgqParams;
+
+/// Deferred cross-shard callbacks parked in window-boundary buckets.
+static MAIL_TAG: MemTag = MemTag::new("pami.mail");
+
+/// Block partition of `nprocs` ranks over `workers` shards: rank `r` lives
+/// on shard `r·workers/nprocs`, so shards own contiguous, near-equal rank
+/// ranges and the map needs no per-rank storage (it composes with the lazy
+/// `Machine::rank_state` materialization — untouched ranks cost
+/// nothing in any shard).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardMap {
+    nprocs: usize,
+    workers: usize,
+}
+
+impl ShardMap {
+    /// Map `nprocs` ranks onto `workers` shards.
+    pub fn new(nprocs: usize, workers: usize) -> ShardMap {
+        assert!(nprocs >= 1 && workers >= 1);
+        ShardMap { nprocs, workers }
+    }
+
+    /// Number of shards.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shard owning `rank`.
+    pub fn shard_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.nprocs);
+        rank * self.workers / self.nprocs
+    }
+
+    /// True when the two ranks live on different shards (the leg between
+    /// them must cross a window boundary).
+    pub fn cross(&self, a: usize, b: usize) -> bool {
+        self.shard_of(a) != self.shard_of(b)
+    }
+}
+
+struct MailEntry {
+    at_ps: u64,
+    seq: u64,
+    run: Box<dyn FnOnce()>,
+}
+
+/// The machine's shard table plus the window-boundary mailbox. Built once in
+/// [`crate::Machine::new`] when `workers > 1` and no fault plan is active
+/// (faults pin the machine to the serial path, mirroring the network batch
+/// engine's gating).
+pub struct Shards {
+    /// Rank→shard assignment.
+    pub map: ShardMap,
+    /// Lookahead window width Δ in picoseconds.
+    delta_ps: u64,
+    /// Pending cross-shard legs, keyed by window boundary `⌊at/Δ⌋·Δ`.
+    buckets: RefCell<FxHashMap<u64, Vec<MailEntry>>>,
+    /// Total legs posted through the mailbox.
+    posted: Cell<u64>,
+    /// Window boundaries that received at least one leg (= pump timers).
+    windows: Cell<u64>,
+}
+
+impl Shards {
+    /// Build the shard table for `nprocs` ranks over `workers` shards with
+    /// the lookahead window derived from `params`.
+    pub fn new(nprocs: usize, workers: usize, params: &BgqParams) -> Shards {
+        let delta = params
+            .intranode_latency
+            .min(params.base_latency + params.hop_latency);
+        let delta_ps = delta.as_ps();
+        assert!(
+            delta_ps > 0,
+            "cost model admits zero-latency legs: no lookahead"
+        );
+        Shards {
+            map: ShardMap::new(nprocs, workers),
+            delta_ps,
+            buckets: RefCell::new(FxHashMap::default()),
+            posted: Cell::new(0),
+            windows: Cell::new(0),
+        }
+    }
+
+    /// Lookahead window width in picoseconds.
+    pub fn delta_ps(&self) -> u64 {
+        self.delta_ps
+    }
+
+    /// `(legs posted, windows pumped)` so far. Diagnostic only — never
+    /// folded into [`desim::Stats`], which must stay workers-invariant.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.posted.get(), self.windows.get())
+    }
+
+    /// Park a cross-shard leg due at `at`, reserving its kernel sequence
+    /// number now. The first post into a window boundary schedules the pump
+    /// *before* the reservation, so the pump's `(boundary, seq)` precedes
+    /// every entry it will re-insert and the drain can never run after an
+    /// entry's own due point.
+    pub fn post(self: &Rc<Self>, sim: &Sim, at: SimTime, run: Box<dyn FnOnce()>) {
+        let now = sim.now().as_ps();
+        let boundary = (at.as_ps() / self.delta_ps) * self.delta_ps;
+        assert!(
+            boundary > now,
+            "cross-shard leg at t={} ps lands inside the current window \
+             (boundary {} ps, now {} ps): lookahead Δ={} ps violated",
+            at.as_ps(),
+            boundary,
+            now,
+            self.delta_ps
+        );
+        let is_new = !self.buckets.borrow().contains_key(&boundary);
+        if is_new {
+            let sh = Rc::clone(self);
+            let sim2 = sim.clone();
+            self.windows.set(self.windows.get() + 1);
+            sim.schedule(SimTime(boundary), move || sh.pump(&sim2, boundary));
+        }
+        let seq = sim.reserve_seq();
+        self.posted.set(self.posted.get() + 1);
+        let _mem = memprof::scope(&MAIL_TAG);
+        self.buckets
+            .borrow_mut()
+            .entry(boundary)
+            .or_default()
+            .push(MailEntry {
+                at_ps: at.as_ps(),
+                seq,
+                run,
+            });
+    }
+
+    /// Drain one boundary's bucket into the kernel wheel under the reserved
+    /// sequence numbers. Runs as the pump timer at exactly `boundary`.
+    fn pump(&self, sim: &Sim, boundary: u64) {
+        let entries = self
+            .buckets
+            .borrow_mut()
+            .remove(&boundary)
+            .expect("pump fired for an empty boundary");
+        for e in entries {
+            sim.schedule_reserved(SimTime(e.at_ps), e.seq, e.run);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_partition_covers_all_shards_contiguously() {
+        let map = ShardMap::new(10, 4);
+        let shards: Vec<usize> = (0..10).map(|r| map.shard_of(r)).collect();
+        assert_eq!(shards, vec![0, 0, 0, 1, 1, 2, 2, 2, 3, 3]);
+        assert!(map.cross(2, 3));
+        assert!(!map.cross(0, 2));
+        // More shards than ranks: every rank still gets a valid shard.
+        let tiny = ShardMap::new(2, 4);
+        assert_eq!(tiny.shard_of(0), 0);
+        assert_eq!(tiny.shard_of(1), 2);
+    }
+
+    #[test]
+    fn mailbox_preserves_tie_break_order() {
+        // Two legs posted through the mailbox interleaved with two direct
+        // schedules at the *same* arrival time must execute in post order —
+        // exactly as four direct schedules would.
+        let sim = Sim::new();
+        let sh = Rc::new(Shards::new(8, 2, &BgqParams::default()));
+        let delta = sh.delta_ps();
+        let at = SimTime(3 * delta); // on-boundary arrival: worst case
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        let (l1, l2, l3, l4) = (log.clone(), log.clone(), log.clone(), log.clone());
+        sh.post(&sim, at, Box::new(move || l1.borrow_mut().push("mail-a")));
+        sim.schedule(at, move || l2.borrow_mut().push("direct-a"));
+        sh.post(&sim, at, Box::new(move || l3.borrow_mut().push("mail-b")));
+        sim.schedule(at, move || l4.borrow_mut().push("direct-b"));
+        sim.run();
+        assert_eq!(
+            *log.borrow(),
+            vec!["mail-a", "direct-a", "mail-b", "direct-b"]
+        );
+        assert_eq!(sh.counters(), (2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead")]
+    fn post_inside_current_window_panics() {
+        let sim = Sim::new();
+        let sh = Rc::new(Shards::new(8, 2, &BgqParams::default()));
+        // An arrival inside the current window has no future boundary.
+        sh.post(&sim, SimTime(1), Box::new(|| {}));
+    }
+}

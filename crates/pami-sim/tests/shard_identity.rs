@@ -1,0 +1,161 @@
+//! Byte-identity of the conservative parallel shard mode: a mixed RMA/AMO
+//! storm over a sharded machine must produce identical statistics, memory
+//! images, fetch results, counters and virtual end time for **any** worker
+//! count. The window mailbox defers cross-shard legs to their boundary pump
+//! but re-inserts them under sequence numbers reserved at post time, so the
+//! `(time, seq)` order — and therefore every output — never changes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use desim::{Sim, SimDuration, SimTime};
+use pami_sim::{Machine, MachineConfig, RmwOp};
+
+const PROCS: usize = 48;
+
+struct StormOut {
+    stats_json: String,
+    messages: u64,
+    bytes: u64,
+    util: Vec<(torus5d::Link, SimDuration)>,
+    fetched: Vec<i64>,
+    counter_end: i64,
+    cells: Vec<i64>,
+    end_ps: u64,
+    mail: (u64, u64),
+}
+
+/// Run the storm on a `workers`-shard machine: every rank fetch-adds a
+/// shared counter twice, RDMA-puts into a scattered peer, RDMA-gets from
+/// another, and software-puts into rank 0 (whose progress thread services
+/// the AMO and sw queues). Legs cross shard boundaries constantly.
+fn storm(workers: usize) -> StormOut {
+    let sim = Sim::new();
+    let m = Machine::new(
+        sim.clone(),
+        MachineConfig::new(PROCS)
+            .procs_per_node(16)
+            .contention(true)
+            .workers(workers),
+    );
+    let owner = m.rank(0);
+    let counter = owner.alloc(8);
+    let _at = owner.start_progress_thread(0);
+    let fetched: Rc<RefCell<Vec<i64>>> = Rc::new(RefCell::new(Vec::new()));
+    for r in 1..PROCS {
+        let rk = m.rank(r);
+        let fetched = Rc::clone(&fetched);
+        sim.spawn(async move {
+            let v = rk.rmw(0, counter, RmwOp::FetchAdd(1)).await.wait().await;
+            fetched.borrow_mut().push(v);
+            let mut dst = (r * 7 + 3) % PROCS;
+            if dst == r {
+                dst = (dst + 1) % PROCS;
+            }
+            rk.write_i64(0, (r * 1000 + 1) as i64);
+            let h = rk.rdma_put(dst, 0, 64 + r * 16, 8).await;
+            h.remote.wait().await;
+            let mut src = (r * 11 + 5) % PROCS;
+            if src == r {
+                src = (src + 1) % PROCS;
+            }
+            rk.rdma_get(src, 8, 0, 8).await.wait().await;
+            let h = rk.sw_put(0, 0, 1024 + r * 8, 8).await;
+            h.remote.wait().await;
+            let v = rk
+                .rmw(0, counter, RmwOp::FetchAdd(r as i64))
+                .await
+                .wait()
+                .await;
+            fetched.borrow_mut().push(v);
+        });
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_ms(50));
+    m.stop_progress_threads();
+    let end_ps = sim.now().as_ps();
+    let cells = (1..PROCS)
+        .map(|r| {
+            let mut dst = (r * 7 + 3) % PROCS;
+            if dst == r {
+                dst = (dst + 1) % PROCS;
+            }
+            m.rank(dst).read_i64(64 + r * 16)
+        })
+        .chain((1..PROCS).map(|r| owner.read_i64(1024 + r * 8)))
+        .collect();
+    let out = StormOut {
+        stats_json: sim.stats().snapshot().to_json(),
+        messages: m.net_messages(),
+        bytes: m.net_bytes(),
+        util: m.link_utilization(),
+        fetched: fetched.borrow().clone(),
+        counter_end: owner.read_i64(counter),
+        cells,
+        end_ps,
+        mail: m.mail_counters(),
+    };
+    sim.shutdown();
+    out
+}
+
+#[test]
+fn storm_is_worker_count_invariant() {
+    let base = storm(1);
+    assert_eq!(base.mail, (0, 0), "serial machine must not build a mailbox");
+    assert_eq!(base.fetched.len(), 2 * (PROCS - 1));
+    let expect_counter: i64 = (PROCS - 1) as i64 + (1..PROCS as i64).sum::<i64>();
+    assert_eq!(base.counter_end, expect_counter);
+    for workers in [2, 3, 4] {
+        let par = storm(workers);
+        assert!(
+            par.mail.0 > 0,
+            "storm with {workers} shards never crossed a boundary"
+        );
+        assert_eq!(
+            par.stats_json, base.stats_json,
+            "stats diverged at workers={workers}"
+        );
+        assert_eq!(par.messages, base.messages);
+        assert_eq!(par.bytes, base.bytes);
+        assert_eq!(
+            par.util, base.util,
+            "link util diverged at workers={workers}"
+        );
+        assert_eq!(
+            par.fetched, base.fetched,
+            "AMO fetch order diverged at workers={workers}"
+        );
+        assert_eq!(par.counter_end, base.counter_end);
+        assert_eq!(par.cells, base.cells);
+        assert_eq!(par.end_ps, base.end_ps, "virtual time diverged");
+    }
+}
+
+#[test]
+fn shard_map_and_accessors() {
+    let sim = Sim::new();
+    let m = Machine::new(sim.clone(), MachineConfig::new(8).workers(4));
+    assert_eq!(m.workers(), 4);
+    assert_eq!(m.shard_of(0), 0);
+    assert_eq!(m.shard_of(7), 3);
+    let serial = Machine::new(Sim::new(), MachineConfig::new(8));
+    assert_eq!(serial.workers(), 1);
+    assert_eq!(serial.shard_of(7), 0);
+    assert_eq!(serial.mail_counters(), (0, 0));
+}
+
+#[test]
+fn faulty_machine_pins_to_serial_path() {
+    // A non-empty fault plan disables the mailbox outright: retries and
+    // give-up legs follow the serial scheduling rules.
+    let sim = Sim::new();
+    let m = Machine::new(
+        sim.clone(),
+        MachineConfig::new(8)
+            .workers(4)
+            .faults(desim::FaultPlan::new(3).corruption(0.01)),
+    );
+    assert_eq!(m.workers(), 4);
+    assert_eq!(m.mail_counters(), (0, 0));
+    assert_eq!(m.shard_of(7), 0, "faulty machine has no shard table");
+}

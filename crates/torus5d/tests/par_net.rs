@@ -1,0 +1,190 @@
+//! Differential suite for the parallel batch delivery engine: for every
+//! contention regime and worker count, `deliver_batch` must be byte-identical
+//! to the serial `try_deliver_op` loop — per-message arrivals, counters, link
+//! utilization, and the merged `NetState` a *subsequent* serial delivery
+//! continues from.
+
+use desim::{SimDuration, SimRng, SimTime};
+use torus5d::{
+    deliver_batch, deliver_batch_arrivals, BgqParams, Delivery, MsgClass, NetMsg, NetState,
+    Topology,
+};
+
+/// A churn-style schedule: mixed classes and sizes, staggered injections,
+/// some intranode pairs (16 ranks/node) and repeated (src, dst) pairs so the
+/// FIFO, link and pair-order state all carry real coupling.
+fn schedule(procs: usize, msgs: usize, seed: u64) -> Vec<NetMsg> {
+    let mut rng = SimRng::new(seed);
+    let mut sched = Vec::with_capacity(msgs);
+    let mut inject = SimTime::ZERO;
+    for i in 0..msgs {
+        let src = rng.next_below(procs as u64) as u32;
+        let mut dst = rng.next_below(procs as u64) as u32;
+        if dst == src {
+            dst = (dst + 1) % procs as u32;
+        }
+        let payload = 1u32 << (4 + rng.next_below(12));
+        let class = match i % 8 {
+            0 => MsgClass::Unordered,
+            1 | 2 => MsgClass::Control,
+            _ => MsgClass::Ordered,
+        };
+        inject += SimDuration::from_ns(rng.next_below(200));
+        sched.push(NetMsg {
+            inject,
+            src,
+            dst,
+            payload,
+            class,
+        });
+    }
+    sched
+}
+
+fn net(procs: usize, contention: bool) -> NetState {
+    NetState::new(
+        Topology::for_procs(procs, 16),
+        BgqParams::default(),
+        contention,
+    )
+}
+
+/// Serial reference: the plain delivery loop, arrivals in schedule order.
+fn serial_ref(net: &mut NetState, sched: &[NetMsg]) -> Vec<SimTime> {
+    sched
+        .iter()
+        .map(|m| {
+            match net.try_deliver_op(
+                m.inject,
+                m.src as usize,
+                m.dst as usize,
+                m.payload as usize,
+                m.class,
+                None,
+            ) {
+                Delivery::Delivered(at) => at,
+                Delivery::Dropped { .. } => unreachable!("fault-free"),
+            }
+        })
+        .collect()
+}
+
+/// Deliver `sched` serially on one net and batched on another, then drive a
+/// serial tail through both and assert every observable matches.
+fn assert_batch_matches(procs: usize, contention: bool, workers: usize, msgs: usize) {
+    let sched = schedule(procs, msgs, 0x5041_5242 ^ msgs as u64);
+    let mut a = net(procs, contention);
+    let mut b = net(procs, contention);
+    if !contention {
+        a.set_link_tracking(true);
+        b.set_link_tracking(true);
+    }
+    let want = serial_ref(&mut a, &sched);
+    let (out, got) = deliver_batch_arrivals(&mut b, &sched, workers);
+    assert_eq!(got, want, "arrivals diverged (workers={workers})");
+    assert_eq!(out.delivered, msgs as u64);
+    assert_eq!(
+        out.last_arrival,
+        want.iter().copied().max().unwrap(),
+        "last arrival diverged"
+    );
+    assert_eq!(a.messages(), b.messages(), "message counter diverged");
+    assert_eq!(a.bytes(), b.bytes(), "byte counter diverged");
+    assert_eq!(
+        a.link_utilization(),
+        b.link_utilization(),
+        "link utilization diverged (workers={workers})"
+    );
+    // The merged NetState must be indistinguishable from the serial one:
+    // a serial tail (fresh pairs and re-used pairs alike) continues
+    // identically on both.
+    let tail = schedule(procs, 200, 0x7441_494C);
+    let tail: Vec<NetMsg> = tail
+        .iter()
+        .map(|m| NetMsg {
+            inject: m.inject + SimDuration::from_ms(2),
+            ..*m
+        })
+        .collect();
+    assert_eq!(
+        serial_ref(&mut a, &tail),
+        serial_ref(&mut b, &tail),
+        "post-batch serial handoff diverged (workers={workers})"
+    );
+    assert_eq!(a.link_utilization(), b.link_utilization());
+}
+
+#[test]
+fn contended_batch_matches_serial() {
+    for workers in [1, 2, 3, 4] {
+        assert_batch_matches(128, true, workers, 3_000);
+    }
+}
+
+#[test]
+fn analytic_batch_matches_serial() {
+    for workers in [1, 2, 4] {
+        assert_batch_matches(128, false, workers, 3_000);
+    }
+}
+
+#[test]
+fn single_node_intranode_batch_matches_serial() {
+    // All ranks on one node: every delivery is intranode, no link state.
+    for workers in [1, 4] {
+        assert_batch_matches(16, true, workers, 1_000);
+    }
+}
+
+#[test]
+fn tiny_and_empty_batches() {
+    let mut n = net(64, true);
+    let out = deliver_batch(&mut n, &[], 4);
+    assert_eq!(out.delivered, 0);
+    assert_eq!(out.last_arrival, SimTime::ZERO);
+    assert_eq!(n.messages(), 0);
+    // A one-message batch across more workers than messages.
+    let sched = schedule(64, 1, 1);
+    let mut a = net(64, true);
+    let want = serial_ref(&mut a, &sched);
+    let (_, got) = deliver_batch_arrivals(&mut n, &sched, 8);
+    assert_eq!(got, want);
+}
+
+#[test]
+fn batch_over_warm_state_matches_serial() {
+    // A batch applied to nets that already carry FIFO/link/pair state from
+    // an earlier serial phase: seeds must be read, not assumed zero.
+    let warm = schedule(128, 500, 0xAAAA);
+    let cold = schedule(128, 1_500, 0xBBBB);
+    let cold: Vec<NetMsg> = cold
+        .iter()
+        .map(|m| NetMsg {
+            inject: m.inject + SimDuration::from_ms(1),
+            ..*m
+        })
+        .collect();
+    let mut a = net(128, true);
+    let mut b = net(128, true);
+    serial_ref(&mut a, &warm);
+    serial_ref(&mut b, &warm);
+    let want = serial_ref(&mut a, &cold);
+    let (_, got) = deliver_batch_arrivals(&mut b, &cold, 4);
+    assert_eq!(got, want, "warm-state batch diverged");
+    assert_eq!(a.link_utilization(), b.link_utilization());
+}
+
+#[test]
+fn faulty_net_falls_back_to_serial_path() {
+    // With a fault plan installed the batch API must keep the serial
+    // semantics (drops included) rather than attempting the dataflow.
+    let sched = schedule(64, 400, 0xFA01);
+    let mut a = net(64, true);
+    let mut b = net(64, true);
+    a.install_faults(desim::FaultPlan::new(7));
+    b.install_faults(desim::FaultPlan::new(7));
+    let want = serial_ref(&mut a, &sched);
+    let (out, got) = deliver_batch_arrivals(&mut b, &sched, 4);
+    assert_eq!(got, want);
+    assert_eq!(out.delivered, sched.len() as u64);
+}

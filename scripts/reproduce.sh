@@ -10,6 +10,12 @@
 # Usage: reproduce.sh [--jobs N]
 #   --jobs N   forward to every bench binary: run sweep points on N threads.
 #              Results are byte-identical for any N (collected by input index).
+#
+# The orthogonal `--workers N` flag (conservative parallel engine *inside*
+# one simulation, DESIGN.md §16) is not forwarded here: outputs are
+# byte-identical at any worker count, so the goldens regenerate the same
+# either way, and the speedup curve is measured by simbench/fig_scale
+# themselves (par_churn and netstorm rows).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS=""
@@ -95,10 +101,11 @@ check_json results/fig_mem.json results/fig_mem.timeline.json
 ./target/release/perfdiff results/BENCH_memscale.json results/fig_mem.json --tol 0.35 --abs 8192 --check
 ./target/release/memstat results/fig_mem.json > results/memstat.txt
 # Million-rank scaling (fig_scale): the small-p deterministic signature
-# (virtual times, event counts, materialized ranks, task-table size) gates
-# at zero tolerance; the full curves to p=1M are regenerated with the
-# default sweep (`fig_scale --json results/BENCH_scale.json`) when the
-# rank-lifecycle model changes intentionally. Serial by design — no $JOBS.
+# (virtual times, event counts, materialized ranks, task-table size, and
+# the netstorm batch-engine delivery signature) gates at zero tolerance;
+# the full curves to p=1M are regenerated with the default sweep
+# (`fig_scale --json results/BENCH_scale.json`) when the rank-lifecycle
+# model changes intentionally. Serial by design — no $JOBS.
 ./target/release/fig_scale --procs 32,1024,32768 \
   --gate-json results/gate_fig_scale.json > results/fig_scale.txt
 check_json results/gate_fig_scale.json
