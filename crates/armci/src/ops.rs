@@ -21,7 +21,9 @@ static HANDLES_TAG: MemTag = MemTag::new("armci.handles");
 
 use crate::handle::{NbHandle, OpKind};
 use crate::region_cache::RemoteRegion;
-use crate::runtime::{Armci, RankRt, DISPATCH_REGION_QUERY};
+use crate::runtime::{
+    Armci, RankRt, DISPATCH_ACC_AM, DISPATCH_AM_PING, DISPATCH_NOTIFY_AM, DISPATCH_REGION_QUERY,
+};
 use crate::strided::Strided;
 
 /// Handle for one rank's view of the ARMCI runtime.
@@ -1119,6 +1121,104 @@ impl ArmciRank {
             }
             self.a.sim().sleep(SimDuration::from_ns(500)).await;
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Active-message-backed operations (aggregation surface)
+    // ------------------------------------------------------------------
+
+    /// Post a notification to `target` as an active message. Shares the
+    /// per-target sequence space with [`ArmciRank::notify`], and the
+    /// handler writes the same notify cell, so the receiver waits with the
+    /// ordinary [`ArmciRank::wait_notify`]. Under AM batching the
+    /// notification may sit in an aggregation buffer until the window
+    /// expires; use [`ArmciRank::am_fence`] to force it out.
+    pub async fn notify_am(&self, target: usize) -> i64 {
+        let op = self.begin_op("armci.notify_am");
+        self.stats().incr("armci.notify_am");
+        let seq = {
+            let rt = self.rt();
+            let mut m = rt.notify_seq.borrow_mut();
+            let e = m.entry(target).or_insert(0);
+            *e += 1;
+            *e
+        };
+        // Materialize the target's notify cells before the AM can land.
+        self.a.rank_rt(target);
+        self.pami
+            .send_am(
+                target,
+                DISPATCH_NOTIFY_AM,
+                seq.to_le_bytes().to_vec(),
+                Vec::new(),
+            )
+            .await;
+        self.end_op(op);
+        seq
+    }
+
+    /// `am_broadcast`-style notify: post one AM notification to each target,
+    /// returning the per-target sequence numbers. With batching enabled,
+    /// notifications to the same destination coalesce with any other queued
+    /// AM traffic into one wire message per destination.
+    pub async fn notify_broadcast(&self, targets: &[usize]) -> Vec<i64> {
+        let mut seqs = Vec::with_capacity(targets.len());
+        for &t in targets {
+            seqs.push(self.notify_am(t).await);
+        }
+        seqs
+    }
+
+    /// AM-based accumulate fallback: `target[remote_off..] += scale · vals`,
+    /// carrying the values inside the message rather than staging them in
+    /// registered memory — no region lookup, no RDMA descriptor, ideal for
+    /// many tiny updates. Fire-and-forget: remote application is ordered
+    /// (pairwise) after prior AMs and can be awaited with
+    /// [`ArmciRank::am_fence`].
+    pub async fn acc_am(&self, target: usize, remote_off: usize, vals: &[f64], scale: f64) {
+        let op = self.begin_op("armci.acc_am");
+        self.stats().incr("armci.acc_am");
+        let mut header = Vec::with_capacity(16);
+        header.extend_from_slice(&(remote_off as u64).to_le_bytes());
+        header.extend_from_slice(&scale.to_le_bytes());
+        let mut payload = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        self.pami
+            .send_am(target, DISPATCH_ACC_AM, header, payload)
+            .await;
+        self.end_op(op);
+    }
+
+    /// Fence all AM-layer traffic from this rank to `target`: queue a ping
+    /// behind everything already buffered, force-flush the pair's
+    /// aggregation buffer, and wait for the target's pong. On return every
+    /// AM this rank sent to `target` before the fence has been executed
+    /// there (buffer FIFO + ordered wire + in-order service).
+    pub async fn am_fence(&self, target: usize) {
+        let op = self.begin_op("armci.am_fence");
+        self.stats().incr("armci.am_fence");
+        let done = Completion::new();
+        let reply_id = {
+            let _mem = memprof::scope(&HANDLES_TAG);
+            let rt = self.rt();
+            let id = rt.next_ping.get();
+            rt.next_ping.set(id + 1);
+            rt.pending_pings.borrow_mut().insert(id, done.clone());
+            id
+        };
+        self.pami
+            .send_am(
+                target,
+                DISPATCH_AM_PING,
+                reply_id.to_le_bytes().to_vec(),
+                Vec::new(),
+            )
+            .await;
+        self.a.machine().am_flush_pair(self.r, target);
+        self.pami.progress_wait(&done).await;
+        self.end_op(op);
     }
 }
 

@@ -80,6 +80,18 @@ impl ArmciConfig {
 /// AM dispatch ids used internally by the runtime.
 pub(crate) const DISPATCH_REGION_QUERY: u16 = 1;
 pub(crate) const DISPATCH_REGION_REPLY: u16 = 2;
+/// AM-backed notify (header = `[seq i64]`): the handler writes the sender's
+/// slot of the destination's notify-cell array, so [`crate::ArmciRank::wait_notify`]
+/// observes it exactly as it does a software-put notify.
+pub(crate) const DISPATCH_NOTIFY_AM: u16 = 3;
+/// AM-backed accumulate (header = `[off u64][scale f64]`, payload = f64s):
+/// the handler applies `dst[i] += scale·x[i]` at the destination.
+pub(crate) const DISPATCH_ACC_AM: u16 = 4;
+/// AM fence ping (header = `[reply_id u64]`): the handler echoes the header
+/// back as a pong on the unbatched control channel.
+pub(crate) const DISPATCH_AM_PING: u16 = 5;
+/// AM fence pong: completes the pending fence at the requester.
+pub(crate) const DISPATCH_AM_PONG: u16 = 6;
 
 pub(crate) struct RankRt {
     pub region_cache: RefCell<RegionCache>,
@@ -94,6 +106,10 @@ pub(crate) struct RankRt {
     pub notify_off: Cell<usize>,
     /// Notification sequence numbers sent, per target.
     pub notify_seq: RefCell<HashMap<usize, i64>>,
+    /// Outstanding AM-fence pings awaiting their pong.
+    pub pending_pings: RefCell<HashMap<u64, Completion<()>>>,
+    /// Next AM-fence ping id.
+    pub next_ping: Cell<u64>,
 }
 
 impl RankRt {
@@ -107,6 +123,8 @@ impl RankRt {
             mutex_off: Cell::new(usize::MAX),
             notify_off: Cell::new(usize::MAX),
             notify_seq: RefCell::new(HashMap::new()),
+            pending_pings: RefCell::new(HashMap::new()),
+            next_ping: Cell::new(0),
         }
     }
 }
@@ -178,6 +196,7 @@ impl Armci {
         });
         let weak = Rc::downgrade(&inner);
         machine.set_rank_init(Rc::new(move |pr| init_rank(&weak, pr)));
+        install_am_handlers(&machine, &Rc::downgrade(&inner));
         // Ranks that materialized before this runtime existed missed the
         // hook: bring them up now, in rank order, exactly as the hook would.
         let a = Armci { inner };
@@ -335,6 +354,86 @@ fn init_rank(weak: &Weak<ArmciInner>, pr: PamiRank) {
     install_dispatch(&pr, target_ctx, weak);
     if inner.cfg.progress == ProgressMode::AsyncThread {
         pr.enable_async_progress(target_ctx);
+    }
+}
+
+/// Install the runtime's machine-global AM handlers (the `send_am` /
+/// aggregation surface). Unlike the per-rank region-query dispatch these
+/// carry no per-rank state beyond what `ArmciInner` already tracks, so one
+/// machine-wide table entry serves every destination.
+fn install_am_handlers(machine: &Machine, weak: &Weak<ArmciInner>) {
+    // NOTIFY_AM: write the sender's notify cell at the destination. The
+    // write is monotone-max so a retransmit-delayed older notify can never
+    // roll the cell back below a newer one.
+    {
+        let weak = weak.clone();
+        machine.register_am(
+            DISPATCH_NOTIFY_AM,
+            Rc::new(move |env, msg| {
+                let Some(inner) = weak.upgrade() else { return };
+                let seq = i64::from_le_bytes(msg.header[0..8].try_into().expect("8"));
+                let rt = inner.ranks.borrow().get(&env.rank).cloned();
+                let Some(rt) = rt else { return };
+                let cell = rt.notify_off.get() + 8 * msg.src;
+                let pr = env.machine.rank(env.rank);
+                if pr.read_i64(cell) < seq {
+                    pr.write_i64(cell, seq);
+                }
+            }),
+        );
+    }
+    // ACC_AM: value-carrying accumulate, dst[i] += scale * x[i]. The
+    // per-element compute cost is covered by the per-byte deserialize the
+    // service loop already charges for each coalesced entry.
+    machine.register_am(
+        DISPATCH_ACC_AM,
+        Rc::new(move |env, msg| {
+            let off = u64::from_le_bytes(msg.header[0..8].try_into().expect("8")) as usize;
+            let scale = f64::from_le_bytes(msg.header[8..16].try_into().expect("8"));
+            let pr = env.machine.rank(env.rank);
+            let n = msg.payload.len() / 8;
+            let mut cur = pr.read_f64s(off, n);
+            for (i, c) in cur.iter_mut().enumerate() {
+                let x = f64::from_le_bytes(msg.payload[i * 8..i * 8 + 8].try_into().expect("8"));
+                *c += scale * x;
+            }
+            pr.write_f64s(off, &cur);
+        }),
+    );
+    // AM_PING: echo the header back as a pong on the unbatched legacy
+    // channel — the pong is a completion signal, not ordered data, and must
+    // not sit out a batch window at the target.
+    machine.register_am(
+        DISPATCH_AM_PING,
+        Rc::new(move |env, msg| {
+            let responder = env.machine.rank(env.rank);
+            let src = msg.src;
+            let header = msg.header;
+            env.machine.sim().spawn(async move {
+                responder
+                    .am_send(src, DISPATCH_AM_PONG, header, Vec::new())
+                    .await;
+            });
+        }),
+    );
+    // AM_PONG: complete the pending fence at the requester.
+    {
+        let weak = weak.clone();
+        machine.register_am(
+            DISPATCH_AM_PONG,
+            Rc::new(move |env, msg| {
+                let Some(inner) = weak.upgrade() else { return };
+                let reply_id = u64::from_le_bytes(msg.header[0..8].try_into().expect("8"));
+                let pending = inner
+                    .ranks
+                    .borrow()
+                    .get(&env.rank)
+                    .and_then(|rt| rt.pending_pings.borrow_mut().remove(&reply_id));
+                if let Some(c) = pending {
+                    c.complete(());
+                }
+            }),
+        );
     }
 }
 

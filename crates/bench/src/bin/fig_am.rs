@@ -1,0 +1,168 @@
+//! fig_am — small-message active-message throughput with and without
+//! per-destination aggregation.
+//!
+//! Sweeps payload size × flush window × destination fan-out over an AM
+//! accumulate storm (`acc_am` + `am_fence`). Window 0 configures no batcher
+//! at all — the untouched unbatched hot path — so that column doubles as
+//! the zero-cost baseline; nonzero windows coalesce queued AMs into one
+//! wire message per destination and the small-size columns show the
+//! aggregation win (wire messages collapse, AM rate multiplies).
+//!
+//! `--json <path>` writes the fixed-schema `am-v1` document, including the
+//! flight-recorder attribution (six critical-path categories plus the
+//! summed `pami.am_aggr` buffer wait) for the designated batched and
+//! unbatched cells. Every field is deterministic, so CI diffs it against
+//! `results/BENCH_fig_am.json` with zero tolerance.
+
+use bgq_bench::am_bench::{best_speedup, run_cell_full, AmCell, AmCrit};
+use bgq_bench::{
+    append_json_field, arg_jobs, arg_list, arg_str, arg_usize, arg_workers, check_args, fmt_size,
+    peak_rss_kb, sweep, write_text, JOBS_FLAG, TIMELINE_FLAG, TIMELINE_WINDOW_PS, WORKERS_FLAG,
+};
+
+fn main() {
+    check_args(
+        "fig_am",
+        "active-message throughput with and without aggregation",
+        &[
+            ("--procs", true, "process count, > 16 (default 64)"),
+            ("--msgs", true, "AM accumulates per rank (default 128)"),
+            ("--sizes", true, "comma-separated payload sizes (bytes)"),
+            (
+                "--windows",
+                true,
+                "comma-separated flush windows (us); 0 = unbatched",
+            ),
+            ("--fanout", true, "comma-separated destination fan-outs"),
+            ("--json", true, "write the am-v1 sweep JSON"),
+            TIMELINE_FLAG,
+            JOBS_FLAG,
+            WORKERS_FLAG,
+        ],
+    );
+    let procs = arg_usize("--procs", 64);
+    let msgs = arg_usize("--msgs", 128);
+    let sizes = arg_list("--sizes", &[8, 64, 512]);
+    let windows = arg_list("--windows", &[0, 1, 4]);
+    let fanouts = arg_list("--fanout", &[1, 4]);
+    let jobs = arg_jobs();
+    let workers = arg_workers();
+    let json_path = arg_str("--json");
+    let timeline_path = arg_str("--timeline");
+
+    println!("== fig_am: {procs} ranks, {msgs} AMs/rank ==");
+    println!(
+        "{:>8} {:>10} {:>7} {:>14} {:>10} {:>10} {:>10} {:>10}",
+        "size", "window(us)", "fanout", "AMs/s", "MB/s", "wire_msgs", "avg_batch", "time(us)"
+    );
+    // Flight attribution runs on the two designated cells: smallest size,
+    // fanout 1, unbatched and largest window. Timeline (when requested)
+    // records the batched one.
+    let smallest_si = sizes
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &s)| s)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let biggest_wi = windows
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &w)| w)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let wants_timeline = timeline_path.is_some();
+    let n_cells = sizes.len() * windows.len() * fanouts.len();
+    // One independent simulation per cell; collected by input index so
+    // output order never depends on the job count.
+    let outs = sweep::run_parallel(n_cells, jobs, |idx| {
+        let si = idx / (windows.len() * fanouts.len());
+        let wi = (idx / fanouts.len()) % windows.len();
+        let fi = idx % fanouts.len();
+        let designated = si == smallest_si && fi == 0 && (windows[wi] == 0 || wi == biggest_wi);
+        let tl = (wants_timeline && si == smallest_si && wi == biggest_wi && fi == 0)
+            .then_some(TIMELINE_WINDOW_PS);
+        run_cell_full(
+            procs,
+            sizes[si],
+            msgs,
+            windows[wi] as u64,
+            fanouts[fi],
+            workers,
+            tl,
+            designated,
+        )
+    });
+    let cells: Vec<AmCell> = outs.iter().map(|(c, _, _)| c.clone()).collect();
+    for c in &cells {
+        println!(
+            "{:>8} {:>10} {:>7} {:>14.0} {:>10.2} {:>10} {:>10.2} {:>10.3}",
+            fmt_size(c.size),
+            c.window_us,
+            c.fanout,
+            c.am_per_s,
+            c.mb_s,
+            c.wire_msgs,
+            c.avg_batch,
+            c.sim_time_ps as f64 / 1e6,
+        );
+    }
+    if let Some((w, f, ratio)) = best_speedup(&cells) {
+        println!(
+            "best aggregation speedup at {}: {ratio:.2}x (window {w} us, fanout {f})",
+            fmt_size(cells.iter().map(|c| c.size).min().unwrap_or(0)),
+        );
+    }
+    println!("expected: small sizes batch hard (avg_batch >> 1) and the AM rate multiplies;");
+    println!("large payloads amortize the post cost on their own, so the win shrinks");
+    let crits: Vec<(String, AmCrit)> = outs
+        .iter()
+        .zip(cells.iter())
+        .filter_map(|((_, _, crit), c)| {
+            crit.as_ref().map(|cr| {
+                let key = if c.window_us == 0 {
+                    "unbatched".to_string()
+                } else {
+                    "batched".to_string()
+                };
+                (
+                    key,
+                    AmCrit {
+                        crit: cr.crit.clone(),
+                        aggr_wait_ps: cr.aggr_wait_ps,
+                    },
+                )
+            })
+        })
+        .collect();
+    for (key, c) in &crits {
+        println!(
+            "\n== critical path, {key} (size {}, fanout 1) ==",
+            fmt_size(cells.iter().map(|c| c.size).min().unwrap_or(0))
+        );
+        println!("am_aggr wait: {:.3} us total", c.aggr_wait_ps as f64 / 1e6);
+        print!("{}", c.crit.report());
+    }
+    if let Some(path) = json_path {
+        // Host context, never gated: the am-v1 golden diffs at tol 0 but
+        // candidate-only leaves are ignored by perfdiff.
+        let doc = append_json_field(
+            &bgq_bench::am_bench::sweep_json(procs, msgs, &cells, &crits),
+            "peak_rss_kb",
+            peak_rss_kb(),
+        );
+        write_text(&path, &doc);
+    }
+    if let Some(path) = timeline_path {
+        let runs = outs
+            .into_iter()
+            .filter_map(|(c, tl, _)| {
+                tl.map(|tl| (format!("size{}_win{}us", c.size, c.window_us), tl))
+            })
+            .collect();
+        let doc = desim::TimelineDoc {
+            bench: "fig_am".to_string(),
+            runs,
+        };
+        write_text(&path, &doc.to_json());
+    }
+}

@@ -22,6 +22,7 @@ use armci::{Armci, ArmciConfig, ArmciRank};
 use desim::{Sim, SimDuration, SimTime};
 use pami_sim::{Machine, MachineConfig};
 
+pub mod am_bench;
 pub mod fault_bench;
 pub mod fig9;
 pub mod memscale;

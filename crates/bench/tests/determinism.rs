@@ -317,6 +317,56 @@ fn simbench_net_churn_is_workers_invariant() {
 }
 
 #[test]
+fn fig_am_is_jobs_invariant() {
+    // Every am-v1 field — AM rates, wire counts, flight attribution — must
+    // be byte-identical whether the sweep runs serially or on 4 harness
+    // workers.
+    let bin = env!("CARGO_BIN_EXE_fig_am");
+    let args = ["--procs", "32", "--msgs", "16", "--sizes", "8,64"];
+    let (out1, json1) = run(bin, &args, 1, Some("fig_am"));
+    let (out4, json4) = run(bin, &args, 4, Some("fig_am"));
+    assert_eq!(
+        stable_stdout(&out1),
+        stable_stdout(&out4),
+        "fig_am stdout must not depend on --jobs"
+    );
+    let (json1, json4) = (json1.expect("json written"), json4.expect("json written"));
+    assert!(json1.contains("\"schema\":\"am-v1\""));
+    assert!(json1.contains("\"best_speedup\""));
+    assert!(
+        json1.contains("\"am_aggr_wait_ps\""),
+        "flight attribution missing from am-v1 JSON"
+    );
+    assert_eq!(
+        stable_json(&json1),
+        stable_json(&json4),
+        "fig_am --json must not depend on --jobs (peak_rss_kb excepted)"
+    );
+}
+
+#[test]
+fn fig_am_is_workers_invariant() {
+    // Batched flushes cross shard boundaries through the reserved-sequence
+    // mailbox: sharding the machine must leave the am-v1 document
+    // byte-identical.
+    let bin = env!("CARGO_BIN_EXE_fig_am");
+    let args = ["--procs", "32", "--msgs", "16", "--sizes", "8,64"];
+    let (out1, json1) = run_workers(bin, &args, 1, Some("fig_am_w"));
+    let (out4, json4) = run_workers(bin, &args, 4, Some("fig_am_w"));
+    assert_eq!(
+        stable_stdout(&out1),
+        stable_stdout(&out4),
+        "fig_am stdout must not depend on --workers"
+    );
+    let (json1, json4) = (json1.expect("json written"), json4.expect("json written"));
+    assert_eq!(
+        stable_json(&json1),
+        stable_json(&json4),
+        "fig_am --json must not depend on --workers (peak_rss_kb excepted)"
+    );
+}
+
+#[test]
 fn fig_scale_gate_is_workers_invariant() {
     // The scale-gate-v2 document feeds the zero-tolerance CI gate; the
     // netstorm leaves in it come from the parallel batch engine, so the

@@ -17,6 +17,10 @@
 //!   above a floor depth.
 //! - **starvation** — context lock wait (`pami.ctx.lock_wait_ps`) consumes
 //!   more than a fraction of a window.
+//! - **am-flush-stall** — the oldest active message parked in an
+//!   aggregation buffer (`am.oldest_wait_ps`) has waited a multiple of the
+//!   configured flush window: the sweep timer or sender progress is
+//!   stalled. Disabled unless the config carries the flush window.
 
 use crate::time::SimTime;
 use crate::timeline::{SeriesKind, TimelineSnapshot};
@@ -78,6 +82,12 @@ pub struct HealthConfig {
     pub queue_runaway_min_depth: i64,
     /// starvation: lock wait above this fraction of a window.
     pub starvation_wait_frac: f64,
+    /// am-flush-stall: the AM batcher's configured flush window (ps). 0 —
+    /// the default — disables the rule (no batcher, nothing to stall).
+    pub am_flush_window_ps: u64,
+    /// am-flush-stall: fire when the oldest buffered AM has waited this
+    /// multiple of the flush window.
+    pub am_stall_mult: f64,
 }
 
 impl Default for HealthConfig {
@@ -90,6 +100,8 @@ impl Default for HealthConfig {
             queue_runaway_windows: 4,
             queue_runaway_min_depth: 8,
             starvation_wait_frac: 0.5,
+            am_flush_window_ps: 0,
+            am_stall_mult: 4.0,
         }
     }
 }
@@ -103,6 +115,7 @@ pub fn analyze(snap: &TimelineSnapshot, cfg: &HealthConfig) -> Vec<Finding> {
     retry_storm(snap, cfg, &mut out);
     queue_runaway(snap, cfg, &mut out);
     starvation(snap, cfg, &mut out);
+    am_flush_stall(snap, cfg, &mut out);
     out.sort_by(|a, b| (a.window, a.rule).cmp(&(b.window, b.rule)));
     out
 }
@@ -261,6 +274,46 @@ fn starvation(snap: &TimelineSnapshot, cfg: &HealthConfig, out: &mut Vec<Finding
     }
 }
 
+fn am_flush_stall(snap: &TimelineSnapshot, cfg: &HealthConfig, out: &mut Vec<Finding>) {
+    if cfg.am_flush_window_ps == 0 {
+        return;
+    }
+    let Some(s) = snap.series("am.oldest_wait_ps") else {
+        return;
+    };
+    if s.kind != SeriesKind::Gauge {
+        return;
+    }
+    let threshold = cfg.am_stall_mult * cfg.am_flush_window_ps as f64;
+    let mut stalled = false;
+    let mut prev_idx: Option<u64> = None;
+    for w in &s.windows {
+        if prev_idx.is_none_or(|p| w.idx != p + 1) {
+            stalled = false;
+        }
+        prev_idx = Some(w.idx);
+        let hot = w.max as f64 >= threshold;
+        if hot && !stalled {
+            out.push(Finding {
+                window: w.idx,
+                rule: "am-flush-stall",
+                severity: if w.max as f64 >= threshold * 4.0 {
+                    Severity::Critical
+                } else {
+                    Severity::Warning
+                },
+                evidence: format!(
+                    "oldest buffered AM waited {} ps ({:.1}x the {} ps flush window)",
+                    w.max,
+                    w.max as f64 / cfg.am_flush_window_ps as f64,
+                    cfg.am_flush_window_ps
+                ),
+            });
+        }
+        stalled = hot;
+    }
+}
+
 /// Mirror findings into a tracer as instants on a `health` track, so they
 /// land time-aligned next to spans and counter tracks in the Chrome trace.
 /// No-op when the tracer is disabled.
@@ -366,6 +419,34 @@ mod tests {
         let f = analyze(&tl.snapshot(), &cfg);
         assert_eq!(f.len(), 1);
         assert_eq!((f[0].window, f[0].rule), (4, "starvation"));
+    }
+
+    #[test]
+    fn am_flush_stall_trips_on_overdue_buffer() {
+        let (tl, mut cfg) = base();
+        cfg.am_flush_window_ps = 1_000_000; // 1 µs flush window
+        let id = tl.series("am.oldest_wait_ps", SeriesKind::Gauge);
+        tl.gauge(id, t(2), 500_000); // 0.5x window: healthy
+        tl.gauge(id, t(5), 5_000_000); // 5x window: stalled
+        tl.gauge(id, t(6), 6_000_000); // same burst: no second finding
+        let f = analyze(&tl.snapshot(), &cfg);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].window, f[0].rule), (5, "am-flush-stall"));
+        assert_eq!(f[0].severity, Severity::Warning);
+
+        // Critical at 4x the stall threshold (16x the window here).
+        let (tl2, mut cfg2) = base();
+        cfg2.am_flush_window_ps = 1_000_000;
+        let id2 = tl2.series("am.oldest_wait_ps", SeriesKind::Gauge);
+        tl2.gauge(id2, t(1), 20_000_000);
+        let f2 = analyze(&tl2.snapshot(), &cfg2);
+        assert_eq!(f2[0].severity, Severity::Critical);
+
+        // Rule is off without a configured window.
+        let (tl3, cfg3) = base();
+        let id3 = tl3.series("am.oldest_wait_ps", SeriesKind::Gauge);
+        tl3.gauge(id3, t(1), 20_000_000);
+        assert!(analyze(&tl3.snapshot(), &cfg3).is_empty());
     }
 
     #[test]

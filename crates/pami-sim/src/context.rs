@@ -62,6 +62,16 @@ pub struct AmMsg {
     pub payload: Vec<u8>,
 }
 
+/// One active message inside a coalesced [`WorkItem::AmBatch`] wire message.
+pub struct AmEntry {
+    /// Handler registry key.
+    pub dispatch: u16,
+    /// Small immediate header.
+    pub header: Vec<u8>,
+    /// Bulk payload.
+    pub payload: Vec<u8>,
+}
+
 /// A unit of target-side work queued on a context.
 pub enum WorkItem {
     /// Software (non-RDMA) put: payload written to memory at service time.
@@ -162,6 +172,16 @@ pub enum WorkItem {
         /// Bulk payload.
         payload: Vec<u8>,
     },
+    /// A coalesced wire message carrying several active messages for the
+    /// same destination (produced by the per-destination aggregation buffer,
+    /// [`crate::batcher`]). The entries are dispatched in order; the batch
+    /// paid one dispatch/NIC-post overhead for all of them.
+    AmBatch {
+        /// Originating rank (one buffer per `(src, dst)` pair).
+        src: usize,
+        /// The coalesced messages, in enqueue order.
+        entries: Vec<AmEntry>,
+    },
 }
 
 impl WorkItem {
@@ -176,6 +196,7 @@ impl WorkItem {
             WorkItem::PackedPut { .. } => "pami.service.packed_put",
             WorkItem::AccStrided { .. } => "pami.service.acc_strided",
             WorkItem::Am { .. } => "pami.service.am",
+            WorkItem::AmBatch { .. } => "pami.service.am_batch",
         }
     }
 
@@ -189,7 +210,8 @@ impl WorkItem {
             | WorkItem::PackedGet { src, .. }
             | WorkItem::PackedPut { src, .. }
             | WorkItem::AccStrided { src, .. }
-            | WorkItem::Am { src, .. } => *src,
+            | WorkItem::Am { src, .. }
+            | WorkItem::AmBatch { src, .. } => *src,
         }
     }
 }

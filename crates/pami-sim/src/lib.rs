@@ -39,6 +39,8 @@
 //! sim.run();
 //! ```
 
+pub mod am;
+pub mod batcher;
 pub mod context;
 pub mod machine;
 pub mod rank;
@@ -46,7 +48,8 @@ pub mod retry;
 pub mod shard;
 pub mod space;
 
-pub use context::{AmEnv, AmHandler, AmMsg, CtxState, RmwOp, WorkItem};
+pub use batcher::{AmBatchConfig, Batcher, AM_FRAME_BYTES};
+pub use context::{AmEntry, AmEnv, AmHandler, AmMsg, CtxState, RmwOp, WorkItem};
 pub use machine::{Machine, MachineConfig, RegionError, RegionId};
 pub use rank::{AsyncThread, PamiRank, PutHandles};
 pub use retry::{FailureMode, RetryPolicy};

@@ -12,7 +12,8 @@ use desim::{FaultPlan, FlightRecorder, OpId, Sim, SimTime, Stats};
 static RANKMEM_TAG: MemTag = MemTag::new("pami.rankmem");
 use torus5d::{BgqParams, Mapping, NetState, Topology};
 
-use crate::context::CtxState;
+use crate::batcher::AmBatchConfig;
+use crate::context::{AmHandler, CtxState};
 use crate::retry::RetryPolicy;
 use crate::space::{SpaceAccount, SpaceSnapshot};
 
@@ -55,6 +56,10 @@ pub struct MachineConfig {
     /// (see [`crate::shard`]) — all simulation outputs stay byte-identical
     /// to the serial engine for any value.
     pub workers: usize,
+    /// Per-destination active-message aggregation (see [`crate::batcher`]).
+    /// `None` (the default) keeps [`crate::PamiRank::send_am`] on the
+    /// unbatched hot path — the AM layer is zero-cost when disabled.
+    pub am_batch: Option<AmBatchConfig>,
 }
 
 impl MachineConfig {
@@ -74,7 +79,16 @@ impl MachineConfig {
             fault_plan: None,
             retry: RetryPolicy::default(),
             workers: 1,
+            am_batch: None,
         }
+    }
+
+    /// Enable per-destination active-message aggregation: buffers flush at
+    /// `max_bytes` of framed payload or after `window` of sim time,
+    /// whichever comes first.
+    pub fn am_batching(mut self, max_bytes: usize, window: desim::SimDuration) -> Self {
+        self.am_batch = Some(AmBatchConfig { max_bytes, window });
+        self
     }
 
     /// Set the conservative-parallel worker shard count (1 = serial).
@@ -278,6 +292,12 @@ pub(crate) struct MachineInner {
     /// `None` when `workers == 1` or a non-empty fault plan is installed
     /// (faults pin the machine to the serial path).
     pub shards: Option<Rc<crate::shard::Shards>>,
+    /// Machine-wide active-message dispatch table, consulted when a
+    /// destination's per-context table misses (see [`Machine::register_am`]).
+    pub am_handlers: RefCell<desim::FxHashMap<u16, AmHandler>>,
+    /// Per-destination AM aggregation buffers; `None` unless
+    /// [`MachineConfig::am_batching`] was configured.
+    pub batcher: Option<Rc<crate::batcher::Batcher>>,
 }
 
 /// Pre-interned timeline series handles for the PAMI-layer producers.
@@ -296,6 +316,30 @@ pub struct TlIds {
     pub timeouts: desim::SeriesId,
     /// `pami.retry_backlog` — gauge of scheduled-but-unsent retries.
     pub retry_backlog: desim::SeriesId,
+    /// Active-message series, interned only when AM batching is configured
+    /// so machines that never touch the AM layer keep their timeline
+    /// snapshots byte-identical to pre-AM builds.
+    pub am: Option<AmTlIds>,
+}
+
+/// Pre-interned timeline series for the active-message layer.
+#[derive(Clone, Copy)]
+pub struct AmTlIds {
+    /// `am.sent` — AMs accepted by `send_am` per window.
+    pub sent: desim::SeriesId,
+    /// `am.batches` — flushed wire messages coalescing ≥ 2 AMs.
+    pub batches: desim::SeriesId,
+    /// `am.flushes` — aggregation-buffer flushes (any size).
+    pub flushes: desim::SeriesId,
+    /// `am.wire_msgs` — wire messages the AM layer injected.
+    pub wire_msgs: desim::SeriesId,
+    /// `am.bytes` — wire bytes (framing included) the AM layer injected.
+    pub bytes: desim::SeriesId,
+    /// `am.queue_depth` — gauge of AMs waiting in aggregation buffers.
+    pub queue_depth: desim::SeriesId,
+    /// `am.oldest_wait_ps` — gauge: at each flush, how long the oldest
+    /// entry waited (feeds the `am-flush-stall` health rule).
+    pub oldest_wait: desim::SeriesId,
 }
 
 /// A simulated Blue Gene/Q partition running `nprocs` PGAS processes.
@@ -349,6 +393,9 @@ impl Machine {
         } else {
             None
         };
+        let batcher = cfg
+            .am_batch
+            .map(|bc| Rc::new(crate::batcher::Batcher::new(bc)));
         Machine {
             inner: Rc::new(MachineInner {
                 sim,
@@ -363,6 +410,8 @@ impl Machine {
                 tl_ids: Cell::new(None),
                 retry_backlog: Cell::new(0),
                 shards,
+                am_handlers: RefCell::new(desim::FxHashMap::default()),
+                batcher,
             }),
         }
     }
@@ -498,6 +547,17 @@ impl Machine {
             retries: tl.series("pami.retries", SeriesKind::Counter),
             timeouts: tl.series("pami.timeouts", SeriesKind::Counter),
             retry_backlog: tl.series("pami.retry_backlog", SeriesKind::Gauge),
+            // AM series only exist on machines that configured batching:
+            // everyone else's snapshots stay byte-identical to pre-AM builds.
+            am: self.inner.cfg.am_batch.map(|_| AmTlIds {
+                sent: tl.series("am.sent", SeriesKind::Counter),
+                batches: tl.series("am.batches", SeriesKind::Counter),
+                flushes: tl.series("am.flushes", SeriesKind::Counter),
+                wire_msgs: tl.series("am.wire_msgs", SeriesKind::Counter),
+                bytes: tl.series("am.bytes", SeriesKind::Counter),
+                queue_depth: tl.series("am.queue_depth", SeriesKind::Gauge),
+                oldest_wait: tl.series("am.oldest_wait_ps", SeriesKind::Gauge),
+            }),
         }));
         self.inner.retry_backlog.set(0);
     }
@@ -513,6 +573,13 @@ impl Machine {
     #[inline]
     pub(crate) fn tl_ids(&self) -> Option<TlIds> {
         self.inner.tl_ids.get()
+    }
+
+    /// Pre-interned AM series handles, `Some` only after
+    /// [`Machine::enable_timeline`] on a machine with AM batching configured.
+    #[inline]
+    pub(crate) fn am_tl(&self) -> Option<AmTlIds> {
+        self.inner.tl_ids.get().and_then(|ids| ids.am)
     }
 
     /// Adjust the retry-backlog mirror and record the gauge.

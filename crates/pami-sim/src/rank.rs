@@ -47,7 +47,7 @@ impl AsyncThread {
 /// scheduled closures rather than awaiting, so the target's progress engine
 /// keeps running while a reply waits out its backoff.
 #[allow(clippy::too_many_arguments)]
-fn deliver_then(
+pub(crate) fn deliver_then(
     m: &Machine,
     inject: SimTime,
     src: usize,
@@ -132,6 +132,39 @@ fn deliver_then(
                 );
             });
         }
+    }
+}
+
+/// The landing half of a software-path message: enqueue `item` on the
+/// target's designated context at `arrival`. Must run *as* the landing event
+/// (callers schedule it through `schedule_leg`, or invoke it directly from a
+/// `deliver_then` continuation, which already is one). Spawns the target's
+/// asynchronous progress thread lazily, before the push, so the freshly
+/// enqueued thread polls ahead of anyone the push's notify wakes — the same
+/// order an eagerly spawned thread (parked on `arrived` since t=0) would
+/// wake in.
+pub(crate) fn enqueue_at_target(
+    m: &Machine,
+    target: usize,
+    arrival: SimTime,
+    item: WorkItem,
+    op: Option<OpId>,
+) {
+    let st = m.rank_state(target);
+    if let Some(at_ctx) = st.at_ctx.get() {
+        if st.at.borrow().is_none() {
+            let at = m.rank(target).start_progress_thread(at_ctx);
+            *st.at.borrow_mut() = Some(at);
+        }
+    }
+    let ctx = &st.contexts[m.target_ctx()];
+    ctx.push(item, op, arrival);
+    // Sample the post-push depth: the per-window gauge max is the deepest
+    // any sampled context queue got inside that window.
+    if let Some(ids) = m.tl_ids() {
+        m.sim()
+            .timeline()
+            .gauge(ids.queue_depth, arrival, ctx.depth() as i64);
     }
 }
 
@@ -386,7 +419,7 @@ impl PamiRank {
     /// caller must then complete the operation without its data effect).
     /// Without an active fault plan this is exactly one `deliver_op` call,
     /// so fault-free runs are byte-identical to the pre-fault code path.
-    async fn deliver_reliable(
+    pub(crate) async fn deliver_reliable(
         &self,
         inject: SimTime,
         target: usize,
@@ -565,7 +598,7 @@ impl PamiRank {
     // Software path (target CPU required)
     // ------------------------------------------------------------------
 
-    fn push_to_target(
+    pub(crate) fn push_to_target(
         &self,
         target: usize,
         arrival: desim::SimTime,
@@ -573,31 +606,8 @@ impl PamiRank {
         op: Option<OpId>,
     ) {
         let m = self.m.clone();
-        let ctx_idx = self.m.target_ctx();
-        let tl = self
-            .m
-            .tl_ids()
-            .map(|ids| (self.m.sim().timeline(), ids.queue_depth));
         self.m.schedule_leg(self.r, target, arrival, move || {
-            let st = m.rank_state(target);
-            // First work for an armed-but-idle rank: spawn its progress
-            // thread now, *before* the push, so the freshly enqueued thread
-            // polls ahead of anyone the push's notify wakes — the same order
-            // an eagerly spawned thread (parked on `arrived` since t=0)
-            // would wake in.
-            if let Some(at_ctx) = st.at_ctx.get() {
-                if st.at.borrow().is_none() {
-                    let at = m.rank(target).start_progress_thread(at_ctx);
-                    *st.at.borrow_mut() = Some(at);
-                }
-            }
-            let ctx = &st.contexts[ctx_idx];
-            ctx.push(item, op, arrival);
-            // Sample the post-push depth: the per-window gauge max is the
-            // deepest any sampled context queue got inside that window.
-            if let Some((tl, id)) = &tl {
-                tl.gauge(*id, arrival, ctx.depth() as i64);
-            }
+            enqueue_at_target(&m, target, arrival, item, op);
         });
     }
 
@@ -1310,24 +1320,43 @@ impl PamiRank {
                 payload,
             } => {
                 sim.sleep(p.am_dispatch).await;
-                let ctx = self.ctx(self.m.target_ctx());
-                let handler = ctx.dispatch.borrow().get(&dispatch).cloned();
-                match handler {
-                    Some(h) => h(
-                        AmEnv {
-                            machine: self.m.clone(),
-                            rank: self.r,
-                        },
-                        AmMsg {
-                            src,
-                            header,
-                            payload,
-                        },
-                    ),
-                    None => {
-                        self.m.stats().incr("pami.am_unhandled");
-                    }
+                self.dispatch_am(src, dispatch, header, payload);
+            }
+            WorkItem::AmBatch { src, entries } => {
+                // One protocol dispatch for the whole wire message; each
+                // coalesced AM then costs only its deserialization copy —
+                // the receive-side half of the batching win.
+                sim.sleep(p.am_dispatch).await;
+                for e in entries {
+                    let bytes = e.header.len() + e.payload.len();
+                    sim.sleep(SimDuration::from_ps(bytes as u64 * p.pack_byte_time_ps))
+                        .await;
+                    self.dispatch_am(src, e.dispatch, e.header, e.payload);
                 }
+            }
+        }
+    }
+
+    /// Run the handler registered for `dispatch`: the destination context's
+    /// table first, the machine-wide table on a miss.
+    fn dispatch_am(&self, src: usize, dispatch: u16, header: Vec<u8>, payload: Vec<u8>) {
+        let ctx = self.ctx(self.m.target_ctx());
+        let handler = ctx.dispatch.borrow().get(&dispatch).cloned();
+        let handler = handler.or_else(|| self.m.am_handler(dispatch));
+        match handler {
+            Some(h) => h(
+                AmEnv {
+                    machine: self.m.clone(),
+                    rank: self.r,
+                },
+                AmMsg {
+                    src,
+                    header,
+                    payload,
+                },
+            ),
+            None => {
+                self.m.stats().incr("pami.am_unhandled");
             }
         }
     }

@@ -61,6 +61,11 @@ pub struct BgqParams {
     pub acc_elem_time_ps: u64,
     /// Wire overhead bytes added to each active message (header/packetization).
     pub am_header_bytes: usize,
+    /// Sender CPU cost to append one active message to a per-destination
+    /// aggregation buffer (a cache-resident copy plus bookkeeping — far below
+    /// the full NIC post overhead `o_send`, which is the source of the
+    /// batching win for small messages).
+    pub am_enqueue: SimDuration,
     /// CPU pack/unpack copy rate for the typed/packed datatype path,
     /// picoseconds per byte (≈6.7 GB/s memcpy).
     pub pack_byte_time_ps: u64,
@@ -107,6 +112,7 @@ impl Default for BgqParams {
             rmw_service: SimDuration::from_ns(150),
             acc_elem_time_ps: 250,
             am_header_bytes: 32,
+            am_enqueue: SimDuration::from_ns(110),
             pack_byte_time_ps: 150,
             endpoint_bytes: 4,
             endpoint_create: SimDuration::from_ns(300),

@@ -55,6 +55,8 @@ run abl_contention
 run abl_mapping
 run fig_fault "--json results/fig_fault.json --timeline results/fig_fault.timeline.json"
 check_json results/fig_fault.json results/fig_fault.timeline.json
+run fig_am "--json results/fig_am.json --timeline results/fig_am.timeline.json"
+check_json results/fig_am.json results/fig_am.timeline.json
 echo "== simulator self-benchmark (simbench; wall-clock, host-dependent)"
 ./target/release/simbench --quick $JOBS --json results/simbench.json \
   > results/simbench.txt
@@ -90,6 +92,10 @@ check_json results/gate_fig9_rmw.json results/gate_fig9_rmw.breakdown.json \
   --json results/gate_fig_fault.json > /dev/null
 check_json results/gate_fig_fault.json
 ./target/release/perfdiff results/BENCH_fig_fault.json results/gate_fig_fault.json --tol 0 --check
+# Active-message aggregation sweep: every am-v1 leaf is virtual-time
+# deterministic (peak_rss_kb is candidate-only and never gates), so the
+# default sweep diffs at zero tolerance against its committed golden.
+./target/release/perfdiff results/BENCH_fig_am.json results/fig_am.json --tol 0 --check
 # Memory-scaling sweep (fig_mem): per-subsystem peak/live bytes per rank
 # across a p-sweep, plus the memstat report. Split gate: schema, tag set and
 # growth classes are keys/strings and compare exactly at any tolerance;
